@@ -1,0 +1,250 @@
+//! Bit-parallel BFS (the "BP" technique of §5.1, after Akiba et al. §4.2).
+//!
+//! One BFS from a root `r` simultaneously computes, for up to 64 selected
+//! neighbours `S ⊆ N(r)`, enough information to bound distances through any
+//! member of `S`: for every vertex `v`,
+//!
+//! * `dist(v) = d(r, v)`,
+//! * `s_minus(v)` — the mask of `u ∈ S` with `d(u, v) = d(r, v) - 1`,
+//! * `s_zero(v)`  — the mask of `u ∈ S` with `d(u, v) = d(r, v)`.
+//!
+//! (Every `u ∈ S` satisfies `|d(u, v) - d(r, v)| <= 1` because `u` is a
+//! neighbour of `r`.) A query `(s, t)` then gets the upper bound
+//! `dist(s) + dist(t)` improved by `-2` when the two `s_minus` masks
+//! intersect and by `-1` when a `s_minus` mask meets the other side's
+//! `s_zero` — one `u64` AND instead of 64 BFSs, which is why both PLL and
+//! FD lean on it.
+//!
+//! The masks satisfy the level recurrences
+//! `S₋₁(v) = ∪ parents S₋₁ ∪ {v if v ∈ S}` and
+//! `S₀(v) = (∪ parents S₀ ∪ ∪ same-level neighbours S₋₁) ∖ S₋₁(v)`,
+//! computed level-synchronously in two phases so same-level masks are final
+//! before they are read.
+
+use hcl_graph::{CsrGraph, VertexId};
+
+/// Sentinel for unreachable vertices in the 16-bit distance array.
+pub const BP_UNREACHED: u16 = u16::MAX;
+
+/// One bit-parallel shortest-path tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BpTree {
+    root: VertexId,
+    /// Selected neighbours of the root, at most 64 (mask bit `i` ↔
+    /// `selected[i]`).
+    selected: Vec<VertexId>,
+    dist: Vec<u16>,
+    s_minus: Vec<u64>,
+    s_zero: Vec<u64>,
+}
+
+impl BpTree {
+    /// Runs the bit-parallel BFS from `root` over the up-to-64 neighbours in
+    /// `selected` (callers usually pass the highest-degree neighbours).
+    pub fn build(g: &CsrGraph, root: VertexId, selected: &[VertexId]) -> Self {
+        assert!(selected.len() <= 64, "at most 64 bit-parallel neighbours");
+        debug_assert!(selected.iter().all(|&u| g.neighbors(root).contains(&u)));
+        let n = g.num_vertices();
+        let mut dist = vec![BP_UNREACHED; n];
+        let mut s_minus = vec![0u64; n];
+        let mut s_zero = vec![0u64; n];
+
+        dist[root as usize] = 0;
+        let mut frontier: Vec<VertexId> = vec![root];
+        // Seed S at level 1: each selected neighbour is its own witness.
+        let mut next: Vec<VertexId> = Vec::with_capacity(selected.len());
+        for (i, &u) in selected.iter().enumerate() {
+            dist[u as usize] = 1;
+            s_minus[u as usize] = 1u64 << i;
+            next.push(u);
+        }
+
+        let mut level: u16 = 0;
+        while !frontier.is_empty() {
+            let next_level = level + 1;
+            // Phase 1: discover the next level and propagate S₋₁ downward.
+            for &u in frontier.iter() {
+                let mu = s_minus[u as usize];
+                for &v in g.neighbors(u) {
+                    let vi = v as usize;
+                    if dist[vi] == BP_UNREACHED {
+                        dist[vi] = next_level;
+                        next.push(v);
+                        s_minus[vi] |= mu;
+                    } else if dist[vi] == next_level {
+                        s_minus[vi] |= mu;
+                    }
+                }
+            }
+            // Phase 2: with next-level S₋₁ final, compute its S₀ from
+            // parent S₀ and same-level S₋₁.
+            for &v in next.iter() {
+                let vi = v as usize;
+                let mut zero = 0u64;
+                for &w in g.neighbors(v) {
+                    let wi = w as usize;
+                    if dist[wi] == level {
+                        zero |= s_zero[wi];
+                    } else if dist[wi] == next_level {
+                        zero |= s_minus[wi];
+                    }
+                }
+                s_zero[vi] = zero & !s_minus[vi];
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            level = next_level;
+        }
+
+        BpTree { root, selected: selected.to_vec(), dist, s_minus, s_zero }
+    }
+
+    /// Builds a tree selecting the root's `k` highest-degree neighbours
+    /// (`k <= 64`).
+    pub fn build_top_neighbors(g: &CsrGraph, root: VertexId, k: usize) -> Self {
+        let mut nbrs: Vec<VertexId> = g.neighbors(root).to_vec();
+        nbrs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        nbrs.truncate(k.min(64));
+        Self::build(g, root, &nbrs)
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The selected neighbour set `S`.
+    pub fn selected(&self) -> &[VertexId] {
+        &self.selected
+    }
+
+    /// Exact distance from the root to `v` (`None` if unreachable).
+    pub fn root_distance(&self, v: VertexId) -> Option<u32> {
+        let d = self.dist[v as usize];
+        (d != BP_UNREACHED).then_some(d as u32)
+    }
+
+    /// Upper bound on `d(s, t)` through the root or any selected neighbour.
+    /// `u32::MAX` when either endpoint is unreachable from the root.
+    #[inline]
+    pub fn bound(&self, s: VertexId, t: VertexId) -> u32 {
+        let ds = self.dist[s as usize];
+        let dt = self.dist[t as usize];
+        if ds == BP_UNREACHED || dt == BP_UNREACHED {
+            return u32::MAX;
+        }
+        let base = ds as u32 + dt as u32;
+        let (ms, mt) = (self.s_minus[s as usize], self.s_minus[t as usize]);
+        if ms & mt != 0 {
+            base - 2
+        } else if ms & self.s_zero[t as usize] != 0 || self.s_zero[s as usize] & mt != 0 {
+            base - 1
+        } else {
+            base
+        }
+    }
+
+    /// Bytes used by this tree (distance + two mask arrays).
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.len() * 2 + self.s_minus.len() * 8 + self.s_zero.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::{generate, traversal, INF};
+
+    /// Brute-force reference for the masks.
+    fn check_tree(g: &CsrGraph, tree: &BpTree) {
+        let root_dist = traversal::bfs_distances(g, tree.root());
+        let sel_dist: Vec<Vec<u32>> =
+            tree.selected().iter().map(|&u| traversal::bfs_distances(g, u)).collect();
+        for v in g.vertices() {
+            let vi = v as usize;
+            match tree.root_distance(v) {
+                None => assert_eq!(root_dist[vi], INF),
+                Some(d) => assert_eq!(d, root_dist[vi]),
+            }
+            for (i, sd) in sel_dist.iter().enumerate() {
+                let bit = 1u64 << i;
+                let expect_minus = root_dist[vi] != INF
+                    && sd[vi] != INF
+                    && sd[vi] + 1 == root_dist[vi];
+                let expect_zero =
+                    root_dist[vi] != INF && sd[vi] != INF && sd[vi] == root_dist[vi];
+                assert_eq!(
+                    tree.s_minus[vi] & bit != 0,
+                    expect_minus,
+                    "s_minus bit {i} at vertex {v}"
+                );
+                assert_eq!(
+                    tree.s_zero[vi] & bit != 0,
+                    expect_zero,
+                    "s_zero bit {i} at vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_match_brute_force_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = generate::erdos_renyi(70, 160, seed);
+            let root = hcl_graph::order::top_degree(&g, 1)[0];
+            let tree = BpTree::build_top_neighbors(&g, root, 64);
+            check_tree(&g, &tree);
+        }
+    }
+
+    #[test]
+    fn masks_on_structured_graphs() {
+        for g in [generate::grid(6, 7), generate::cycle(9), generate::star(12)] {
+            let tree = BpTree::build_top_neighbors(&g, 0, 8);
+            check_tree(&g, &tree);
+        }
+    }
+
+    #[test]
+    fn bound_is_admissible_and_reaches_exact_via_selected() {
+        let g = generate::barabasi_albert(100, 3, 3);
+        let root = hcl_graph::order::top_degree(&g, 1)[0];
+        let tree = BpTree::build_top_neighbors(&g, root, 64);
+        let all: Vec<Vec<u32>> =
+            (0..g.num_vertices()).map(|v| traversal::bfs_distances(&g, v as u32)).collect();
+        for s in g.vertices().step_by(3) {
+            for t in g.vertices().step_by(5) {
+                let b = tree.bound(s, t);
+                let d = all[s as usize][t as usize];
+                assert!(b >= d, "admissible {s}->{t}: bound {b} < true {d}");
+                // If a shortest path passes through the root or a selected
+                // neighbour, the bound must be exact.
+                let through = std::iter::once(tree.root())
+                    .chain(tree.selected().iter().copied())
+                    .any(|u| {
+                        all[s as usize][u as usize] + all[u as usize][t as usize] == d
+                    });
+                if through {
+                    assert_eq!(b, d, "tight through S at {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let tree = BpTree::build_top_neighbors(&g, 1, 64);
+        assert_eq!(tree.root_distance(3), None);
+        assert_eq!(tree.bound(0, 3), u32::MAX);
+        assert_eq!(tree.bound(0, 2), 2);
+    }
+
+    #[test]
+    fn empty_selection_still_gives_root_bounds() {
+        let g = generate::cycle(8);
+        let tree = BpTree::build(&g, 0, &[]);
+        assert_eq!(tree.bound(1, 7), 2); // through the root
+        assert_eq!(tree.root_distance(4), Some(4));
+    }
+}

@@ -1,0 +1,420 @@
+//! IS-Label (Fu, Wu, Cheng, Wong — VLDB 2013), the paper's "IS-L"
+//! baseline \[12\].
+//!
+//! Construction peels `k` *independent sets* off the graph. When a vertex
+//! `v` is removed in round `i`, distance-preserving *augmenting edges*
+//! (shortcuts) `a–b` with weight `w(a,v) + w(v,b)` are added between all of
+//! `v`'s surviving neighbours, so the remaining graph `G_i` preserves every
+//! pairwise distance. Each removed vertex keeps its adjacency *at removal
+//! time* as its label; because an independent set is removed at once, every
+//! such edge points to a strictly higher level (a later round or the final
+//! core graph `G_k`).
+//!
+//! Any shortest path then has a *valley-free* lift: levels rise to a peak
+//! and fall. A query therefore runs an **upward** Dijkstra from `s` that may
+//! also roam the core, an upward-only Dijkstra from `t`, and takes the best
+//! meeting vertex. This is the "hybrid labelling + traversal" behaviour the
+//! EDBT paper describes; its cost — the peeled hierarchy keeps fattening
+//! with shortcuts and the core stays large — is why IS-L DNFs on 9 of the
+//! 12 paper datasets (Table 2), a shape our benchmarks reproduce at reduced
+//! scale.
+
+use crate::BaselineError;
+use hcl_graph::oracle::DistanceOracle;
+use hcl_graph::{CsrGraph, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Level assigned to vertices that survive all peeling rounds.
+const CORE_LEVEL: u32 = u32::MAX;
+
+/// Tuning knobs for IS-Label construction.
+#[derive(Clone, Copy, Debug)]
+pub struct IslConfig {
+    /// Number of peeling rounds `k` (the EDBT paper runs the authors' code
+    /// with k = 6 on graphs above one million vertices).
+    pub levels: usize,
+    /// Maximum current degree for a vertex to enter the independent set;
+    /// caps the quadratic shortcut blow-up per removal.
+    pub max_is_degree: usize,
+}
+
+impl Default for IslConfig {
+    fn default() -> Self {
+        IslConfig { levels: 6, max_is_degree: 24 }
+    }
+}
+
+/// The IS-Label hierarchy: per-vertex levels, each removed vertex's upward
+/// adjacency (its label), and the core graph reached after `k` rounds, all
+/// in one CSR over the original vertex ids.
+#[derive(Clone, Debug)]
+pub struct IslIndex {
+    level: Vec<u32>,
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    weights: Vec<u32>,
+    core_size: usize,
+    removed_entries: usize,
+}
+
+impl IslIndex {
+    /// Peels `config.levels` independent sets off `g` and assembles the
+    /// hierarchy.
+    pub fn build(g: &CsrGraph, config: IslConfig) -> Result<(Self, Duration), BaselineError> {
+        let start = Instant::now();
+        let n = g.num_vertices();
+        // Dynamic weighted adjacency; entries mirror both directions.
+        let mut adj: Vec<Vec<(VertexId, u32)>> = (0..n as VertexId)
+            .map(|v| g.neighbors(v).iter().map(|&u| (u, 1u32)).collect())
+            .collect();
+        let mut level = vec![CORE_LEVEL; n];
+        // Labels: adjacency snapshot of each removed vertex.
+        let mut snapshots: Vec<Vec<(VertexId, u32)>> = vec![Vec::new(); n];
+
+        let mut blocked = vec![0u32; n];
+        for round in 1..=config.levels as u32 {
+            // Greedy low-degree-first independent set among surviving
+            // vertices.
+            let mut order: Vec<VertexId> =
+                (0..n as VertexId).filter(|&v| level[v as usize] == CORE_LEVEL).collect();
+            if order.is_empty() {
+                break;
+            }
+            order.sort_by_key(|&v| (adj[v as usize].len(), v));
+            let mut selected: Vec<VertexId> = Vec::new();
+            for &v in &order {
+                if blocked[v as usize] == round || adj[v as usize].len() > config.max_is_degree
+                {
+                    continue;
+                }
+                selected.push(v);
+                for &(u, _) in &adj[v as usize] {
+                    blocked[u as usize] = round;
+                }
+                // A selected vertex must not be selected again nor block
+                // itself; marking it blocked covers both.
+                blocked[v as usize] = round;
+            }
+            if selected.is_empty() {
+                break;
+            }
+            for &v in &selected {
+                level[v as usize] = round;
+                let snapshot = std::mem::take(&mut adj[v as usize]);
+                // Drop v from its neighbours and connect them pairwise.
+                for &(a, _) in &snapshot {
+                    adj[a as usize].retain(|&(u, _)| u != v);
+                }
+                for i in 0..snapshot.len() {
+                    let (a, wa) = snapshot[i];
+                    for &(b, wb) in &snapshot[i + 1..] {
+                        add_or_min(&mut adj[a as usize], b, wa + wb);
+                        add_or_min(&mut adj[b as usize], a, wa + wb);
+                    }
+                }
+                snapshots[v as usize] = snapshot;
+            }
+        }
+
+        // Core vertices keep their final adjacency as their search edges.
+        let mut core_size = 0usize;
+        let mut removed_entries = 0usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        for v in 0..n {
+            let list = if level[v] == CORE_LEVEL {
+                core_size += 1;
+                &adj[v]
+            } else {
+                removed_entries += snapshots[v].len();
+                &snapshots[v]
+            };
+            for &(u, w) in list {
+                targets.push(u);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+
+        Ok((
+            IslIndex { level, offsets, targets, weights, core_size, removed_entries },
+            start.elapsed(),
+        ))
+    }
+
+    /// Peeling level of `v` (`None` for core vertices).
+    pub fn removal_level(&self, v: VertexId) -> Option<u32> {
+        let l = self.level[v as usize];
+        (l != CORE_LEVEL).then_some(l)
+    }
+
+    /// Number of vertices remaining in the core graph.
+    pub fn core_size(&self) -> usize {
+        self.core_size
+    }
+
+    /// Average label entries per *removed* vertex plus core adjacency,
+    /// normalised per vertex (Table 2's ALS column for IS-L).
+    pub fn avg_label_entries(&self) -> f64 {
+        let n = self.level.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / n as f64
+        }
+    }
+
+    /// Label entries attached to removed vertices.
+    pub fn removed_entries(&self) -> usize {
+        self.removed_entries
+    }
+
+    /// Index size in bytes (levels + CSR arrays).
+    pub fn index_bytes(&self) -> usize {
+        self.level.len() * 4 + self.offsets.len() * 4 + self.targets.len() * 4
+            + self.weights.len() * 4
+    }
+
+    #[inline]
+    fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+        self.targets[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
+    }
+
+    #[inline]
+    fn is_core(&self, v: VertexId) -> bool {
+        self.level[v as usize] == CORE_LEVEL
+    }
+}
+
+fn add_or_min(list: &mut Vec<(VertexId, u32)>, target: VertexId, w: u32) {
+    for entry in list.iter_mut() {
+        if entry.0 == target {
+            if w < entry.1 {
+                entry.1 = w;
+            }
+            return;
+        }
+    }
+    list.push((target, w));
+}
+
+/// [`DistanceOracle`] over an [`IslIndex`]: two upward Dijkstras meeting
+/// over the core.
+pub struct IslOracle {
+    index: IslIndex,
+    epoch: u32,
+    mark_s: Vec<u32>,
+    mark_t: Vec<u32>,
+    dist_s: Vec<u32>,
+    dist_t: Vec<u32>,
+    touched_t: Vec<VertexId>,
+}
+
+impl IslOracle {
+    /// Wraps a built hierarchy.
+    pub fn new(index: IslIndex) -> Self {
+        let n = index.level.len();
+        IslOracle {
+            index,
+            epoch: 0,
+            mark_s: vec![0; n],
+            mark_t: vec![0; n],
+            dist_s: vec![0; n],
+            dist_t: vec![0; n],
+            touched_t: Vec::new(),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &IslIndex {
+        &self.index
+    }
+
+    /// Exact distance between `s` and `t`.
+    pub fn query(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // t-side: upward-only Dijkstra (stops at core vertices).
+        self.touched_t.clear();
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+        self.dist_t[t as usize] = 0;
+        self.mark_t[t as usize] = epoch;
+        self.touched_t.push(t);
+        heap.push(Reverse((0, t)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > self.dist_t[u as usize] {
+                continue;
+            }
+            if self.index.is_core(u) {
+                continue; // core edges belong to the s-side search
+            }
+            for (v, w) in self.index.edges(u) {
+                let nd = d + w;
+                if self.mark_t[v as usize] != epoch || nd < self.dist_t[v as usize] {
+                    if self.mark_t[v as usize] != epoch {
+                        self.touched_t.push(v);
+                    }
+                    self.mark_t[v as usize] = epoch;
+                    self.dist_t[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+
+        // s-side: upward Dijkstra that also traverses the core; every
+        // settled vertex is checked against the t-side cloud.
+        let mut best = INF;
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+        self.dist_s[s as usize] = 0;
+        self.mark_s[s as usize] = epoch;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > self.dist_s[u as usize] {
+                continue;
+            }
+            if d >= best {
+                continue; // cannot improve the meeting point
+            }
+            if self.mark_t[u as usize] == epoch {
+                let cand = d + self.dist_t[u as usize];
+                if cand < best {
+                    best = cand;
+                }
+            }
+            for (v, w) in self.index.edges(u) {
+                let nd = d + w;
+                if self.mark_s[v as usize] != epoch || nd < self.dist_s[v as usize] {
+                    self.mark_s[v as usize] = epoch;
+                    self.dist_s[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        (best != INF).then_some(best)
+    }
+}
+
+impl DistanceOracle for IslOracle {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.query(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "IS-L"
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.index_bytes()
+    }
+
+    fn avg_label_entries(&self) -> f64 {
+        self.index.avg_label_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::{generate, traversal};
+
+    fn check_exact(g: &CsrGraph, config: IslConfig, sources: &[u32]) {
+        let (idx, _) = IslIndex::build(g, config).unwrap();
+        let mut oracle = IslOracle::new(idx);
+        for &s in sources {
+            let truth = traversal::bfs_distances(g, s);
+            for t in g.vertices() {
+                let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                assert_eq!(oracle.query(s, t), expect, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = generate::erdos_renyi(80, 160, seed);
+            check_exact(&g, IslConfig::default(), &[0, 11, 42, 79]);
+        }
+        let g = generate::barabasi_albert(100, 3, 5);
+        check_exact(&g, IslConfig::default(), &[0, 50, 99]);
+    }
+
+    #[test]
+    fn exact_on_structured_graphs() {
+        check_exact(&generate::grid(7, 8), IslConfig::default(), &[0, 27, 55]);
+        check_exact(&generate::cycle(30), IslConfig::default(), &[0, 7]);
+        check_exact(&generate::path(25), IslConfig::default(), &[0, 12, 24]);
+        check_exact(&generate::star(20), IslConfig::default(), &[0, 5]);
+    }
+
+    #[test]
+    fn exact_with_deep_hierarchy() {
+        // Enough levels to peel everything: the core empties and queries
+        // must still meet below it.
+        let g = generate::random_tree(60, 3);
+        check_exact(&g, IslConfig { levels: 50, max_is_degree: 64 }, &[0, 30, 59]);
+    }
+
+    #[test]
+    fn exact_on_disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (idx, _) = IslIndex::build(&g, IslConfig::default()).unwrap();
+        let mut oracle = IslOracle::new(idx);
+        assert_eq!(oracle.query(0, 2), Some(2));
+        assert_eq!(oracle.query(0, 3), None);
+        assert_eq!(oracle.query(5, 5), Some(0));
+    }
+
+    #[test]
+    fn peeling_shrinks_the_core() {
+        let g = generate::barabasi_albert(300, 3, 7);
+        let (idx, _) = IslIndex::build(&g, IslConfig::default()).unwrap();
+        assert!(idx.core_size() < 300 / 2, "core {} of 300", idx.core_size());
+        assert!(idx.removed_entries() > 0);
+        assert!(idx.avg_label_entries() > 0.0);
+        // Levels are 1..=k or core.
+        for v in g.vertices() {
+            if let Some(l) = idx.removal_level(v) {
+                assert!((1..=6).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn upward_edges_point_to_higher_levels() {
+        let g = generate::erdos_renyi(120, 300, 9);
+        let (idx, _) = IslIndex::build(&g, IslConfig::default()).unwrap();
+        for v in g.vertices() {
+            if let Some(lv) = idx.removal_level(v) {
+                for (u, _) in idx.edges(v) {
+                    let lu = idx.level[u as usize];
+                    assert!(lu > lv, "edge {v}(level {lv}) -> {u}(level {lu}) not upward");
+                }
+            } else {
+                for (u, _) in idx.edges(v) {
+                    assert!(idx.is_core(u), "core vertex {v} linked to removed {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_metadata() {
+        let g = generate::barabasi_albert(80, 3, 2);
+        let (idx, _) = IslIndex::build(&g, IslConfig::default()).unwrap();
+        let mut oracle = IslOracle::new(idx);
+        assert_eq!(oracle.name(), "IS-L");
+        assert!(oracle.index_bytes() > 0);
+        assert_eq!(DistanceOracle::distance(&mut oracle, 2, 2), Some(0));
+    }
+}

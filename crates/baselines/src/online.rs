@@ -1,0 +1,130 @@
+//! Index-free online searches: BFS, bidirectional BFS ("Bi-BFS" in
+//! Table 2), and Dijkstra on unit weights (Figure 1(a)'s "Dijkstra").
+//!
+//! These answer queries with zero preprocessing and zero index space, at the
+//! cost of visiting a large fraction of the graph per query — the paper
+//! reports hundreds of milliseconds per Bi-BFS query on its billion-scale
+//! networks, which is what the labelling methods exist to beat.
+
+use hcl_graph::oracle::DistanceOracle;
+use hcl_graph::{CsrGraph, SearchSpace, VertexId, WeightedGraph, WeightedGraphBuilder};
+
+/// Unidirectional BFS oracle.
+pub struct BfsOracle<'g> {
+    graph: &'g CsrGraph,
+    space: SearchSpace,
+}
+
+impl<'g> BfsOracle<'g> {
+    /// Creates a BFS oracle over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BfsOracle { graph, space: SearchSpace::new(graph.num_vertices()) }
+    }
+}
+
+impl DistanceOracle for BfsOracle<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.space.bfs_distance(self.graph, s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+}
+
+/// Bidirectional BFS oracle (Pohl \[21\]): expands the smaller frontier
+/// until the searches meet.
+pub struct BiBfsOracle<'g> {
+    graph: &'g CsrGraph,
+    space: SearchSpace,
+}
+
+impl<'g> BiBfsOracle<'g> {
+    /// Creates a Bi-BFS oracle over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BiBfsOracle { graph, space: SearchSpace::new(graph.num_vertices()) }
+    }
+}
+
+impl DistanceOracle for BiBfsOracle<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.space.bibfs_distance(self.graph, s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bi-BFS"
+    }
+}
+
+/// Dijkstra oracle. The paper's graphs are unweighted, so this treats every
+/// edge as weight 1; it exists to reproduce the "Dijkstra" series of
+/// Figure 1(a) and as the reference oracle for weighted substrates (IS-L).
+pub struct DijkstraOracle {
+    graph: WeightedGraph,
+}
+
+impl DijkstraOracle {
+    /// Builds a unit-weight copy of `graph` to search on.
+    pub fn from_unit_weights(graph: &CsrGraph) -> Self {
+        let mut b = WeightedGraphBuilder::new(graph.num_vertices());
+        for (u, v) in graph.edges() {
+            b.add_edge(u, v, 1);
+        }
+        DijkstraOracle { graph: b.build() }
+    }
+
+    /// Wraps an existing weighted graph.
+    pub fn new(graph: WeightedGraph) -> Self {
+        DijkstraOracle { graph }
+    }
+}
+
+impl DistanceOracle for DijkstraOracle {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        hcl_graph::traversal::dijkstra_distance(&self.graph, s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "Dijkstra"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::{generate, traversal, INF};
+
+    #[test]
+    fn all_online_oracles_agree_with_reference() {
+        let g = generate::barabasi_albert(120, 3, 17);
+        let mut bfs = BfsOracle::new(&g);
+        let mut bibfs = BiBfsOracle::new(&g);
+        let mut dij = DijkstraOracle::from_unit_weights(&g);
+        for s in [0u32, 17, 119] {
+            let truth = traversal::bfs_distances(&g, s);
+            for t in g.vertices() {
+                let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                assert_eq!(bfs.distance(s, t), expect);
+                assert_eq!(bibfs.distance(s, t), expect);
+                assert_eq!(dij.distance(s, t), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut bibfs = BiBfsOracle::new(&g);
+        assert_eq!(bibfs.distance(0, 3), None);
+        assert_eq!(bibfs.distance(0, 1), Some(1));
+    }
+
+    #[test]
+    fn names_and_zero_index_size() {
+        let g = generate::path(3);
+        assert_eq!(BfsOracle::new(&g).name(), "BFS");
+        assert_eq!(BiBfsOracle::new(&g).name(), "Bi-BFS");
+        assert_eq!(DijkstraOracle::from_unit_weights(&g).name(), "Dijkstra");
+        assert_eq!(BiBfsOracle::new(&g).index_bytes(), 0);
+    }
+}

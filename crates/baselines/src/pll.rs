@@ -1,0 +1,466 @@
+//! Pruned Landmark Labelling (Akiba, Iwata, Yoshida — SIGMOD 2013), the
+//! paper's "PLL" baseline \[3\].
+//!
+//! PLL builds a full 2-hop cover: a pruned BFS is run from *every* vertex in
+//! decreasing-degree order, and a vertex `u` visited at distance `d` from
+//! root `v_k` is labelled `(v_k, d)` unless the partial index built so far
+//! already proves `d(v_k, u) <= d`, in which case the whole subtree is
+//! pruned. Queries are pure label merges — no graph traversal — which makes
+//! PLL the query-time gold standard but also the reason its index dwarfs the
+//! highway cover labelling (Table 3) and its construction DNFs on half the
+//! paper's datasets (Table 2).
+//!
+//! The first [`PllConfig::num_bp_roots`] vertices in the order become
+//! *bit-parallel* roots (§4.2 of the PLL paper, §5.1 of the EDBT paper):
+//! they get a [`BpTree`] each instead of normal labels, covering the root
+//! and up to 64 of its neighbours with two `u64` masks per vertex.
+//!
+//! Unlike the highway cover labelling, the result is **order-dependent**:
+//! Figure 4 of the EDBT paper shows the same three landmarks producing
+//! labellings of size 25 or 30 depending on the order, which
+//! [`PllIndex::build_with_order`] reproduces in this crate's tests.
+
+use crate::bitparallel::BpTree;
+use crate::BaselineError;
+use hcl_graph::oracle::DistanceOracle;
+use hcl_graph::{order, CsrGraph, VertexId, INF};
+use std::time::{Duration, Instant};
+
+const UNSET16: u16 = u16::MAX;
+
+/// Tuning knobs for PLL construction.
+#[derive(Clone, Copy, Debug)]
+pub struct PllConfig {
+    /// Number of bit-parallel roots (the EDBT paper runs the authors' code
+    /// with 50).
+    pub num_bp_roots: usize,
+    /// Neighbours covered per bit-parallel root (<= 64).
+    pub bp_neighbors: usize,
+}
+
+impl Default for PllConfig {
+    fn default() -> Self {
+        PllConfig { num_bp_roots: 16, bp_neighbors: 64 }
+    }
+}
+
+/// Construction statistics (the "LS"/"ET" counters of Figures 3–4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PllStats {
+    /// Wall-clock construction time.
+    pub duration: Duration,
+    /// Neighbour examinations across all pruned BFSs.
+    pub edges_traversed: u64,
+    /// Label entries created.
+    pub labels_added: u64,
+}
+
+/// A pruned landmark labelling index.
+#[derive(Clone, Debug)]
+pub struct PllIndex {
+    /// BFS roots in processing order (`rank -> vertex`).
+    roots: Vec<VertexId>,
+    offsets: Vec<u32>,
+    /// Hub ranks per vertex, ascending (so two labels merge in one pass).
+    hubs: Vec<u32>,
+    dists: Vec<u16>,
+    bp: Vec<BpTree>,
+    complete: bool,
+}
+
+impl PllIndex {
+    /// Builds the full, exact index: every vertex is processed in
+    /// decreasing-degree order (ties by id), as in the original paper.
+    pub fn build(g: &CsrGraph, config: PllConfig) -> Result<(Self, PllStats), BaselineError> {
+        let ord = order::degree_descending(g);
+        Self::build_inner(g, &ord, config, true)
+    }
+
+    /// Builds a *partial* labelling from an explicit root order — the
+    /// Figure 4 experiment (pruned BFSs from a handful of landmarks in a
+    /// given order). Queries on a partial index are upper bounds only, so
+    /// [`PllIndex::query`] is exact only for [`build`](Self::build).
+    pub fn build_with_order(
+        g: &CsrGraph,
+        root_order: &[VertexId],
+        config: PllConfig,
+    ) -> Result<(Self, PllStats), BaselineError> {
+        let n = g.num_vertices();
+        let mut seen = vec![false; n];
+        for &v in root_order {
+            if (v as usize) >= n {
+                return Err(BaselineError::VertexOutOfRange { vertex: v, n });
+            }
+            if std::mem::replace(&mut seen[v as usize], true) {
+                return Err(BaselineError::DuplicateVertex { vertex: v });
+            }
+        }
+        Self::build_inner(g, root_order, config, root_order.len() == n)
+    }
+
+    fn build_inner(
+        g: &CsrGraph,
+        root_order: &[VertexId],
+        config: PllConfig,
+        complete: bool,
+    ) -> Result<(Self, PllStats), BaselineError> {
+        let start = Instant::now();
+        let n = g.num_vertices();
+        let mut stats = PllStats::default();
+
+        // Bit-parallel roots: the first vertices of the order.
+        let num_bp = config.num_bp_roots.min(root_order.len());
+        let mut used = vec![false; n];
+        let mut bp = Vec::with_capacity(num_bp);
+        for &root in &root_order[..num_bp] {
+            let tree = BpTree::build_top_neighbors(g, root, config.bp_neighbors.min(64));
+            stats.edges_traversed += 2 * g.num_edges() as u64; // full sweep
+            used[root as usize] = true;
+            bp.push(tree);
+        }
+
+        // Normal pruned BFSs.
+        let mut labels: Vec<Vec<(u32, u16)>> = vec![Vec::new(); n];
+        // Hub-rank-indexed distances of the current root's label, O(1) prune
+        // lookups; reset sparsely after each BFS.
+        let mut root_lookup = vec![UNSET16; root_order.len() + 1];
+        let mut visited = vec![0u32; n];
+        let mut epoch = 0u32;
+        let mut frontier: Vec<VertexId> = Vec::new();
+        let mut next: Vec<VertexId> = Vec::new();
+
+        for (k, &root) in root_order.iter().enumerate() {
+            if used[root as usize] {
+                continue;
+            }
+            epoch += 1;
+            let rank = k as u32;
+            for &(h, d) in &labels[root as usize] {
+                root_lookup[h as usize] = d;
+            }
+            root_lookup[k] = 0;
+
+            frontier.clear();
+            frontier.push(root);
+            visited[root as usize] = epoch;
+            let mut d: u32 = 0;
+            while !frontier.is_empty() {
+                next.clear();
+                for &u in frontier.iter() {
+                    // Prune test: does the index built so far already prove
+                    // d(root, u) <= d?
+                    let mut pruned = false;
+                    for tree in &bp {
+                        if tree.bound(root, u) <= d {
+                            pruned = true;
+                            break;
+                        }
+                    }
+                    if !pruned {
+                        for &(h, dh) in &labels[u as usize] {
+                            let dr = root_lookup[h as usize];
+                            if dr != UNSET16 && dr as u32 + dh as u32 <= d {
+                                pruned = true;
+                                break;
+                            }
+                        }
+                    }
+                    if pruned {
+                        continue;
+                    }
+                    let d16 = u16::try_from(d).map_err(|_| BaselineError::DistanceOverflow {
+                        from: root,
+                        to: u,
+                        distance: d,
+                    })?;
+                    labels[u as usize].push((rank, d16));
+                    stats.labels_added += 1;
+                    for &v in g.neighbors(u) {
+                        stats.edges_traversed += 1;
+                        if visited[v as usize] != epoch {
+                            visited[v as usize] = epoch;
+                            next.push(v);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                d += 1;
+            }
+
+            for &(h, _) in &labels[root as usize] {
+                root_lookup[h as usize] = UNSET16;
+            }
+            root_lookup[k] = UNSET16;
+        }
+
+        // Flatten into CSR arrays (per-vertex lists are already
+        // rank-ascending because roots were processed in rank order).
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut hubs = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for l in &labels {
+            for &(h, dd) in l {
+                hubs.push(h);
+                dists.push(dd);
+            }
+            offsets.push(hubs.len() as u32);
+        }
+
+        stats.duration = start.elapsed();
+        Ok((
+            PllIndex { roots: root_order.to_vec(), offsets, hubs, dists, bp, complete },
+            stats,
+        ))
+    }
+
+    /// Whether this index was built over every vertex (exact queries).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Distance between `s` and `t` from the index alone. Exact for
+    /// complete builds; an upper bound (possibly `None`) for partial ones.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        let mut best = INF;
+        for tree in &self.bp {
+            let b = tree.bound(s, t);
+            if b < best {
+                best = b;
+            }
+        }
+        let (ls, ld) = self.label(s);
+        let (ts, td) = self.label(t);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ls.len() && j < ts.len() {
+            match ls[i].cmp(&ts[j]) {
+                std::cmp::Ordering::Equal => {
+                    let cand = ld[i] as u32 + td[j] as u32;
+                    if cand < best {
+                        best = cand;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        (best != INF).then_some(best)
+    }
+
+    fn label(&self, v: VertexId) -> (&[u32], &[u16]) {
+        let v = v as usize;
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+        (&self.hubs[range.clone()], &self.dists[range])
+    }
+
+    /// Label of `v` as `(root vertex, distance)` pairs (for inspection and
+    /// the Figure 4 reproduction).
+    pub fn label_of(&self, v: VertexId) -> Vec<(VertexId, u32)> {
+        let (hubs, dists) = self.label(v);
+        hubs.iter().zip(dists).map(|(&h, &d)| (self.roots[h as usize], d as u32)).collect()
+    }
+
+    /// Total normal label entries (the "LS" counter of Figure 4).
+    pub fn total_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Average normal entries per vertex (Table 2's ALS, first addend).
+    pub fn avg_label_size(&self) -> f64 {
+        let n = self.offsets.len() - 1;
+        if n == 0 {
+            0.0
+        } else {
+            self.hubs.len() as f64 / n as f64
+        }
+    }
+
+    /// Number of bit-parallel trees (Table 2's ALS, second addend).
+    pub fn num_bp_trees(&self) -> usize {
+        self.bp.len()
+    }
+
+    /// Index size in bytes under the paper's accounting: 32-bit hub + 8-bit
+    /// distance per normal entry, plus the bit-parallel arrays.
+    pub fn index_bytes(&self) -> usize {
+        self.hubs.len() * 5
+            + self.offsets.len() * 4
+            + self.bp.iter().map(BpTree::memory_bytes).sum::<usize>()
+    }
+}
+
+/// [`DistanceOracle`] adapter for a complete PLL index.
+pub struct PllOracle {
+    index: PllIndex,
+}
+
+impl PllOracle {
+    /// Wraps a complete index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is partial (its answers would not be exact).
+    pub fn new(index: PllIndex) -> Self {
+        assert!(index.is_complete(), "PllOracle requires a complete index");
+        PllOracle { index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &PllIndex {
+        &self.index
+    }
+}
+
+impl DistanceOracle for PllOracle {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.index.query(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "PLL"
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.index_bytes()
+    }
+
+    fn avg_label_entries(&self) -> f64 {
+        self.index.avg_label_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::fixture;
+    use hcl_graph::{generate, traversal};
+
+    fn no_bp() -> PllConfig {
+        PllConfig { num_bp_roots: 0, bp_neighbors: 0 }
+    }
+
+    #[test]
+    fn figure_4_order_dependence() {
+        let g = fixture::paper_graph();
+        let o159: Vec<u32> =
+            [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o951: Vec<u32> =
+            [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let (a, _) = PllIndex::build_with_order(&g, &o159, no_bp()).unwrap();
+        let (b, _) = PllIndex::build_with_order(&g, &o951, no_bp()).unwrap();
+        // Figure 4: LS = 25 under <1,5,9>, LS = 30 under <9,5,1> — and both
+        // exceed the highway cover labelling's 13 (Corollary 3.14).
+        assert_eq!(a.total_entries(), 25);
+        assert_eq!(b.total_entries(), 30);
+    }
+
+    #[test]
+    fn figure_4_vertex_11_labels() {
+        // Example 3.10: vertex 11's label has one entry under <1,5,9> but
+        // three under <9,5,1>.
+        let g = fixture::paper_graph();
+        let v11 = fixture::paper_vertex(11);
+        let o159: Vec<u32> =
+            [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o951: Vec<u32> =
+            [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let (a, _) = PllIndex::build_with_order(&g, &o159, no_bp()).unwrap();
+        let (b, _) = PllIndex::build_with_order(&g, &o951, no_bp()).unwrap();
+        assert_eq!(a.label_of(v11), vec![(fixture::paper_vertex(1), 1)]);
+        let lb = b.label_of(v11);
+        assert_eq!(lb.len(), 3, "{lb:?}");
+    }
+
+    #[test]
+    fn exact_without_bp_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = generate::erdos_renyi(80, 170, seed);
+            let (idx, _) = PllIndex::build(&g, no_bp()).unwrap();
+            assert!(idx.is_complete());
+            for s in g.vertices().step_by(5) {
+                let truth = traversal::bfs_distances(&g, s);
+                for t in g.vertices() {
+                    let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                    assert_eq!(idx.query(s, t), expect, "seed {seed} {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_with_bp_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = generate::barabasi_albert(120, 3, seed);
+            let (idx, _) =
+                PllIndex::build(&g, PllConfig { num_bp_roots: 4, bp_neighbors: 64 }).unwrap();
+            for s in g.vertices().step_by(7) {
+                let truth = traversal::bfs_distances(&g, s);
+                for t in g.vertices() {
+                    let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                    assert_eq!(idx.query(s, t), expect, "seed {seed} {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bp_roots_shrink_normal_labels() {
+        let g = generate::barabasi_albert(300, 4, 5);
+        let (plain, _) = PllIndex::build(&g, no_bp()).unwrap();
+        let (with_bp, _) =
+            PllIndex::build(&g, PllConfig { num_bp_roots: 8, bp_neighbors: 64 }).unwrap();
+        assert!(with_bp.total_entries() < plain.total_entries());
+        assert_eq!(with_bp.num_bp_trees(), 8);
+    }
+
+    #[test]
+    fn exact_on_disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (idx, _) = PllIndex::build(&g, no_bp()).unwrap();
+        assert_eq!(idx.query(0, 2), Some(2));
+        assert_eq!(idx.query(0, 4), None);
+        assert_eq!(idx.query(5, 5), Some(0));
+        assert_eq!(idx.query(5, 0), None);
+    }
+
+    #[test]
+    fn oracle_adapter() {
+        let g = generate::barabasi_albert(80, 3, 2);
+        let (idx, _) = PllIndex::build(&g, PllConfig::default()).unwrap();
+        let mut oracle = PllOracle::new(idx);
+        assert_eq!(oracle.name(), "PLL");
+        assert!(oracle.index_bytes() > 0);
+        let mut bibfs = crate::online::BiBfsOracle::new(&g);
+        for (s, t) in [(0u32, 79u32), (5, 44), (12, 12)] {
+            assert_eq!(oracle.distance(s, t), bibfs.distance(s, t));
+        }
+    }
+
+    #[test]
+    fn partial_index_rejected_by_oracle() {
+        let g = generate::cycle(6);
+        let (idx, _) = PllIndex::build_with_order(&g, &[0], no_bp()).unwrap();
+        assert!(!idx.is_complete());
+        let r = std::panic::catch_unwind(|| PllOracle::new(idx));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn build_with_order_validates() {
+        let g = generate::cycle(4);
+        assert!(matches!(
+            PllIndex::build_with_order(&g, &[9], no_bp()),
+            Err(BaselineError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            PllIndex::build_with_order(&g, &[1, 1], no_bp()),
+            Err(BaselineError::DuplicateVertex { .. })
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: every baseline oracle is exact on arbitrary graphs, and
+//! the bit-parallel masks match their set definitions.
+
+use hcl_baselines::{
+    bitparallel::BpTree, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle,
+    PllConfig, PllIndex,
+};
+use hcl_graph::oracle::DistanceOracle;
+use hcl_graph::{traversal, CsrGraph, INF};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..36).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..110)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+fn truth(g: &CsrGraph) -> Vec<Vec<u32>> {
+    (0..g.num_vertices()).map(|v| traversal::bfs_distances(g, v as u32)).collect()
+}
+
+fn assert_exact(oracle: &mut dyn DistanceOracle, g: &CsrGraph, dist: &[Vec<u32>]) {
+    for s in g.vertices() {
+        for t in g.vertices() {
+            let expect =
+                (dist[s as usize][t as usize] != INF).then_some(dist[s as usize][t as usize]);
+            assert_eq!(oracle.distance(s, t), expect, "{} {s}->{t}", oracle.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pll_exact_with_and_without_bp(g in arbitrary_graph()) {
+        let dist = truth(&g);
+        let (plain, _) =
+            PllIndex::build(&g, PllConfig { num_bp_roots: 0, bp_neighbors: 0 }).unwrap();
+        let mut plain = hcl_baselines::pll::PllOracle::new(plain);
+        assert_exact(&mut plain, &g, &dist);
+        let (bp, _) =
+            PllIndex::build(&g, PllConfig { num_bp_roots: 3, bp_neighbors: 64 }).unwrap();
+        let mut bp = hcl_baselines::pll::PllOracle::new(bp);
+        assert_exact(&mut bp, &g, &dist);
+    }
+
+    #[test]
+    fn fd_exact(g in arbitrary_graph()) {
+        let dist = truth(&g);
+        let (idx, _) = FdIndex::build(
+            &g,
+            FdConfig { num_landmarks: 5, num_bp_trees: 2, bp_neighbors: 64 },
+        )
+        .unwrap();
+        let mut oracle = FdOracle::new(&g, idx);
+        assert_exact(&mut oracle, &g, &dist);
+    }
+
+    #[test]
+    fn isl_exact(g in arbitrary_graph()) {
+        let dist = truth(&g);
+        let (idx, _) =
+            IslIndex::build(&g, IslConfig { levels: 4, max_is_degree: 8 }).unwrap();
+        let mut oracle = IslOracle::new(idx);
+        assert_exact(&mut oracle, &g, &dist);
+    }
+
+    #[test]
+    fn bp_masks_match_definitions(g in arbitrary_graph()) {
+        let root = hcl_graph::order::top_degree(&g, 1)[0];
+        let tree = BpTree::build_top_neighbors(&g, root, 64);
+        let root_dist = traversal::bfs_distances(&g, root);
+        let dist = truth(&g);
+        for v in g.vertices() {
+            match tree.root_distance(v) {
+                None => prop_assert_eq!(root_dist[v as usize], INF),
+                Some(d) => prop_assert_eq!(d, root_dist[v as usize]),
+            }
+            for s in g.vertices() {
+                // The bound must be admissible for every pair.
+                let b = tree.bound(s, v);
+                let d = dist[s as usize][v as usize];
+                if d == INF {
+                    // Bound may still be finite only if both endpoints are
+                    // reachable from the root — impossible when s, v are in
+                    // different components than each other but both touch
+                    // the root's component; reachability from the root
+                    // implies mutual reachability in an undirected graph.
+                    prop_assert_eq!(b, u32::MAX);
+                } else {
+                    prop_assert!(b >= d, "bound {} < dist {} for {}->{}", b, d, s, v);
+                }
+            }
+        }
+    }
+}

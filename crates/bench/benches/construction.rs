@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks: index construction (Table 2 "CT" columns),
+//! including HL vs HL-P parallel speed-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcl_baselines::{FdConfig, FdIndex};
+use hcl_core::HighwayCoverLabelling;
+use hcl_graph::generate;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let g = generate::barabasi_albert(20_000, 8, 42);
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+
+    group.bench_function("HL-sequential", |b| {
+        b.iter(|| black_box(HighwayCoverLabelling::build(&g, &landmarks).unwrap()))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("HL-parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        HighwayCoverLabelling::build_parallel(&g, &landmarks, threads).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("FD", |b| {
+        b.iter(|| black_box(FdIndex::build(&g, FdConfig::default()).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

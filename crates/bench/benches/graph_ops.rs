@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: graph substrate operations underpinning
+//! every method (CSR construction, full BFS, neighbour scans).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcl_graph::{generate, traversal, CsrGraph};
+use std::hint::black_box;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let g = generate::barabasi_albert(20_000, 8, 42);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+
+    group.bench_function("csr-build-160k-edges", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(g.num_vertices(), &edges)))
+    });
+
+    let mut dist = Vec::new();
+    group.bench_function("full-bfs", |b| {
+        b.iter(|| {
+            traversal::bfs_distances_into(&g, 0, &mut dist);
+            black_box(dist[19_999])
+        })
+    });
+
+    group.bench_function("neighbor-scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.vertices() {
+                for &u in g.neighbors(v) {
+                    acc = acc.wrapping_add(u as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: label-level operations — the Equation 4
+//! upper bound with and without the Lemma 5.1 merge (§5.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_graph::generate;
+use hcl_workloads::queries::sample_pairs;
+use std::hint::black_box;
+
+fn bench_label_ops(c: &mut Criterion) {
+    let g = generate::barabasi_albert(20_000, 8, 42);
+    let landmarks = hcl_graph::order::top_degree(&g, 50);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let pairs = sample_pairs(g.num_vertices(), 4_096, 11);
+    let reference = labelling.clone();
+    let mut oracle = HlOracle::new(&g, labelling);
+
+    let mut group = c.benchmark_group("upper_bound");
+    let mut i = 0usize;
+    group.bench_function("eq4-cross-product", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(reference.upper_bound(s, t))
+        })
+    });
+    let mut i = 0usize;
+    group.bench_function("lemma-5.1-merge", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(oracle.upper_bound(s, t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_ops);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: per-method query latency (the Table 2 "QT"
+//! columns as statistically robust measurements on one mid-size stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcl_baselines::pll::PllOracle;
+use hcl_baselines::{BiBfsOracle, FdConfig, FdIndex, FdOracle, PllConfig, PllIndex};
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_graph::{generate, DistanceOracle};
+use hcl_workloads::queries::sample_pairs;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let g = generate::barabasi_albert(20_000, 8, 42);
+    let pairs = sample_pairs(g.num_vertices(), 4_096, 7);
+    let mut group = c.benchmark_group("query");
+
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let mut hl = HlOracle::new(&g, labelling);
+    let mut i = 0usize;
+    group.bench_function("HL", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(hl.distance(s, t))
+        })
+    });
+
+    let (fd_index, _) = FdIndex::build(&g, FdConfig::default()).unwrap();
+    let mut fd = FdOracle::new(&g, fd_index);
+    let mut i = 0usize;
+    group.bench_function("FD", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(fd.distance(s, t))
+        })
+    });
+
+    let (pll_index, _) =
+        PllIndex::build(&g, PllConfig { num_bp_roots: 16, bp_neighbors: 64 }).unwrap();
+    let mut pll = PllOracle::new(pll_index);
+    let mut i = 0usize;
+    group.bench_function("PLL", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(pll.distance(s, t))
+        })
+    });
+
+    let mut bibfs = BiBfsOracle::new(&g);
+    let mut i = 0usize;
+    group.bench_function("Bi-BFS", |b| {
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            black_box(bibfs.distance(s, t))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

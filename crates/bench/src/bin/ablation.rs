@@ -1,0 +1,4 @@
+//! Extra ablations: landmark strategies, Lemma 5.1, FD BP trees, HL-P scaling.
+fn main() {
+    hcl_bench::experiments::run_ablation();
+}

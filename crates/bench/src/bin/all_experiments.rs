@@ -1,0 +1,21 @@
+//! Runs every table and figure in sequence (the full §6 evaluation).
+fn main() {
+    let sections: &[(&str, fn())] = &[
+        ("paper_example", hcl_bench::experiments::run_paper_example as fn()),
+        ("table1", hcl_bench::experiments::run_table1),
+        ("fig6", hcl_bench::experiments::run_fig6),
+        ("table2", hcl_bench::experiments::run_table2),
+        ("table3", hcl_bench::experiments::run_table3),
+        ("fig1", || hcl_bench::experiments::run_fig1(None)),
+        ("fig7", || hcl_bench::experiments::run_fig7(None)),
+        ("fig8", hcl_bench::experiments::run_fig8),
+        ("fig9", hcl_bench::experiments::run_fig9),
+        ("ablation", hcl_bench::experiments::run_ablation),
+    ];
+    for (name, run) in sections {
+        println!("\n######## {name} ########\n");
+        let start = std::time::Instant::now();
+        run();
+        println!("\n[{name} finished in {:?}]", start.elapsed());
+    }
+}

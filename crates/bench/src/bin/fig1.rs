@@ -1,0 +1,5 @@
+//! Regenerates Figure 1. Optional arg: `a`, `b` or `c` for one panel.
+fn main() {
+    let arg = std::env::args().nth(1);
+    hcl_bench::experiments::run_fig1(arg.as_deref());
+}

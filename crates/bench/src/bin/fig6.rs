@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (distance distributions).
+fn main() {
+    hcl_bench::experiments::run_fig6();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7. Optional arg: `ct` (a-d) or `qt` (e-g).
+fn main() {
+    let arg = std::env::args().nth(1);
+    hcl_bench::experiments::run_fig7(arg.as_deref());
+}

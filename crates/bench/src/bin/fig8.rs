@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (labelling size vs landmark count).
+fn main() {
+    hcl_bench::experiments::run_fig8();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (pair coverage ratios).
+fn main() {
+    hcl_bench::experiments::run_fig9();
+}

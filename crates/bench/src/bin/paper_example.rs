@@ -1,0 +1,5 @@
+//! Replays the paper's 14-vertex worked example (Figures 2-5) and asserts
+//! its numbers.
+fn main() {
+    hcl_bench::experiments::run_paper_example();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (dataset statistics). `cargo run --release --bin table1`
+fn main() {
+    hcl_bench::experiments::run_table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (construction / query times, label sizes).
+fn main() {
+    hcl_bench::experiments::run_table2();
+}

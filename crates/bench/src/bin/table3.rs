@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (labelling sizes).
+fn main() {
+    hcl_bench::experiments::run_table3();
+}

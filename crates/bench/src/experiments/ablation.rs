@@ -1,0 +1,259 @@
+//! Ablations beyond the paper's figures, probing the design choices that
+//! DESIGN.md calls out: landmark selection (the paper's §8 future work),
+//! the Lemma 5.1 upper-bound optimisation, FD's bit-parallel trees, and
+//! HL-P thread scaling.
+
+use crate::harness::*;
+use hcl_baselines::{FdConfig, FdIndex};
+use hcl_core::landmarks::LandmarkStrategy;
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_workloads::queries::sample_pairs;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Runs all four ablations over a subset of datasets.
+pub fn run_ablation() {
+    let datasets = prepare_datasets();
+    // Ablations are method-internal; three representative stand-ins suffice.
+    let picks: Vec<&PreparedDataset> = datasets
+        .iter()
+        .filter(|d| ["Skitter", "LiveJournal", "Indochina"].contains(&d.spec.name))
+        .collect();
+    let picks = if picks.is_empty() { datasets.iter().take(3).collect() } else { picks };
+
+    landmark_strategies(&picks);
+    println!();
+    lemma_5_1(&picks);
+    println!();
+    fd_bp_trees(&picks);
+    println!();
+    thread_scaling(&picks);
+    println!();
+    pll_order_dependence(&picks);
+    println!();
+    bound_as_estimator(&picks);
+}
+
+/// Figure 4 at dataset scale: the same landmark set under different PLL
+/// orders vs the order-invariant highway cover labelling.
+fn pll_order_dependence(picks: &[&PreparedDataset]) {
+    println!("== Ablation E: ordering sensitivity (20 landmarks, partial PLL vs HL) ==\n");
+    let no_bp = hcl_baselines::PllConfig { num_bp_roots: 0, bp_neighbors: 0 };
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let landmarks = default_landmarks(g, 20);
+        let mut reversed = landmarks.clone();
+        reversed.reverse();
+        let (hl, _) = HighwayCoverLabelling::build(g, &landmarks).unwrap();
+        let (pll_fwd, _) =
+            hcl_baselines::PllIndex::build_with_order(g, &landmarks, no_bp).unwrap();
+        let (pll_rev, _) =
+            hcl_baselines::PllIndex::build_with_order(g, &reversed, no_bp).unwrap();
+        rows.push(vec![
+            prepared.spec.name.to_string(),
+            hl.labels().total_entries().to_string(),
+            pll_fwd.total_entries().to_string(),
+            pll_rev.total_entries().to_string(),
+            format!(
+                "{:.2}x",
+                pll_fwd.total_entries().max(pll_rev.total_entries()) as f64
+                    / hl.labels().total_entries() as f64
+            ),
+        ]);
+    }
+    print_table(
+        &["Dataset", "HL entries", "PLL desc-degree", "PLL asc-degree", "worst/HL"],
+        &rows,
+    );
+    println!("\n(HL entries are identical under any order — Lemma 3.11; PLL's are not.)");
+}
+
+/// How good is the label upper bound alone as an *approximate* oracle
+/// (skipping Algorithm 2 entirely)? Relevant to landmark-estimation
+/// literature the paper cites ([22], [29]).
+fn bound_as_estimator(picks: &[&PreparedDataset]) {
+    println!("== Ablation F: upper bound as an approximate distance (no bounded search) ==\n");
+    let queries = env_usize("HCL_ABLATION_QUERIES", 20_000);
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let pairs = sample_pairs(g.num_vertices(), queries, 0xAB6);
+        let landmarks = default_landmarks(g, 20);
+        let (labelling, _) = HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
+        let mut oracle = HlOracle::new(g, labelling);
+        let mut err_sum = 0.0f64;
+        let mut exact_hits = 0usize;
+        let mut counted = 0usize;
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &(s, t) in &pairs {
+            acc = acc.wrapping_add(oracle.upper_bound(s, t) as u64);
+        }
+        let bound_time = start.elapsed();
+        let start = Instant::now();
+        for &(s, t) in &pairs {
+            if let Some(d) = oracle.query(s, t) {
+                acc = acc.wrapping_add(d as u64);
+            }
+        }
+        let exact_time = start.elapsed();
+        for &(s, t) in pairs.iter().take(5_000) {
+            let ub = oracle.upper_bound(s, t);
+            if let Some(d) = oracle.query(s, t) {
+                if d > 0 {
+                    counted += 1;
+                    err_sum += (ub - d) as f64 / d as f64;
+                    if ub == d {
+                        exact_hits += 1;
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+        rows.push(vec![
+            prepared.spec.name.to_string(),
+            format!("{:.3}", bound_time.as_secs_f64() * 1e6 / pairs.len() as f64),
+            format!("{:.3}", exact_time.as_secs_f64() * 1e6 / pairs.len() as f64),
+            format!("{:.3}", exact_hits as f64 / counted.max(1) as f64),
+            format!("{:.4}", err_sum / counted.max(1) as f64),
+        ]);
+    }
+    print_table(
+        &["Dataset", "bound-only [µs]", "exact [µs]", "exact fraction", "mean rel. error"],
+        &rows,
+    );
+}
+
+/// §8 future work: how much does landmark selection matter?
+fn landmark_strategies(picks: &[&PreparedDataset]) {
+    println!("== Ablation A: landmark selection strategy (k = 20) ==\n");
+    let queries = env_usize("HCL_ABLATION_QUERIES", 20_000);
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let pairs = sample_pairs(g.num_vertices(), queries, 0xAB1);
+        for strategy in [
+            LandmarkStrategy::TopDegree(20),
+            LandmarkStrategy::TopTwoHopDegree(20),
+            LandmarkStrategy::Random { k: 20, seed: 11 },
+        ] {
+            let landmarks = strategy.select(g);
+            let (labelling, stats) =
+                HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
+            let entries = labelling.labels().total_entries();
+            let mut oracle = HlOracle::new(g, labelling);
+            let (qt, _) = time_queries(&mut oracle, &pairs);
+            let covered = pairs
+                .iter()
+                .take(2_000)
+                .filter(|&&(s, t)| oracle.pair_covered(s, t))
+                .count();
+            rows.push(vec![
+                prepared.spec.name.to_string(),
+                strategy.name().to_string(),
+                fmt_ct(Some(stats.duration)),
+                entries.to_string(),
+                format!("{:.3}", covered as f64 / 2_000.0),
+                fmt_qt(Some(qt)),
+            ]);
+        }
+    }
+    print_table(&["Dataset", "Strategy", "CT [s]", "entries", "coverage", "QT [ms]"], &rows);
+    println!("\n(top-degree is the paper's choice; random shows why selection matters.)");
+}
+
+/// §5.3: the Lemma 5.1 optimised upper bound vs the plain Equation 4 loop.
+fn lemma_5_1(picks: &[&PreparedDataset]) {
+    println!("== Ablation B: Lemma 5.1 upper-bound optimisation ==\n");
+    let reps = env_usize("HCL_ABLATION_QUERIES", 20_000);
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let pairs = sample_pairs(g.num_vertices(), reps, 0xAB2);
+        let landmarks = default_landmarks(g, 20);
+        let (labelling, _) = HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
+        let reference = labelling.clone();
+        let mut oracle = HlOracle::new(g, labelling);
+
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &(s, t) in &pairs {
+            acc = acc.wrapping_add(oracle.upper_bound(s, t) as u64);
+        }
+        let merged = start.elapsed();
+
+        let start = Instant::now();
+        let mut acc2 = 0u64;
+        for &(s, t) in &pairs {
+            acc2 = acc2.wrapping_add(reference.upper_bound(s, t) as u64);
+        }
+        let naive = start.elapsed();
+        assert_eq!(acc, acc2, "optimised and naive bounds must agree");
+
+        rows.push(vec![
+            prepared.spec.name.to_string(),
+            format!("{:.3}", naive.as_secs_f64() * 1e6 / reps as f64),
+            format!("{:.3}", merged.as_secs_f64() * 1e6 / reps as f64),
+            format!("{:.2}x", naive.as_secs_f64() / merged.as_secs_f64().max(1e-12)),
+        ]);
+    }
+    print_table(&["Dataset", "Eq.4 loop [µs]", "Lemma 5.1 merge [µs]", "speedup"], &rows);
+}
+
+/// FD's bit-parallel trees: bound tightness and query time per tree count.
+fn fd_bp_trees(picks: &[&PreparedDataset]) {
+    println!("== Ablation C: FD bit-parallel trees ==\n");
+    let queries = env_usize("HCL_ABLATION_QUERIES", 20_000);
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let pairs = sample_pairs(g.num_vertices(), queries, 0xAB3);
+        for bp in [0usize, 4, 8] {
+            let cfg = FdConfig { num_landmarks: 20, num_bp_trees: bp, bp_neighbors: 64 };
+            let (idx, ct) = FdIndex::build(g, cfg).unwrap();
+            let bytes = idx.index_bytes();
+            let mut oracle = hcl_baselines::FdOracle::new(g, idx);
+            let (qt, _) = time_queries(&mut oracle, &pairs);
+            rows.push(vec![
+                prepared.spec.name.to_string(),
+                bp.to_string(),
+                fmt_ct(Some(ct)),
+                format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+                fmt_qt(Some(qt)),
+            ]);
+        }
+    }
+    print_table(&["Dataset", "BP trees", "CT [s]", "Index [MB]", "QT [ms]"], &rows);
+}
+
+/// HL-P speed-up over worker threads (§5.1, Table 2's HL-P vs HL).
+fn thread_scaling(picks: &[&PreparedDataset]) {
+    println!("== Ablation D: HL-P thread scaling (k = 50 landmarks) ==\n");
+    let mut rows = Vec::new();
+    for prepared in picks {
+        let g = &prepared.graph;
+        let landmarks = default_landmarks(g, 50);
+        let mut row = vec![prepared.spec.name.to_string()];
+        let mut base = None;
+        for threads in [1usize, 2, 4, 8] {
+            let (_, stats) =
+                HighwayCoverLabelling::build_parallel(g, &landmarks, threads).unwrap();
+            let secs = stats.duration.as_secs_f64();
+            if threads == 1 {
+                base = Some(secs);
+                row.push(format!("{secs:.3}s"));
+            } else {
+                row.push(format!(
+                    "{secs:.3}s ({:.1}x)",
+                    base.unwrap_or(secs) / secs.max(1e-12)
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(&["Dataset", "1 thread", "2 threads", "4 threads", "8 threads"], &rows);
+}

@@ -1,0 +1,12 @@
+//! Implementations of every experiment, one public `run_*` function per
+//! paper artefact. The `src/bin/*` binaries are thin wrappers.
+
+pub mod ablation;
+pub mod example;
+pub mod figures;
+pub mod tables;
+
+pub use ablation::run_ablation;
+pub use example::run_paper_example;
+pub use figures::{run_fig1, run_fig6, run_fig7, run_fig8, run_fig9};
+pub use tables::{run_table1, run_table2, run_table3};

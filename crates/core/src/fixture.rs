@@ -1,0 +1,132 @@
+//! The paper's worked example graph (Figure 2), reconstructed from the
+//! constraints in Examples 3.3–4.3 and Figures 2–4.
+//!
+//! The reconstruction is validated by the fact that it reproduces *every*
+//! number the paper reports for it:
+//!
+//! * the label table of Figure 2(c) entry-for-entry, with total labelling
+//!   size LS = 13 (Figure 3);
+//! * the highway distances used in Example 4.2 (δH(5,1) = δH(9,1) = 1);
+//! * the upper bound d⊤(2, 11) = 3 and exact distance 3 (Examples 4.2/4.3);
+//! * the pruned-landmark-labelling sizes of Figure 4: LS = 25 under the
+//!   landmark order ⟨1, 5, 9⟩ and LS = 30 under ⟨9, 5, 1⟩.
+//!
+//! Paper vertex ids are 1-based; this module exposes the same graph 0-based
+//! via [`paper_vertex`].
+
+use hcl_graph::{CsrGraph, VertexId};
+
+/// Number of vertices in the example graph.
+pub const PAPER_N: usize = 14;
+
+/// Maps a 1-based paper vertex id to the 0-based id used here.
+#[inline]
+pub fn paper_vertex(paper_id: u32) -> VertexId {
+    assert!((1..=PAPER_N as u32).contains(&paper_id), "paper ids are 1..=14");
+    paper_id - 1
+}
+
+/// Edge list of Figure 2(a), in 1-based paper ids.
+pub const PAPER_EDGES: [(u32, u32); 21] = [
+    (1, 4),
+    (1, 5),
+    (1, 9),
+    (1, 11),
+    (1, 13),
+    (1, 14),
+    (5, 2),
+    (5, 3),
+    (5, 8),
+    (5, 12),
+    (9, 6),
+    (9, 7),
+    (9, 10),
+    (2, 7),
+    (2, 12),
+    (2, 14),
+    (4, 11),
+    (4, 13),
+    (10, 11),
+    (3, 8),
+    (6, 7),
+];
+
+/// Builds the example graph of Figure 2(a) (0-based ids).
+pub fn paper_graph() -> CsrGraph {
+    let edges: Vec<(VertexId, VertexId)> =
+        PAPER_EDGES.iter().map(|&(u, v)| (paper_vertex(u), paper_vertex(v))).collect();
+    CsrGraph::from_edges(PAPER_N, &edges)
+}
+
+/// The landmark set of Figure 2(b): vertices 1, 5 and 9 (paper ids).
+pub fn paper_landmarks() -> Vec<VertexId> {
+    vec![paper_vertex(1), paper_vertex(5), paper_vertex(9)]
+}
+
+/// The expected highway cover labelling of Figure 2(c), as
+/// `(vertex, landmark, distance)` triples in 0-based ids.
+pub fn paper_expected_labels() -> Vec<(VertexId, VertexId, u32)> {
+    let raw: [(u32, u32, u32); 13] = [
+        (2, 5, 1),
+        (2, 9, 2),
+        (3, 5, 1),
+        (4, 1, 1),
+        (6, 9, 1),
+        (7, 5, 2),
+        (7, 9, 1),
+        (8, 5, 1),
+        (10, 9, 1),
+        (11, 1, 1),
+        (12, 5, 1),
+        (13, 1, 1),
+        (14, 1, 1),
+    ];
+    raw.iter().map(|&(v, r, d)| (paper_vertex(v), paper_vertex(r), d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::connectivity;
+
+    #[test]
+    fn graph_shape() {
+        let g = paper_graph();
+        assert_eq!(g.num_vertices(), 14);
+        assert_eq!(g.num_edges(), 21);
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn landmark_degrees_are_hubs() {
+        // The figure picks high-degree vertices as landmarks: each landmark
+        // has degree >= 4 and the two biggest hubs (1 and 5) are landmarks.
+        let g = paper_graph();
+        for r in paper_landmarks() {
+            assert!(g.degree(r) >= 4, "landmark {r} has degree {}", g.degree(r));
+        }
+        let top2 = hcl_graph::order::top_degree(&g, 2);
+        assert_eq!(top2, vec![paper_vertex(1), paper_vertex(5)]);
+    }
+
+    #[test]
+    fn key_distances_from_examples() {
+        // Example 3.3: <11,1,4> is the 1-constrained shortest path between
+        // 11 and 4, and the direct edge (11,4) exists.
+        let g = paper_graph();
+        assert!(g.has_edge(paper_vertex(11), paper_vertex(4)));
+        assert!(g.has_edge(paper_vertex(11), paper_vertex(1)));
+        assert!(g.has_edge(paper_vertex(1), paper_vertex(4)));
+        // Example 4.3: in G \ {1,5,9}, N(2) = {7, 12, 14} and N(11) = {4, 10}.
+        let spars_n = |v: u32| -> Vec<u32> {
+            g.neighbors(paper_vertex(v))
+                .iter()
+                .copied()
+                .filter(|&u| ![paper_vertex(1), paper_vertex(5), paper_vertex(9)].contains(&u))
+                .map(|u| u + 1)
+                .collect()
+        };
+        assert_eq!(spars_n(2), vec![7, 12, 14]);
+        assert_eq!(spars_n(11), vec![4, 10]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Persistence for highway cover labellings.
+//!
+//! A labelling is the product of minutes of preprocessing on large graphs;
+//! saving it lets a query service start instantly. The format is a simple
+//! little-endian container: magic, vertex count, landmark list, the highway
+//! distance matrix, label offsets, and packed `(rank, dist)` entries.
+
+use crate::build::HighwayCoverLabelling;
+use crate::highway::Highway;
+use crate::labels::{HighwayLabels, LabelEntry};
+use hcl_graph::GraphError;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HCLIDX01";
+
+/// Serialises a labelling.
+pub fn write_labelling<W: Write>(
+    l: &HighwayCoverLabelling,
+    writer: W,
+) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    let n = l.labels().num_vertices() as u64;
+    let r = l.num_landmarks() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&r.to_le_bytes())?;
+    for rank in 0..l.num_landmarks() as u32 {
+        w.write_all(&l.highway().landmark(rank).to_le_bytes())?;
+    }
+    for a in 0..l.num_landmarks() as u32 {
+        for b in 0..l.num_landmarks() as u32 {
+            w.write_all(&l.highway().distance(a, b).to_le_bytes())?;
+        }
+    }
+    let mut total: u32 = 0;
+    w.write_all(&total.to_le_bytes())?;
+    for v in 0..l.labels().num_vertices() as u32 {
+        total += l.labels().label(v).len() as u32;
+        w.write_all(&total.to_le_bytes())?;
+    }
+    for v in 0..l.labels().num_vertices() as u32 {
+        for e in l.labels().label(v) {
+            w.write_all(&e.landmark.to_le_bytes())?;
+            w.write_all(&e.dist.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialises a labelling written by [`write_labelling`].
+pub fn read_labelling<R: Read>(reader: R) -> Result<HighwayCoverLabelling, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad labelling magic".to_string()));
+    }
+    let n = read_u64(&mut r)?;
+    if n >= u32::MAX as u64 {
+        return Err(GraphError::Format(format!("implausible vertex count {n}")));
+    }
+    let n = n as usize;
+    let num_landmarks = read_u64(&mut r)? as usize;
+    if num_landmarks > u16::MAX as usize + 1 {
+        return Err(GraphError::Format(format!("implausible landmark count {num_landmarks}")));
+    }
+    let mut landmarks = Vec::with_capacity(num_landmarks.min(1 << 16));
+    for _ in 0..num_landmarks {
+        landmarks.push(read_u32(&mut r)?);
+    }
+    if landmarks.iter().any(|&v| v as usize >= n) {
+        return Err(GraphError::Format("landmark out of range".to_string()));
+    }
+    // Buffer the matrix before building the (O(n) + O(r²)) highway, so a
+    // corrupted header fails on a short read instead of a huge allocation.
+    let mut matrix = Vec::with_capacity((num_landmarks * num_landmarks).min(1 << 20));
+    for _ in 0..num_landmarks * num_landmarks {
+        matrix.push(read_u32(&mut r)?);
+    }
+    // Capped reservations: corrupted counts must fail on read, not alloc.
+    let mut offsets = Vec::with_capacity((n + 1).min(1 << 20));
+    for _ in 0..=n {
+        offsets.push(read_u32(&mut r)?);
+    }
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Format("non-monotone label offsets".to_string()));
+    }
+    let total = *offsets.last().unwrap() as usize;
+    let mut entries = Vec::with_capacity(total.min(1 << 20));
+    for _ in 0..total {
+        let landmark = read_u16(&mut r)?;
+        let dist = read_u16(&mut r)?;
+        if landmark as usize >= num_landmarks {
+            return Err(GraphError::Format("label entry rank out of range".to_string()));
+        }
+        entries.push(LabelEntry { landmark, dist });
+    }
+    if offsets.len() != n + 1 {
+        return Err(GraphError::Format("offset table length mismatch".to_string()));
+    }
+    let mut highway = Highway::new(n, &landmarks);
+    for a in 0..num_landmarks as u32 {
+        for b in 0..num_landmarks as u32 {
+            let d = matrix[(a as usize) * num_landmarks + b as usize];
+            if a != b && d != hcl_graph::INF {
+                highway.record(a, b, d);
+            }
+        }
+    }
+    Ok(HighwayCoverLabelling::from_parts(
+        highway,
+        HighwayLabels::from_parts(offsets, entries),
+    ))
+}
+
+/// Saves a labelling to a file.
+pub fn save_labelling<P: AsRef<Path>>(
+    l: &HighwayCoverLabelling,
+    path: P,
+) -> Result<(), GraphError> {
+    write_labelling(l, std::fs::File::create(path)?)
+}
+
+/// Loads a labelling from a file.
+pub fn load_labelling<P: AsRef<Path>>(path: P) -> Result<HighwayCoverLabelling, GraphError> {
+    read_labelling(std::fs::File::open(path)?)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, GraphError> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let g = generate::barabasi_albert(200, 3, 8);
+        let landmarks = hcl_graph::order::top_degree(&g, 7);
+        let (l, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let mut buf = Vec::new();
+        write_labelling(&l, &mut buf).unwrap();
+        let l2 = read_labelling(Cursor::new(buf)).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn roundtrip_disconnected_highway() {
+        let g = hcl_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let (l, _) = HighwayCoverLabelling::build(&g, &[0, 3]).unwrap();
+        let mut buf = Vec::new();
+        write_labelling(&l, &mut buf).unwrap();
+        let l2 = read_labelling(Cursor::new(buf)).unwrap();
+        assert_eq!(l, l2);
+        assert_eq!(l2.highway().distance(0, 1), hcl_graph::INF);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(read_labelling(Cursor::new(b"WRONG!!!".to_vec())).is_err());
+        let g = generate::cycle(8);
+        let (l, _) = HighwayCoverLabelling::build(&g, &[0, 4]).unwrap();
+        let mut buf = Vec::new();
+        write_labelling(&l, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_labelling(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_queries_work_after_load() {
+        let dir = std::env::temp_dir().join("hcl_core_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generate::barabasi_albert(150, 3, 2);
+        let landmarks = hcl_graph::order::top_degree(&g, 5);
+        let (l, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let path = dir.join("index.hcl");
+        save_labelling(&l, &path).unwrap();
+        let l2 = load_labelling(&path).unwrap();
+        let mut oracle = crate::HlOracle::new(&g, l2);
+        let mut reference = crate::HlOracle::new(&g, l);
+        for (s, t) in [(0u32, 149u32), (3, 77), (10, 10)] {
+            assert_eq!(oracle.query(s, t), reference.query(s, t));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,209 @@
+//! The distance label store.
+//!
+//! Labels live in a flat CSR-like layout: one offset array indexed by
+//! vertex, one contiguous entry array. Each entry is a `(landmark rank,
+//! distance)` pair packed into four bytes; per-vertex entry lists are sorted
+//! by rank so queries can merge two labels with a single linear pass.
+//!
+//! §5.2 of the paper compares a 32-bit-vertex/8-bit-distance encoding ("HL")
+//! with an 8-bit/8-bit one ("HL(8)"); [`HighwayLabels::encoded_bytes`]
+//! reports the size of the labelling under either scheme for Table 3.
+
+use crate::highway::Highway;
+use hcl_graph::VertexId;
+
+/// One distance entry `(r, δL(r, v))` in a vertex's label.
+///
+/// `landmark` is the landmark's *rank* (index into
+/// [`Highway::landmarks`]); `dist` is the exact graph distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LabelEntry {
+    /// Rank of the landmark in the highway.
+    pub landmark: u16,
+    /// Exact distance from the landmark to the labelled vertex.
+    pub dist: u16,
+}
+
+/// Flat per-vertex label store. Landmark vertices have empty labels — their
+/// distances live in the [`Highway`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HighwayLabels {
+    offsets: Vec<u32>,
+    entries: Vec<LabelEntry>,
+}
+
+/// Label size accounting schemes from §5.2 / Table 3 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelEncoding {
+    /// 32-bit landmark id + 8-bit distance per entry ("HL" in Table 3; the
+    /// encoding FD and PLL use, kept for fair comparison).
+    Wide32,
+    /// 8-bit landmark id + 8-bit distance per entry ("HL(8)"); valid only
+    /// when there are at most 256 landmarks and all distances fit in 8 bits.
+    Compact8,
+}
+
+impl HighwayLabels {
+    pub(crate) fn from_parts(offsets: Vec<u32>, entries: Vec<LabelEntry>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, entries.len());
+        HighwayLabels { offsets, entries }
+    }
+
+    /// Number of vertices the store covers.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The label of `v`, sorted by landmark rank.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> &[LabelEntry] {
+        let v = v as usize;
+        &self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Total number of entries `size(L)` (the paper's labelling size "LS").
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Average entries per vertex ("ALS" in Table 2).
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum entries in any single label.
+    pub fn max_label_size(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| (self.offsets[v + 1] - self.offsets[v]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Actual bytes used by the in-memory representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Size in bytes of this labelling under the given Table 3 encoding
+    /// (entries only, plus one offset per vertex as in the C++ baselines'
+    /// per-vertex arrays). Returns `None` if the labelling does not fit the
+    /// encoding (e.g. >256 landmarks or a distance >255 under
+    /// [`LabelEncoding::Compact8`]).
+    pub fn encoded_bytes(&self, encoding: LabelEncoding) -> Option<usize> {
+        let per_entry = match encoding {
+            LabelEncoding::Wide32 => {
+                if self.entries.iter().any(|e| e.dist > u8::MAX as u16) {
+                    return None;
+                }
+                5
+            }
+            LabelEncoding::Compact8 => {
+                if self
+                    .entries
+                    .iter()
+                    .any(|e| e.landmark > u8::MAX as u16 || e.dist > u8::MAX as u16)
+                {
+                    return None;
+                }
+                2
+            }
+        };
+        Some(self.entries.len() * per_entry + self.offsets.len() * std::mem::size_of::<u32>())
+    }
+
+    /// Iterates `(vertex, entry)` over all labels (test / debug helper).
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, LabelEntry)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.label(v as VertexId).iter().map(move |&e| (v as VertexId, e))
+        })
+    }
+
+    /// Checks internal invariants: sorted, duplicate-free labels whose ranks
+    /// are valid for `highway`, and empty labels on landmarks. Used by tests
+    /// and debug assertions.
+    pub fn validate(&self, highway: &Highway) -> Result<(), String> {
+        let r = highway.num_landmarks() as u16;
+        for v in 0..self.num_vertices() as VertexId {
+            let label = self.label(v);
+            if highway.is_landmark(v) && !label.is_empty() {
+                return Err(format!("landmark {v} has a non-empty label"));
+            }
+            for w in label.windows(2) {
+                if w[0].landmark >= w[1].landmark {
+                    return Err(format!("label of {v} not strictly sorted by rank"));
+                }
+            }
+            for e in label {
+                if e.landmark >= r {
+                    return Err(format!("label of {v} references rank {} >= |R|", e.landmark));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HighwayLabels {
+        // v0: [(0,1),(2,3)]; v1: []; v2: [(1,2)]
+        HighwayLabels::from_parts(
+            vec![0, 2, 2, 3],
+            vec![
+                LabelEntry { landmark: 0, dist: 1 },
+                LabelEntry { landmark: 2, dist: 3 },
+                LabelEntry { landmark: 1, dist: 2 },
+            ],
+        )
+    }
+
+    #[test]
+    fn label_access() {
+        let l = sample();
+        assert_eq!(l.num_vertices(), 3);
+        assert_eq!(l.label(0).len(), 2);
+        assert!(l.label(1).is_empty());
+        assert_eq!(l.label(2)[0], LabelEntry { landmark: 1, dist: 2 });
+        assert_eq!(l.total_entries(), 3);
+        assert!((l.avg_label_size() - 1.0).abs() < 1e-12);
+        assert_eq!(l.max_label_size(), 2);
+    }
+
+    #[test]
+    fn encoded_sizes() {
+        let l = sample();
+        // Wide32: 3 entries * 5 bytes + 4 offsets * 4 bytes.
+        assert_eq!(l.encoded_bytes(LabelEncoding::Wide32), Some(31));
+        // Compact8: 3 entries * 2 bytes + 16.
+        assert_eq!(l.encoded_bytes(LabelEncoding::Compact8), Some(22));
+    }
+
+    #[test]
+    fn encoded_rejects_overflow() {
+        let l = HighwayLabels::from_parts(
+            vec![0, 1],
+            vec![LabelEntry { landmark: 300, dist: 300 }],
+        );
+        assert_eq!(l.encoded_bytes(LabelEncoding::Compact8), None);
+        assert_eq!(l.encoded_bytes(LabelEncoding::Wide32), None);
+    }
+
+    #[test]
+    fn iter_walks_all_entries() {
+        let l = sample();
+        let all: Vec<_> = l.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].0, 0);
+        assert_eq!(all[2], (2, LabelEntry { landmark: 1, dist: 2 }));
+    }
+}

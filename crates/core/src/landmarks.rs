@@ -1,0 +1,141 @@
+//! Landmark selection strategies.
+//!
+//! The paper selects the top-`k` highest-degree vertices (§6.3) and names
+//! better selection strategies as future work (§8). This module implements
+//! the paper's choice plus two alternatives exercised by the ablation
+//! benchmark: uniform random selection (the natural lower baseline) and a
+//! two-hop degree heuristic (a cheap centrality proxy that counts the edges
+//! reachable within two hops).
+
+use hcl_graph::{order, CsrGraph, VertexId};
+use rand_like::shuffle_first_k;
+
+/// How to pick the landmark set `R`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// The `k` highest-degree vertices (the paper's setting).
+    TopDegree(usize),
+    /// The `k` vertices with the largest sum of neighbour degrees
+    /// (two-hop coverage proxy; future-work experiment).
+    TopTwoHopDegree(usize),
+    /// `k` distinct vertices drawn uniformly with the given seed.
+    Random { k: usize, seed: u64 },
+    /// An explicit, caller-provided landmark list.
+    Given(Vec<VertexId>),
+}
+
+impl LandmarkStrategy {
+    /// Selects the landmark set over `g` (deterministic for a fixed input).
+    pub fn select(&self, g: &CsrGraph) -> Vec<VertexId> {
+        match self {
+            LandmarkStrategy::TopDegree(k) => order::top_degree(g, *k),
+            LandmarkStrategy::TopTwoHopDegree(k) => {
+                let mut score: Vec<(u64, VertexId)> = g
+                    .vertices()
+                    .map(|v| {
+                        let two_hop: u64 =
+                            g.neighbors(v).iter().map(|&u| g.degree(u) as u64).sum();
+                        (two_hop + g.degree(v) as u64, v)
+                    })
+                    .collect();
+                score.sort_by_key(|&(s, v)| (std::cmp::Reverse(s), v));
+                score.truncate((*k).min(g.num_vertices()));
+                score.into_iter().map(|(_, v)| v).collect()
+            }
+            LandmarkStrategy::Random { k, seed } => {
+                let mut ids: Vec<VertexId> = g.vertices().collect();
+                let k = (*k).min(ids.len());
+                shuffle_first_k(&mut ids, k, *seed);
+                ids.truncate(k);
+                ids
+            }
+            LandmarkStrategy::Given(list) => list.clone(),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LandmarkStrategy::TopDegree(_) => "top-degree",
+            LandmarkStrategy::TopTwoHopDegree(_) => "two-hop-degree",
+            LandmarkStrategy::Random { .. } => "random",
+            LandmarkStrategy::Given(_) => "given",
+        }
+    }
+}
+
+/// A tiny deterministic partial Fisher–Yates shuffle (splitmix64-based), so
+/// landmark selection does not pull the full `rand` dependency into this
+/// crate.
+mod rand_like {
+    pub(super) fn shuffle_first_k(items: &mut [u32], k: usize, seed: u64) {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let n = items.len();
+        for i in 0..k.min(n) {
+            let j = i + (next() % (n - i) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+
+    #[test]
+    fn top_degree_picks_hubs() {
+        let g = generate::star(20);
+        assert_eq!(LandmarkStrategy::TopDegree(1).select(&g), vec![0]);
+    }
+
+    #[test]
+    fn two_hop_degree_prefers_hub_neighbours_over_leaves() {
+        // Two stars joined by a bridge: 0 is a hub, 1 is a hub, 2 bridges.
+        let mut edges = vec![(0u32, 2u32), (1, 2)];
+        for v in 3..13 {
+            edges.push((0, v));
+        }
+        for v in 13..23 {
+            edges.push((1, v));
+        }
+        let g = hcl_graph::CsrGraph::from_edges(23, &edges);
+        let picks = LandmarkStrategy::TopTwoHopDegree(3).select(&g);
+        // The bridge sees both hubs' edges, beating every leaf.
+        assert!(picks.contains(&2), "bridge vertex should rank in top 3: {picks:?}");
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_distinct() {
+        let g = generate::cycle(50);
+        let a = LandmarkStrategy::Random { k: 10, seed: 3 }.select(&g);
+        let b = LandmarkStrategy::Random { k: 10, seed: 3 }.select(&g);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "landmarks must be distinct");
+        let c = LandmarkStrategy::Random { k: 10, seed: 4 }.select(&g);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_clamps_k() {
+        let g = generate::cycle(5);
+        assert_eq!(LandmarkStrategy::Random { k: 50, seed: 1 }.select(&g).len(), 5);
+    }
+
+    #[test]
+    fn given_passthrough() {
+        let g = generate::cycle(5);
+        assert_eq!(LandmarkStrategy::Given(vec![4, 1]).select(&g), vec![4, 1]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Parallel labelling construction — "HL-P" (§5.1).
+//!
+//! Because the labelling is *deterministic for a given landmark set*
+//! (Lemma 3.11), the pruned BFSs of different landmarks are completely
+//! independent: each worker thread claims landmarks from a shared counter,
+//! runs pruned BFSs with its own buffers, and ships `(vertex, dist)` batches
+//! back over a channel. The main thread merges batches in landmark-rank
+//! order, so the parallel build is byte-identical to the sequential one —
+//! tested below, and the property the paper highlights in Figure 1(c)
+//! ("Parallel? — landmarks").
+
+use crate::build::{
+    assemble_labels, validate_landmarks, BuildStats, HighwayCoverLabelling, PrunedBfsWorker,
+};
+use crate::highway::Highway;
+use crate::BuildError;
+use hcl_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Result of one worker-side pruned BFS: labels, discovered
+/// landmark-to-landmark distances, and the edge-traversal count.
+type BfsOutput = (Vec<(VertexId, u16)>, Vec<(u32, u32)>, u64);
+
+impl HighwayCoverLabelling {
+    /// Builds the labelling with `num_threads` worker threads ("HL-P").
+    /// `num_threads = 0` uses all available cores. The result is identical
+    /// to [`HighwayCoverLabelling::build`].
+    pub fn build_parallel(
+        g: &CsrGraph,
+        landmarks: &[VertexId],
+        num_threads: usize,
+    ) -> Result<(Self, BuildStats), BuildError> {
+        let start = Instant::now();
+        validate_landmarks(g, landmarks)?;
+        let threads = if num_threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            num_threads
+        };
+        let threads = threads.min(landmarks.len().max(1));
+
+        let r = landmarks.len();
+        if r == 0 || threads <= 1 {
+            // Degenerate cases: the sequential path produces the identical
+            // labelling by construction.
+            let (built, mut stats) = HighwayCoverLabelling::build(g, landmarks)?;
+            stats.duration = start.elapsed();
+            return Ok((built, stats));
+        }
+
+        let mut highway = Highway::new(g.num_vertices(), landmarks);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<BfsOutput, BuildError>)>();
+
+        let mut per_landmark: Vec<Vec<(VertexId, u16)>> = vec![Vec::new(); r];
+        let mut hw_batches: Vec<(u32, Vec<(u32, u32)>)> = Vec::with_capacity(r);
+        let mut stats = BuildStats::default();
+        let mut first_error: Option<BuildError> = None;
+
+        {
+            // Workers only need rank lookups from the highway; distance
+            // recording is deferred to the main thread after the scope ends.
+            let highway_ref = &highway;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut worker = PrunedBfsWorker::new(g.num_vertices());
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= r {
+                                break;
+                            }
+                            let root = landmarks[idx];
+                            let mut labels_out = Vec::new();
+                            let mut hw_out = Vec::new();
+                            let res = worker
+                                .run(g, idx as u32, root, highway_ref, &mut labels_out, &mut hw_out)
+                                .map(|edges| (labels_out, hw_out, edges));
+                            if tx.send((idx, res)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for (idx, res) in rx {
+                    match res {
+                        Ok((labels_out, hw_out, edges)) => {
+                            stats.edges_traversed += edges;
+                            stats.labels_added += labels_out.len() as u64;
+                            per_landmark[idx] = labels_out;
+                            hw_batches.push((idx as u32, hw_out));
+                        }
+                        Err(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("worker thread panicked");
+        }
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        for (rank, batch) in hw_batches {
+            for (other, d) in batch {
+                highway.record(rank, other, d);
+            }
+        }
+        highway.close();
+        let labels = assemble_labels(g.num_vertices(), &per_landmark);
+        stats.duration = start.elapsed();
+        Ok((HighwayCoverLabelling::from_parts(highway, labels), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        for seed in 0..3u64 {
+            let g = generate::barabasi_albert(400, 4, seed);
+            let landmarks = hcl_graph::order::top_degree(&g, 12);
+            let (seq, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+            for threads in [2usize, 3, 8] {
+                let (par, _) =
+                    HighwayCoverLabelling::build_parallel(&g, &landmarks, threads).unwrap();
+                assert_eq!(seq, par, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_zero_threads_uses_default() {
+        let g = generate::barabasi_albert(100, 3, 1);
+        let landmarks = hcl_graph::order::top_degree(&g, 4);
+        let (seq, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let (par, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_empty_landmarks() {
+        let g = generate::cycle(6);
+        let (par, _) = HighwayCoverLabelling::build_parallel(&g, &[], 4).unwrap();
+        assert_eq!(par.num_landmarks(), 0);
+    }
+
+    #[test]
+    fn parallel_more_threads_than_landmarks() {
+        let g = generate::barabasi_albert(120, 3, 7);
+        let landmarks = hcl_graph::order::top_degree(&g, 2);
+        let (seq, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let (par, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 16).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_propagates_errors() {
+        let g = generate::path(70_000);
+        let err = HighwayCoverLabelling::build_parallel(&g, &[0, 69_999], 2);
+        assert!(matches!(err, Err(BuildError::DistanceOverflow { .. })));
+    }
+
+    #[test]
+    fn parallel_on_paper_example() {
+        let g = crate::fixture::paper_graph();
+        let landmarks = crate::fixture::paper_landmarks();
+        let (par, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 3).unwrap();
+        assert_eq!(par.labels().total_entries(), 13);
+    }
+}

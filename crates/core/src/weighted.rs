@@ -1,0 +1,455 @@
+//! Highway cover labelling for **weighted** graphs — an extension beyond
+//! the paper (which treats all networks as unweighted, §6.1).
+//!
+//! The highway cover property is weight-agnostic: the defining condition
+//! "no other landmark on any shortest `r–v` path" (Lemma 3.7) carries over
+//! verbatim, with pruned *Dijkstra* searches in place of pruned BFSs and a
+//! distance-bounded bidirectional Dijkstra as the online component. With
+//! positive edge weights every predecessor on a shortest path settles
+//! strictly earlier, so the pruned flag of a vertex is exactly
+//!
+//! ```text
+//! pruned(v) = v ∈ R  ∨  ∃ neighbour u: dist(u) + w(u, v) = dist(v) ∧ pruned(u)
+//! ```
+//!
+//! evaluated at settle time — the weighted analogue of the pruned-frontier-
+//! first rule of Algorithm 1. Minimality and order independence follow from
+//! the same arguments as in the unweighted case, and the test suite checks
+//! both against brute-force Dijkstra.
+
+use crate::highway::Highway;
+use crate::BuildError;
+use hcl_graph::{VertexId, WeightedGraph, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A label entry of the weighted labelling: landmark rank + exact weighted
+/// distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedLabelEntry {
+    /// Rank of the landmark in the highway.
+    pub landmark: u16,
+    /// Exact weighted distance from the landmark.
+    pub dist: u32,
+}
+
+/// Highway cover labelling over a weighted graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedHighwayCoverLabelling {
+    highway: Highway,
+    offsets: Vec<u32>,
+    entries: Vec<WeightedLabelEntry>,
+}
+
+impl WeightedHighwayCoverLabelling {
+    /// Builds the labelling with one pruned Dijkstra per landmark. All edge
+    /// weights must be positive.
+    pub fn build(
+        g: &WeightedGraph,
+        landmarks: &[VertexId],
+    ) -> Result<Self, BuildError> {
+        let n = g.num_vertices();
+        if landmarks.len() > u16::MAX as usize {
+            return Err(BuildError::TooManyLandmarks { requested: landmarks.len() });
+        }
+        let mut seen = vec![false; n];
+        for &r in landmarks {
+            if (r as usize) >= n {
+                return Err(BuildError::LandmarkOutOfRange { landmark: r, n });
+            }
+            if std::mem::replace(&mut seen[r as usize], true) {
+                return Err(BuildError::DuplicateLandmark { landmark: r });
+            }
+        }
+
+        let mut highway = Highway::new(n, landmarks);
+        let mut per_landmark: Vec<Vec<(VertexId, u32)>> = Vec::with_capacity(landmarks.len());
+        let mut dist = vec![INF; n];
+        let mut pruned = vec![false; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+
+        for (rank, &root) in landmarks.iter().enumerate() {
+            let mut labels = Vec::new();
+            let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+            dist[root as usize] = 0;
+            pruned[root as usize] = false;
+            touched.push(root);
+            heap.push(Reverse((0, root)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u as usize] {
+                    continue;
+                }
+                // Settle u: all shortest-path predecessors are settled (their
+                // distances are strictly smaller), so the pruned flag is
+                // decidable now.
+                let is_pruned = if u == root {
+                    false
+                } else if highway.rank(u).is_some() {
+                    highway.record(rank as u32, highway.rank(u).unwrap(), d);
+                    true
+                } else {
+                    let on_pruned_path = g
+                        .neighbors(u)
+                        .any(|(p, w)| dist[p as usize] != INF
+                            && dist[p as usize].saturating_add(w) == d
+                            && pruned[p as usize]);
+                    if !on_pruned_path {
+                        labels.push((u, d));
+                    }
+                    on_pruned_path
+                };
+                pruned[u as usize] = is_pruned;
+                for (v, w) in g.neighbors(u) {
+                    assert!(w > 0, "edge weights must be positive");
+                    let nd = d.saturating_add(w);
+                    if nd < dist[v as usize] {
+                        if dist[v as usize] == INF {
+                            touched.push(v);
+                        }
+                        dist[v as usize] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            per_landmark.push(labels);
+            for &v in &touched {
+                dist[v as usize] = INF;
+                pruned[v as usize] = false;
+            }
+            touched.clear();
+        }
+        highway.close();
+
+        // Flatten, rank-sorted per vertex (rank order of the outer loop).
+        let mut counts = vec![0u32; n + 1];
+        for batch in &per_landmark {
+            for &(v, _) in batch {
+                counts[v as usize + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut entries =
+            vec![WeightedLabelEntry { landmark: 0, dist: 0 }; offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (rank, batch) in per_landmark.iter().enumerate() {
+            for &(v, d) in batch {
+                let c = &mut cursor[v as usize];
+                entries[*c as usize] = WeightedLabelEntry { landmark: rank as u16, dist: d };
+                *c += 1;
+            }
+        }
+        Ok(WeightedHighwayCoverLabelling { highway, offsets, entries })
+    }
+
+    /// The highway.
+    pub fn highway(&self) -> &Highway {
+        &self.highway
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: VertexId) -> &[WeightedLabelEntry] {
+        let v = v as usize;
+        &self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Total label entries.
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Upper bound `d⊤(s, t)` (Equation 4, weighted).
+    pub fn upper_bound(&self, s: VertexId, t: VertexId) -> u32 {
+        if s == t {
+            return 0;
+        }
+        let h = &self.highway;
+        match (h.rank(s), h.rank(t)) {
+            (Some(a), Some(b)) => h.distance(a, b),
+            (Some(a), None) => self.bound_from_landmark(a, t),
+            (None, Some(b)) => self.bound_from_landmark(b, s),
+            (None, None) => {
+                let mut best = INF;
+                for es in self.label(s) {
+                    for et in self.label(t) {
+                        let via = h.distance(es.landmark as u32, et.landmark as u32);
+                        if via == INF {
+                            continue;
+                        }
+                        let cand = es.dist.saturating_add(via).saturating_add(et.dist);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn bound_from_landmark(&self, rank: u32, v: VertexId) -> u32 {
+        if let Some(vr) = self.highway.rank(v) {
+            return self.highway.distance(rank, vr);
+        }
+        let mut best = INF;
+        for e in self.label(v) {
+            let via = self.highway.distance(rank, e.landmark as u32);
+            if via == INF {
+                continue;
+            }
+            let cand = via.saturating_add(e.dist);
+            if cand < best {
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
+/// Query engine for the weighted labelling: Equation 4 bound + distance-
+/// bounded bidirectional Dijkstra on `G[V∖R]`.
+pub struct WeightedHlOracle<'g> {
+    graph: &'g WeightedGraph,
+    labelling: WeightedHighwayCoverLabelling,
+    epoch: u32,
+    mark_s: Vec<u32>,
+    mark_t: Vec<u32>,
+    dist_s: Vec<u32>,
+    dist_t: Vec<u32>,
+}
+
+impl<'g> WeightedHlOracle<'g> {
+    /// Wraps a labelling built over `graph`.
+    pub fn new(graph: &'g WeightedGraph, labelling: WeightedHighwayCoverLabelling) -> Self {
+        let n = graph.num_vertices();
+        WeightedHlOracle {
+            graph,
+            labelling,
+            epoch: 0,
+            mark_s: vec![0; n],
+            mark_t: vec![0; n],
+            dist_s: vec![0; n],
+            dist_t: vec![0; n],
+        }
+    }
+
+    /// The wrapped labelling.
+    pub fn labelling(&self) -> &WeightedHighwayCoverLabelling {
+        &self.labelling
+    }
+
+    /// Exact weighted distance between `s` and `t`.
+    pub fn query(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        let h = self.labelling.highway();
+        let bound = self.labelling.upper_bound(s, t);
+        if h.is_landmark(s) || h.is_landmark(t) {
+            return (bound != INF).then_some(bound);
+        }
+        let d = self.bounded_bidijkstra(s, t, bound);
+        (d != INF).then_some(d)
+    }
+
+    /// Bidirectional Dijkstra on the landmark-free subgraph, cut off at
+    /// `bound`; returns `min(d_G'(s, t), bound)`.
+    fn bounded_bidijkstra(&mut self, s: VertexId, t: VertexId, bound: u32) -> u32 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let h = self.labelling.highway();
+        let mut heap_s: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+        let mut heap_t: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+        self.mark_s[s as usize] = epoch;
+        self.dist_s[s as usize] = 0;
+        heap_s.push(Reverse((0, s)));
+        self.mark_t[t as usize] = epoch;
+        self.dist_t[t as usize] = 0;
+        heap_t.push(Reverse((0, t)));
+        let mut best = bound;
+
+        loop {
+            let top_s = heap_s.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            let top_t = heap_t.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            // No path shorter than top_s + top_t remains undiscovered.
+            if top_s.saturating_add(top_t) >= best {
+                return best;
+            }
+            let forward = top_s <= top_t;
+            let (heap, mark_same, dist_same, mark_other, dist_other) = if forward {
+                (&mut heap_s, &mut self.mark_s, &mut self.dist_s, &self.mark_t, &self.dist_t)
+            } else {
+                (&mut heap_t, &mut self.mark_t, &mut self.dist_t, &self.mark_s, &self.dist_s)
+            };
+            let Some(Reverse((d, u))) = heap.pop() else {
+                return best;
+            };
+            if d > dist_same[u as usize] {
+                continue;
+            }
+            if mark_other[u as usize] == epoch {
+                let cand = d.saturating_add(dist_other[u as usize]);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            for (v, w) in self.graph.neighbors(u) {
+                if h.is_landmark(v) {
+                    continue;
+                }
+                let nd = d.saturating_add(w);
+                let vi = v as usize;
+                if mark_same[vi] != epoch || nd < dist_same[vi] {
+                    mark_same[vi] = epoch;
+                    dist_same[vi] = nd;
+                    heap.push(Reverse((nd, v)));
+                    if mark_other[vi] == epoch {
+                        let cand = nd.saturating_add(dist_other[vi]);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::traversal::dijkstra_distances;
+    use hcl_graph::{generate, WeightedGraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weighted(n: usize, m: usize, max_w: u32, seed: u64) -> WeightedGraph {
+        let base = generate::erdos_renyi(n, m, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut b = WeightedGraphBuilder::new(n);
+        for (u, v) in base.edges() {
+            b.add_edge(u, v, rng.random_range(1..=max_w));
+        }
+        b.build()
+    }
+
+    fn top_degree_w(g: &WeightedGraph, k: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        order.truncate(k);
+        order
+    }
+
+    #[test]
+    fn exact_on_random_weighted_graphs() {
+        for seed in 0..4u64 {
+            let g = random_weighted(70, 160, 9, seed);
+            let landmarks = top_degree_w(&g, 6);
+            let labelling = WeightedHighwayCoverLabelling::build(&g, &landmarks).unwrap();
+            let mut oracle = WeightedHlOracle::new(&g, labelling);
+            for s in (0..70u32).step_by(5) {
+                let truth = dijkstra_distances(&g, s);
+                for t in 0..70u32 {
+                    let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                    assert_eq!(oracle.query(s, t), expect, "seed {seed} {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_labelling() {
+        let base = generate::barabasi_albert(150, 3, 4);
+        let mut b = WeightedGraphBuilder::new(base.num_vertices());
+        for (u, v) in base.edges() {
+            b.add_edge(u, v, 1);
+        }
+        let wg = b.build();
+        let landmarks = hcl_graph::order::top_degree(&base, 8);
+        let weighted = WeightedHighwayCoverLabelling::build(&wg, &landmarks).unwrap();
+        let (unweighted, _) = crate::HighwayCoverLabelling::build(&base, &landmarks).unwrap();
+        // Same entries, same distances, same total size.
+        assert_eq!(weighted.total_entries(), unweighted.labels().total_entries());
+        for v in base.vertices() {
+            let wl: Vec<(u16, u32)> =
+                weighted.label(v).iter().map(|e| (e.landmark, e.dist)).collect();
+            let ul: Vec<(u16, u32)> = unweighted
+                .labels()
+                .label(v)
+                .iter()
+                .map(|e| (e.landmark, e.dist as u32))
+                .collect();
+            assert_eq!(wl, ul, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn minimality_lemma_3_7_weighted() {
+        // Entry (r, v) iff no other landmark on any weighted shortest path.
+        let g = random_weighted(40, 90, 5, 11);
+        let landmarks = top_degree_w(&g, 5);
+        let labelling = WeightedHighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let dist: Vec<Vec<u32>> =
+            (0..40u32).map(|v| dijkstra_distances(&g, v)).collect();
+        for v in 0..40u32 {
+            if labelling.highway().is_landmark(v) {
+                assert!(labelling.label(v).is_empty());
+                continue;
+            }
+            for (rank, &r) in landmarks.iter().enumerate() {
+                let d_rv = dist[r as usize][v as usize];
+                let expected = d_rv != INF
+                    && !landmarks.iter().any(|&w| {
+                        w != r && w != v
+                            && dist[r as usize][w as usize] != INF
+                            && dist[w as usize][v as usize] != INF
+                            && dist[r as usize][w as usize] + dist[w as usize][v as usize]
+                                == d_rv
+                    });
+                let present = labelling.label(v).iter().any(|e| e.landmark == rank as u16);
+                assert_eq!(present, expected, "landmark {r} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_independence_weighted() {
+        let g = random_weighted(60, 140, 7, 3);
+        let landmarks = top_degree_w(&g, 5);
+        let a = WeightedHighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let mut rev = landmarks.clone();
+        rev.reverse();
+        let b = WeightedHighwayCoverLabelling::build(&g, &rev).unwrap();
+        assert_eq!(a.total_entries(), b.total_entries());
+    }
+
+    #[test]
+    fn disconnected_weighted_graph() {
+        let mut b = WeightedGraphBuilder::new(5);
+        b.add_edge(0, 1, 4);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        let labelling = WeightedHighwayCoverLabelling::build(&g, &[0, 2]).unwrap();
+        let mut oracle = WeightedHlOracle::new(&g, labelling);
+        assert_eq!(oracle.query(0, 1), Some(4));
+        assert_eq!(oracle.query(1, 3), None);
+        assert_eq!(oracle.query(4, 4), Some(0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert!(matches!(
+            WeightedHighwayCoverLabelling::build(&g, &[5]),
+            Err(BuildError::LandmarkOutOfRange { .. })
+        ));
+        assert!(matches!(
+            WeightedHighwayCoverLabelling::build(&g, &[1, 1]),
+            Err(BuildError::DuplicateLandmark { .. })
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! Connected components and largest-connected-component extraction.
+//!
+//! The paper assumes connected, undirected graphs (§2); the evaluation
+//! harness extracts the largest connected component of each generated
+//! dataset before building indexes, exactly as is standard when preparing
+//! the real networks the paper uses.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::VertexId;
+
+/// Labels each vertex with a component id (`0..count`) and returns
+/// `(labels, count)`. Component ids are assigned in order of discovery by
+/// vertex id, so they are deterministic.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    const UNSET: u32 = u32::MAX;
+    let n = g.num_vertices();
+    let mut comp = vec![UNSET; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for start in 0..n as VertexId {
+        if comp[start as usize] != UNSET {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.clear();
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == UNSET {
+                    comp[v as usize] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).1 == 1
+}
+
+/// Extracts the largest connected component as a new graph with compacted
+/// vertex ids. Returns `(subgraph, old_ids)` where `old_ids[new] = old`.
+/// Ties between equal-sized components break towards the smaller component
+/// id (i.e. the one discovered first).
+pub fn largest_connected_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (CsrGraph::empty(0), Vec::new());
+    }
+    let (comp, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = (0..count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap() as u32;
+
+    let mut old_ids = Vec::with_capacity(sizes[best as usize]);
+    let mut new_id = vec![u32::MAX; n];
+    for v in 0..n {
+        if comp[v] == best {
+            new_id[v] = old_ids.len() as u32;
+            old_ids.push(v as VertexId);
+        }
+    }
+    let mut b = GraphBuilder::new(old_ids.len());
+    for (u, v) in g.edges() {
+        if comp[u as usize] == best {
+            b.add_edge(new_id[u as usize], new_id[v as usize]).expect("remapped ids in range");
+        }
+    }
+    (b.build(), old_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn single_component() {
+        let g = generate::cycle(6);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components() {
+        // Two triangles and an isolated vertex.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[6], comp[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        // Component A: path 0-1-2 (3 vertices); component B: 3-4-5-6 path (4).
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]);
+        let (sub, old_ids) = largest_connected_component(&g);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(old_ids, vec![3, 4, 5, 6]);
+        // Edge structure preserved under relabelling.
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && sub.has_edge(2, 3));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn lcc_of_connected_graph_is_identity() {
+        let g = generate::barabasi_albert(100, 3, 1);
+        let (sub, old_ids) = largest_connected_component(&g);
+        assert_eq!(sub.num_vertices(), g.num_vertices());
+        assert_eq!(sub.num_edges(), g.num_edges());
+        assert_eq!(old_ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lcc_empty_graph() {
+        let g = CsrGraph::empty(0);
+        let (sub, old_ids) = largest_connected_component(&g);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(old_ids.is_empty());
+    }
+
+    #[test]
+    fn lcc_all_isolated() {
+        let g = CsrGraph::empty(4);
+        let (sub, old_ids) = largest_connected_component(&g);
+        assert_eq!(sub.num_vertices(), 1);
+        assert_eq!(old_ids, vec![0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Graph I/O: text edge lists and a compact binary format.
+//!
+//! Text edge lists use the de-facto standard of SNAP / KONECT downloads
+//! (one `u v` pair per line, `#` / `%` comment lines), so graphs prepared
+//! for the original paper's pipeline load unchanged. The binary format is a
+//! minimal little-endian container (magic, version, `n`, `m`, edge pairs)
+//! designed to be trivially auditable rather than clever.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::{GraphError, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HCLGRPH1";
+
+/// Parses a whitespace-separated edge list from any reader. Lines starting
+/// with `#` or `%` (and blank lines) are skipped. Vertex ids are used as-is;
+/// the vertex count is `max_id + 1`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut b = GraphBuilder::new(0);
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_vertex(parts.next(), line_no)?;
+        let v = parse_vertex(parts.next(), line_no)?;
+        b.add_edge_growing(u, v);
+    }
+    Ok(b.build())
+}
+
+fn parse_vertex(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".to_string(),
+    })?;
+    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Loads a text edge list from a file.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Writes the graph as a text edge list (one `u v` line per edge).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a text edge list to a file.
+pub fn save_edge_list<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Serialises the graph in the binary container format.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from the binary container format.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic".to_string()));
+    }
+    let n = read_u64(&mut r)?;
+    let m = read_u64(&mut r)?;
+    if n >= u32::MAX as u64 {
+        return Err(GraphError::Format(format!("implausible vertex count {n}")));
+    }
+    let n = n as usize;
+    let m = m as usize;
+    // Never pre-allocate from an untrusted header: a corrupted `m` would
+    // otherwise request terabytes. The reader below fails cleanly on EOF.
+    let mut b = GraphBuilder::with_capacity(n, m.min(1 << 20));
+    for _ in 0..m {
+        let u = read_u32(&mut r)?;
+        let v = read_u32(&mut r)?;
+        b.add_edge(u, v)
+            .map_err(|e| GraphError::Format(format!("edge out of range: {e}")))?;
+    }
+    Ok(b.build())
+}
+
+/// Saves the binary format to a file.
+pub fn save_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), GraphError> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Loads the binary format from a file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_edge_list_with_comments() {
+        let text = "# a comment\n% another\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(read_edge_list(Cursor::new("0 x\n")).is_err());
+        assert!(read_edge_list(Cursor::new("42\n")).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = generate::barabasi_albert(60, 3, 2);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = generate::erdos_renyi(100, 300, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        assert!(matches!(read_binary(Cursor::new(buf)), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = generate::path(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hcl_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generate::grid(5, 7);
+        let bin = dir.join("g.hclg");
+        save_binary(&g, &bin).unwrap();
+        assert_eq!(load_binary(&bin).unwrap(), g);
+        let txt = dir.join("g.txt");
+        save_edge_list(&g, &txt).unwrap();
+        assert_eq!(load_edge_list(&txt).unwrap(), g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

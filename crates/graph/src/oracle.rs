@@ -1,0 +1,61 @@
+//! The common interface implemented by every exact-distance method.
+//!
+//! The paper compares six methods (HL, HL-P, FD, PLL, IS-L, Bi-BFS) along
+//! three axes: construction time, index size and query time. Implementing
+//! one trait across all of them lets the benchmark harness drive any mix of
+//! methods uniformly and lets downstream users swap methods without code
+//! changes.
+
+use crate::VertexId;
+
+/// An exact point-to-point distance oracle over an undirected, unweighted
+/// graph.
+///
+/// `distance` takes `&mut self` because every competitive method keeps
+/// reusable search buffers; queries are sequential per oracle instance.
+/// Methods that support concurrent querying expose an additional
+/// context-based API on their concrete type.
+pub trait DistanceOracle {
+    /// Exact shortest-path distance between `s` and `t`, or `None` when the
+    /// vertices are disconnected.
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Option<u32>;
+
+    /// Short human-readable method name as used in the paper's tables
+    /// (e.g. `"HL"`, `"PLL"`, `"Bi-BFS"`).
+    fn name(&self) -> &'static str;
+
+    /// Total bytes of the index this oracle queries (0 for online searches).
+    fn index_bytes(&self) -> usize {
+        0
+    }
+
+    /// Average number of label entries per vertex ("ALS" in Table 2);
+    /// 0 for methods without per-vertex labels.
+    fn avg_label_entries(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u32);
+    impl DistanceOracle for Fixed {
+        fn distance(&mut self, _s: VertexId, _t: VertexId) -> Option<u32> {
+            Some(self.0)
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut boxed: Box<dyn DistanceOracle> = Box::new(Fixed(7));
+        assert_eq!(boxed.distance(0, 1), Some(7));
+        assert_eq!(boxed.name(), "fixed");
+        assert_eq!(boxed.index_bytes(), 0);
+        assert_eq!(boxed.avg_label_entries(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Graph statistics (the paper's Table 1 columns).
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics for a graph, matching the columns of the paper's
+/// Table 1 (`n`, `m`, `m/n`, avg. deg, max. deg, `|G|`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Edge-to-vertex ratio `m / n`.
+    pub m_over_n: f64,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// In-memory size of the CSR representation, in bytes.
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        GraphStats {
+            n,
+            m,
+            m_over_n: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            memory_bytes: g.memory_bytes(),
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Formats a byte count the way the paper's tables do (`85 MB`, `7.7 GB`).
+pub fn format_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.0} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.0} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a vertex/edge count the way the paper does (`1.7M`, `8B`).
+pub fn format_count(count: usize) -> String {
+    let c = count as f64;
+    if c >= 1e9 {
+        format!("{:.1}B", c / 1e9)
+    } else if c >= 1e6 {
+        format!("{:.1}M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.1}K", c / 1e3)
+    } else {
+        format!("{count}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stats_of_star() {
+        let g = generate::star(11);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 11);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 10);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-12);
+        assert!((s.m_over_n - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let g = generate::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2 KB");
+        assert_eq!(format_bytes(85 * 1024 * 1024), "85 MB");
+        assert_eq!(format_bytes(7_700_000_000), "7.2 GB");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(950), "950");
+        assert_eq!(format_count(1_700_000), "1.7M");
+        assert_eq!(format_count(8_000_000_000), "8.0B");
+    }
+}

@@ -1,0 +1,140 @@
+//! Induced subgraphs and vertex relabelling.
+//!
+//! The querying framework conceptually runs on the sparsified graph
+//! `G[V∖R]` (§4.1). The searches never materialise it — they skip landmarks
+//! on the fly — but materialisation is useful for analysis, tests and
+//! downstream tooling, so [`induced_subgraph`] provides it. [`relabel`]
+//! renumbers vertices by any permutation (e.g. degree order, which improves
+//! BFS cache locality on power-law graphs).
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::VertexId;
+
+/// Extracts the subgraph induced by `keep` (vertices for which
+/// `keep(v)` is true), compacting vertex ids. Returns `(subgraph,
+/// old_ids)` with `old_ids[new] = old`.
+pub fn induced_subgraph<F>(g: &CsrGraph, keep: F) -> (CsrGraph, Vec<VertexId>)
+where
+    F: Fn(VertexId) -> bool,
+{
+    let n = g.num_vertices();
+    let mut new_id = vec![u32::MAX; n];
+    let mut old_ids = Vec::new();
+    for v in g.vertices() {
+        if keep(v) {
+            new_id[v as usize] = old_ids.len() as u32;
+            old_ids.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(old_ids.len());
+    for (u, v) in g.edges() {
+        let (nu, nv) = (new_id[u as usize], new_id[v as usize]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(nu, nv).expect("compacted ids in range");
+        }
+    }
+    (b.build(), old_ids)
+}
+
+/// The sparsified graph `G[V∖R]` of the querying framework: `g` with the
+/// given vertices removed. Returns `(subgraph, old_ids)`.
+pub fn remove_vertices(g: &CsrGraph, removed: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let mut is_removed = vec![false; g.num_vertices()];
+    for &v in removed {
+        is_removed[v as usize] = true;
+    }
+    induced_subgraph(g, |v| !is_removed[v as usize])
+}
+
+/// Renumbers vertices by the permutation `order` (`order[new] = old`),
+/// which must contain every vertex exactly once.
+pub fn relabel(g: &CsrGraph, order: &[VertexId]) -> CsrGraph {
+    assert_eq!(order.len(), g.num_vertices(), "order must be a permutation");
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (new, &old) in order.iter().enumerate() {
+        assert_eq!(new_id[old as usize], u32::MAX, "duplicate vertex in order");
+        new_id[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for (u, v) in g.edges() {
+        b.add_edge(new_id[u as usize], new_id[v as usize]).expect("permutation in range");
+    }
+    b.build()
+}
+
+/// Relabels by decreasing degree — hubs get the smallest ids, packing the
+/// hot adjacency lists together in memory.
+pub fn relabel_by_degree(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let order = crate::order::degree_descending(g);
+    (relabel(g, &order), order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::traversal;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Triangle 0-1-2 plus pendant 3; keep {0, 1, 3}.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (sub, old_ids) = induced_subgraph(&g, |v| v != 2);
+        assert_eq!(old_ids, vec![0, 1, 3]);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(sub.degree(2), 0);
+    }
+
+    #[test]
+    fn remove_vertices_matches_skip_filtered_search() {
+        let g = generate::erdos_renyi(50, 120, 5);
+        let removed = [0u32, 1, 2];
+        let (sub, old_ids) = remove_vertices(&g, &removed);
+        assert_eq!(sub.num_vertices(), 47);
+        // Distances in the materialised subgraph equal the skip-filtered
+        // bounded search on the original graph.
+        let mut space = crate::SearchSpace::new(g.num_vertices());
+        for s_new in 0..sub.num_vertices() as u32 {
+            let truth = traversal::bfs_distances(&sub, s_new);
+            for t_new in (0..sub.num_vertices() as u32).step_by(7) {
+                let filtered = space.bounded_bibfs(
+                    &g,
+                    old_ids[s_new as usize],
+                    old_ids[t_new as usize],
+                    crate::INF,
+                    |v| removed.contains(&v),
+                );
+                assert_eq!(filtered, truth[t_new as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = generate::barabasi_albert(100, 3, 9);
+        let (relabelled, order) = relabel_by_degree(&g);
+        assert_eq!(relabelled.num_edges(), g.num_edges());
+        // Degrees follow the graph under the permutation.
+        for (new, &old) in order.iter().enumerate() {
+            assert_eq!(relabelled.degree(new as u32), g.degree(old));
+        }
+        // Hubs first.
+        for w in order.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+        // Distances are preserved under relabelling.
+        let d_old = traversal::bfs_distances(&g, order[0]);
+        let d_new = traversal::bfs_distances(&relabelled, 0);
+        for (new, &old) in order.iter().enumerate() {
+            assert_eq!(d_new[new], d_old[old as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn relabel_rejects_short_order() {
+        let g = generate::path(4);
+        relabel(&g, &[0, 1, 2]);
+    }
+}

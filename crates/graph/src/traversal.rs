@@ -1,0 +1,475 @@
+//! Graph searches: BFS, bidirectional BFS, distance-bounded bidirectional
+//! BFS (the online component of the paper's querying framework, Algorithm 2),
+//! and Dijkstra for weighted graphs.
+//!
+//! Point-to-point searches run on a reusable [`SearchSpace`] whose visit
+//! marks are *epoch-versioned*: a query bumps the epoch instead of clearing
+//! its `O(n)` arrays, so after a one-time allocation repeated queries touch
+//! only the vertices they actually visit. This is what makes millisecond
+//! query times possible on large graphs.
+
+use crate::csr::CsrGraph;
+use crate::wgraph::WeightedGraph;
+use crate::{VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes BFS distances from `src` to every vertex (`INF` = unreachable).
+///
+/// Used for landmark shortest-path trees (FD), ground truth in tests, and
+/// statistics. For point-to-point queries prefer [`SearchSpace`].
+pub fn bfs_distances(g: &CsrGraph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![INF; g.num_vertices()];
+    bfs_distances_into(g, src, &mut dist);
+    dist
+}
+
+/// Like [`bfs_distances`] but reuses the caller's buffer (resized and reset).
+pub fn bfs_distances_into(g: &CsrGraph, src: VertexId, dist: &mut Vec<u32>) {
+    dist.clear();
+    dist.resize(g.num_vertices(), INF);
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Reusable state for point-to-point searches on graphs with up to `n`
+/// vertices. One `SearchSpace` serves any number of sequential queries; for
+/// parallel querying give each thread its own.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    epoch: u32,
+    mark_fwd: Vec<u32>,
+    mark_rev: Vec<u32>,
+    dist_fwd: Vec<u32>,
+    dist_rev: Vec<u32>,
+    frontier: Vec<VertexId>,
+    frontier_other: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl SearchSpace {
+    /// Creates a search space for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SearchSpace {
+            epoch: 0,
+            mark_fwd: vec![0; n],
+            mark_rev: vec![0; n],
+            dist_fwd: vec![0; n],
+            dist_rev: vec![0; n],
+            frontier: Vec::new(),
+            frontier_other: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Grows the buffers to accommodate `n` vertices (no-op if large enough).
+    pub fn ensure(&mut self, n: usize) {
+        if self.mark_fwd.len() < n {
+            self.mark_fwd.resize(n, 0);
+            self.mark_rev.resize(n, 0);
+            self.dist_fwd.resize(n, 0);
+            self.dist_rev.resize(n, 0);
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        // On wrap-around, reset the mark arrays; with 32-bit epochs this
+        // happens once every 4 billion queries.
+        if self.epoch == u32::MAX {
+            self.mark_fwd.iter_mut().for_each(|m| *m = 0);
+            self.mark_rev.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Unidirectional early-exit BFS distance from `s` to `t`.
+    pub fn bfs_distance(&mut self, g: &CsrGraph, s: VertexId, t: VertexId) -> Option<u32> {
+        self.ensure(g.num_vertices());
+        if s == t {
+            return Some(0);
+        }
+        let epoch = self.next_epoch();
+        self.frontier.clear();
+        self.frontier.push(s);
+        self.mark_fwd[s as usize] = epoch;
+        let mut d = 0u32;
+        while !self.frontier.is_empty() {
+            self.next.clear();
+            for i in 0..self.frontier.len() {
+                let u = self.frontier[i];
+                for &v in g.neighbors(u) {
+                    if self.mark_fwd[v as usize] != epoch {
+                        if v == t {
+                            return Some(d + 1);
+                        }
+                        self.mark_fwd[v as usize] = epoch;
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            d += 1;
+        }
+        None
+    }
+
+    /// Bidirectional BFS distance from `s` to `t` (the paper's `Bi-BFS`
+    /// online baseline \[21\]).
+    pub fn bibfs_distance(&mut self, g: &CsrGraph, s: VertexId, t: VertexId) -> Option<u32> {
+        let d = self.bounded_bibfs(g, s, t, INF, |_| false);
+        if d == INF {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Distance-bounded bidirectional BFS on the subgraph induced by
+    /// vertices for which `skip` returns `false` (Algorithm 2).
+    ///
+    /// Returns `min(d_G'(s, t), bound)` where `G'` is the skip-filtered
+    /// graph; returns `bound` as soon as the two searches can prove
+    /// `d_G'(s, t) >= bound`, and `INF` only if `bound == INF` and `t` is
+    /// unreachable from `s` in `G'`.
+    ///
+    /// In the paper's framework `skip` filters out the landmarks (so `G'` is
+    /// the sparsified graph `G[V∖R]`) and `bound` is the label upper bound
+    /// `d⊤(s, t)`, which is exact whenever some shortest `s–t` path crosses a
+    /// landmark; hence the minimum of the two is the exact distance in `G`.
+    ///
+    /// `s` and `t` must not themselves be skipped.
+    pub fn bounded_bibfs<F>(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        bound: u32,
+        skip: F,
+    ) -> u32
+    where
+        F: Fn(VertexId) -> bool,
+    {
+        debug_assert!(!skip(s) && !skip(t), "query endpoints must not be skipped");
+        self.ensure(g.num_vertices());
+        if s == t {
+            return 0;
+        }
+        if bound == 0 {
+            return 0;
+        }
+        let epoch = self.next_epoch();
+
+        self.frontier.clear();
+        self.frontier.push(s);
+        self.mark_fwd[s as usize] = epoch;
+        self.dist_fwd[s as usize] = 0;
+
+        self.frontier_other.clear();
+        self.frontier_other.push(t);
+        self.mark_rev[t as usize] = epoch;
+        self.dist_rev[t as usize] = 0;
+
+        let mut d_fwd = 0u32;
+        let mut d_rev = 0u32;
+        // Total vertices settled on each side; the paper expands the smaller
+        // side (`|Ps| <= |Pt|`, Algorithm 2 line 4).
+        let mut settled_fwd = 1usize;
+        let mut settled_rev = 1usize;
+
+        loop {
+            if self.frontier.is_empty() || self.frontier_other.is_empty() {
+                // One side exhausted its component without meeting the other:
+                // d_G'(s, t) = INF, so the bound (possibly INF) is the answer.
+                return bound;
+            }
+            // Once the explored radii reach the bound, any undiscovered path
+            // has length >= d_fwd + d_rev + 1 > bound.
+            if d_fwd.saturating_add(d_rev) >= bound {
+                return bound;
+            }
+
+            let forward = settled_fwd <= settled_rev;
+            let (frontier, mark_same, dist_same, mark_other, dist_other, d_same, d_other) =
+                if forward {
+                    (
+                        &mut self.frontier,
+                        &mut self.mark_fwd,
+                        &mut self.dist_fwd,
+                        &self.mark_rev,
+                        &self.dist_rev,
+                        &mut d_fwd,
+                        d_rev,
+                    )
+                } else {
+                    (
+                        &mut self.frontier_other,
+                        &mut self.mark_rev,
+                        &mut self.dist_rev,
+                        &self.mark_fwd,
+                        &self.dist_fwd,
+                        &mut d_rev,
+                        d_fwd,
+                    )
+                };
+
+            self.next.clear();
+            let mut settled_this_level = 0usize;
+            for &u in frontier.iter() {
+                for &v in g.neighbors(u) {
+                    let vi = v as usize;
+                    if skip(v) {
+                        continue;
+                    }
+                    if mark_other[vi] == epoch {
+                        // The searches met. Level-synchronous expansion
+                        // guarantees dist_other[v] == d_other here (a closer
+                        // meeting point would have been found in an earlier
+                        // level), so this is the exact filtered distance.
+                        let met = (*d_same + 1).saturating_add(dist_other[vi]);
+                        debug_assert_eq!(dist_other[vi], d_other);
+                        return met.min(bound);
+                    }
+                    if mark_same[vi] != epoch {
+                        mark_same[vi] = epoch;
+                        dist_same[vi] = *d_same + 1;
+                        self.next.push(v);
+                        settled_this_level += 1;
+                    }
+                }
+            }
+            std::mem::swap(frontier, &mut self.next);
+            *d_same += 1;
+            if forward {
+                settled_fwd += settled_this_level;
+            } else {
+                settled_rev += settled_this_level;
+            }
+        }
+    }
+}
+
+/// Dijkstra distances from `src` on a weighted graph (`INF` = unreachable).
+pub fn dijkstra_distances(g: &WeightedGraph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Early-exit point-to-point Dijkstra (the weighted online baseline,
+/// "Dijkstra \[27\]" in the paper's Figure 1).
+pub fn dijkstra_distance(g: &WeightedGraph, s: VertexId, t: VertexId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == t {
+            return Some(d);
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::wgraph::WeightedGraphBuilder;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        generate::path(n)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_distances_disconnected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn point_to_point_matches_full_bfs() {
+        let g = generate::erdos_renyi(80, 160, 42);
+        let mut space = SearchSpace::new(g.num_vertices());
+        for s in [0u32, 7, 31] {
+            let truth = bfs_distances(&g, s);
+            for t in g.vertices() {
+                let expect = if truth[t as usize] == INF { None } else { Some(truth[t as usize]) };
+                assert_eq!(space.bfs_distance(&g, s, t), expect, "bfs {s}->{t}");
+                assert_eq!(space.bibfs_distance(&g, s, t), expect, "bibfs {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_vertex_is_zero() {
+        let g = path_graph(3);
+        let mut space = SearchSpace::new(3);
+        assert_eq!(space.bfs_distance(&g, 1, 1), Some(0));
+        assert_eq!(space.bibfs_distance(&g, 1, 1), Some(0));
+        assert_eq!(space.bounded_bibfs(&g, 1, 1, 5, |_| false), 0);
+    }
+
+    #[test]
+    fn bounded_returns_bound_when_true_distance_exceeds_it() {
+        let g = path_graph(10);
+        let mut space = SearchSpace::new(10);
+        // True distance 9, bound 4 -> the search must stop early.
+        assert_eq!(space.bounded_bibfs(&g, 0, 9, 4, |_| false), 4);
+        // Bound equal to the true distance is returned exactly.
+        assert_eq!(space.bounded_bibfs(&g, 0, 9, 9, |_| false), 9);
+        // Loose bound: exact distance wins.
+        assert_eq!(space.bounded_bibfs(&g, 0, 9, 100, |_| false), 9);
+    }
+
+    #[test]
+    fn bounded_with_skip_respects_sparsified_graph() {
+        // 0-1-2 and 0-3-4-2: removing vertex 1 forces the long way round.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)]);
+        let mut space = SearchSpace::new(5);
+        assert_eq!(space.bounded_bibfs(&g, 0, 2, INF, |_| false), 2);
+        assert_eq!(space.bounded_bibfs(&g, 0, 2, INF, |v| v == 1), 3);
+        // Skipping both middle vertices disconnects s from t: bound returned.
+        assert_eq!(space.bounded_bibfs(&g, 0, 2, 7, |v| v == 1 || v == 3), 7);
+        assert_eq!(space.bounded_bibfs(&g, 0, 2, INF, |v| v == 1 || v == 3), INF);
+    }
+
+    #[test]
+    fn bounded_on_adjacent_vertices() {
+        let g = path_graph(2);
+        let mut space = SearchSpace::new(2);
+        assert_eq!(space.bounded_bibfs(&g, 0, 1, 1, |_| false), 1);
+        assert_eq!(space.bounded_bibfs(&g, 0, 1, INF, |_| false), 1);
+    }
+
+    #[test]
+    fn bounded_matches_reference_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generate::erdos_renyi(60, 110, seed);
+            let mut space = SearchSpace::new(g.num_vertices());
+            // Reference: full BFS on the graph with vertices 0..3 removed.
+            let skip = |v: VertexId| v < 3;
+            for s in [3u32, 10, 59] {
+                let truth = {
+                    // BFS that honours the skip filter.
+                    let mut dist = vec![INF; g.num_vertices()];
+                    let mut q = std::collections::VecDeque::new();
+                    dist[s as usize] = 0;
+                    q.push_back(s);
+                    while let Some(u) = q.pop_front() {
+                        for &v in g.neighbors(u) {
+                            if !skip(v) && dist[v as usize] == INF {
+                                dist[v as usize] = dist[u as usize] + 1;
+                                q.push_back(v);
+                            }
+                        }
+                    }
+                    dist
+                };
+                for t in 3..g.num_vertices() as VertexId {
+                    let exact = truth[t as usize];
+                    for bound in [0u32, 1, 2, 3, 5, 100, INF] {
+                        if s == t {
+                            continue;
+                        }
+                        let got = space.bounded_bibfs(&g, s, t, bound, skip);
+                        assert_eq!(got, exact.min(bound), "s={s} t={t} bound={bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_reuse_many_queries() {
+        let g = path_graph(6);
+        let mut space = SearchSpace::new(6);
+        for _ in 0..1000 {
+            assert_eq!(space.bibfs_distance(&g, 0, 5), Some(5));
+            assert_eq!(space.bfs_distance(&g, 5, 0), Some(5));
+        }
+    }
+
+    #[test]
+    fn dijkstra_weighted_paths() {
+        let mut b = WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 2, 5);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        assert_eq!(dijkstra_distances(&g, 0), vec![0, 1, 2, 4]);
+        assert_eq!(dijkstra_distance(&g, 0, 3), Some(4));
+        assert_eq!(dijkstra_distance(&g, 3, 0), Some(4));
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut b = WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        assert_eq!(dijkstra_distance(&g, 0, 2), None);
+        assert_eq!(dijkstra_distances(&g, 0)[2], INF);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let g = generate::erdos_renyi(50, 90, 7);
+        let mut b = WeightedGraphBuilder::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            b.add_edge(u, v, 1);
+        }
+        let wg = b.build();
+        for s in [0u32, 13, 49] {
+            assert_eq!(dijkstra_distances(&wg, s), bfs_distances(&g, s));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Weighted undirected graph in CSR form.
+//!
+//! The paper's networks are unweighted, but the IS-Label baseline \[12\]
+//! introduces *augmenting (shortcut) edges* whose weights are sums of
+//! original edge weights, so its hierarchy and query searches operate on a
+//! weighted graph. Parallel edges collapse to the minimum weight at build
+//! time, which is exactly the semantics shortcut insertion needs.
+
+use crate::VertexId;
+
+/// An immutable weighted undirected graph (CSR layout, parallel arrays for
+/// targets and weights).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of `v`, sorted by neighbor.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.targets[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let ui = u as usize;
+        let range = self.offsets[ui]..self.offsets[ui + 1];
+        let slice = &self.targets[range.clone()];
+        slice.binary_search(&v).ok().map(|i| self.weights[range.start + i])
+    }
+
+    /// Bytes used by the in-memory representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Builder for [`WeightedGraph`]. Parallel edges keep the minimum weight;
+/// self-loops are dropped.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedGraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId, u32)>,
+}
+
+impl WeightedGraphBuilder {
+    /// A builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedGraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds undirected edge `{u, v}` with weight `w` (panics if out of range).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: u32) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b, w));
+        }
+    }
+
+    /// Builds the weighted CSR graph.
+    pub fn build(mut self) -> WeightedGraph {
+        self.edges.sort_unstable();
+        // Keep the minimum-weight copy of each parallel edge (sorted order
+        // puts it first).
+        self.edges.dedup_by_key(|e| (e.0, e.1));
+
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        for &(u, v, _) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0 as VertexId; acc];
+        let mut weights = vec![0u32; acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v, w) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            weights[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency range by target, carrying weights along.
+        let mut scratch: Vec<(VertexId, u32)> = Vec::new();
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            scratch.clear();
+            scratch
+                .extend(targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()));
+            scratch.sort_unstable();
+            for (i, &(t, w)) in scratch.iter().enumerate() {
+                targets[range.start + i] = t;
+                weights[range.start + i] = w;
+            }
+        }
+        WeightedGraph { offsets, targets, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_weighted_graph() {
+        let mut b = WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+        assert_eq!(g.edge_weight(1, 0), Some(3));
+        assert_eq!(g.edge_weight(0, 2), None);
+        let n1: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(n1, vec![(0, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum_weight() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(0, 1, 9);
+        b.add_edge(1, 0, 2);
+        b.add_edge(0, 1, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(0, 0, 1);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the graph substrate: CSR invariants, search
+//! equivalences, serialisation robustness.
+
+use hcl_graph::{connectivity, io, traversal, CsrGraph, SearchSpace, INF};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..50).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..140)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_invariants(g in arbitrary_graph()) {
+        // Sorted, deduplicated, symmetric adjacency with no self-loops.
+        let mut total = 0usize;
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            total += nbrs.len();
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &u in nbrs {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.neighbors(u).contains(&v), "asymmetric edge {}-{}", v, u);
+            }
+        }
+        prop_assert_eq!(total, 2 * g.num_edges());
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn bibfs_equals_bfs(g in arbitrary_graph()) {
+        let mut space = SearchSpace::new(g.num_vertices());
+        for s in g.vertices() {
+            let dist = traversal::bfs_distances(&g, s);
+            for t in g.vertices() {
+                let expect = (dist[t as usize] != INF).then_some(dist[t as usize]);
+                prop_assert_eq!(space.bibfs_distance(&g, s, t), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_bibfs_honours_bound(
+        g in arbitrary_graph(),
+        bound in 0u32..12,
+    ) {
+        let mut space = SearchSpace::new(g.num_vertices());
+        for s in g.vertices().take(6) {
+            let dist = traversal::bfs_distances(&g, s);
+            for t in g.vertices().take(12) {
+                let got = space.bounded_bibfs(&g, s, t, bound, |_| false);
+                prop_assert_eq!(got, dist[t as usize].min(bound));
+            }
+        }
+    }
+
+    #[test]
+    fn component_labels_agree_with_reachability(g in arbitrary_graph()) {
+        let (comp, count) = connectivity::connected_components(&g);
+        prop_assert!(count >= 1);
+        let dist = traversal::bfs_distances(&g, 0);
+        for v in g.vertices() {
+            prop_assert_eq!(comp[v as usize] == comp[0], dist[v as usize] != INF);
+        }
+        let (lcc, old_ids) = connectivity::largest_connected_component(&g);
+        prop_assert!(connectivity::is_connected(&lcc));
+        prop_assert_eq!(lcc.num_vertices(), old_ids.len());
+    }
+
+    #[test]
+    fn binary_roundtrip(g in arbitrary_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_binary(std::io::Cursor::new(buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn corrupted_binary_never_panics(
+        g in arbitrary_graph(),
+        cut in 0usize..64,
+        flip in 0usize..64,
+    ) {
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        // Truncate and bit-flip: must either parse to *some* graph or fail
+        // cleanly, never panic.
+        let cut = cut.min(buf.len());
+        buf.truncate(buf.len() - cut);
+        if !buf.is_empty() {
+            let idx = flip % buf.len();
+            buf[idx] ^= 0x5A;
+        }
+        let _ = io::read_binary(std::io::Cursor::new(buf));
+    }
+
+    #[test]
+    fn subgraph_distances_match_filtered_search(g in arbitrary_graph()) {
+        if g.num_vertices() < 4 {
+            return Ok(());
+        }
+        let removed: Vec<u32> = vec![0, 1];
+        let (sub, old_ids) = hcl_graph::subgraph::remove_vertices(&g, &removed);
+        let mut space = SearchSpace::new(g.num_vertices());
+        for s_new in 0..sub.num_vertices().min(8) as u32 {
+            let dist = traversal::bfs_distances(&sub, s_new);
+            for t_new in 0..sub.num_vertices().min(8) as u32 {
+                let via_skip = space.bounded_bibfs(
+                    &g,
+                    old_ids[s_new as usize],
+                    old_ids[t_new as usize],
+                    INF,
+                    |v| removed.contains(&v),
+                );
+                prop_assert_eq!(via_skip, dist[t_new as usize]);
+            }
+        }
+    }
+}

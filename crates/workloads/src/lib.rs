@@ -1,0 +1,23 @@
+//! Evaluation workloads: synthetic stand-ins for the paper's twelve
+//! real-world networks (Table 1) and the query workloads run against them.
+//!
+//! The original datasets (KONECT, WebGraph, SNAP, NetworkRepository dumps up
+//! to 2 billion vertices) are neither redistributable nor tractable in this
+//! environment, so [`datasets`] generates one synthetic graph per paper
+//! dataset that preserves what the algorithms actually see: the network
+//! *category* (social/computer networks → Barabási–Albert preferential
+//! attachment; web crawls → a copying model with link locality), the
+//! paper's edge-to-vertex ratio, a giant connected component, and the
+//! small-world distance distribution of Figure 6. Vertex counts default to
+//! roughly 1/1000 of the paper's (clamped), scalable via the `HCL_SCALE`
+//! environment variable.
+//!
+//! [`queries`] reproduces the paper's workload: uniformly sampled vertex
+//! pairs (100,000 in the paper; `HCL_QUERIES` here) and the distance
+//! distribution over them (Figure 6).
+
+pub mod datasets;
+pub mod queries;
+
+pub use datasets::{all_datasets, DatasetSpec, NetworkType};
+pub use queries::{sample_pairs, DistanceDistribution};

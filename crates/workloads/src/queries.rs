@@ -1,0 +1,168 @@
+//! Query workloads: uniformly sampled vertex pairs and the Figure 6
+//! distance distribution.
+
+use hcl_graph::oracle::DistanceOracle;
+use hcl_graph::{CsrGraph, SearchSpace, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `count` uniform vertex pairs with `s != t` (the paper samples
+/// 100,000 pairs from `V × V` per dataset). Deterministic in `seed`.
+pub fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(n >= 2, "need at least two vertices to sample pairs");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let s = rng.random_range(0..n as VertexId);
+        let t = rng.random_range(0..n as VertexId);
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+/// Number of query pairs from the `HCL_QUERIES` environment variable
+/// (default `default`).
+pub fn queries_from_env(default: usize) -> usize {
+    std::env::var("HCL_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Histogram of exact distances over a pair workload (Figure 6).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DistanceDistribution {
+    /// `counts[d]` = number of pairs at distance `d`.
+    pub counts: Vec<usize>,
+    /// Pairs with no connecting path.
+    pub unreachable: usize,
+    /// Total pairs measured.
+    pub total: usize,
+}
+
+impl DistanceDistribution {
+    /// Measures the distribution with bidirectional BFS (the reference
+    /// method; independent of any index).
+    pub fn measure(g: &CsrGraph, pairs: &[(VertexId, VertexId)]) -> Self {
+        let mut space = SearchSpace::new(g.num_vertices());
+        let mut dist = DistanceDistribution::default();
+        for &(s, t) in pairs {
+            dist.record(space.bibfs_distance(g, s, t));
+        }
+        dist
+    }
+
+    /// Measures the distribution using any distance oracle.
+    pub fn measure_with(
+        oracle: &mut dyn DistanceOracle,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Self {
+        let mut dist = DistanceDistribution::default();
+        for &(s, t) in pairs {
+            dist.record(oracle.distance(s, t));
+        }
+        dist
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, d: Option<u32>) {
+        self.total += 1;
+        match d {
+            None => self.unreachable += 1,
+            Some(d) => {
+                let d = d as usize;
+                if self.counts.len() <= d {
+                    self.counts.resize(d + 1, 0);
+                }
+                self.counts[d] += 1;
+            }
+        }
+    }
+
+    /// Fraction of pairs at exactly distance `d` (Figure 6's y-axis).
+    pub fn fraction(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts.get(d).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Mean distance over reachable pairs.
+    pub fn mean(&self) -> f64 {
+        let reachable: usize = self.counts.iter().sum();
+        if reachable == 0 {
+            return f64::NAN;
+        }
+        let sum: f64 = self.counts.iter().enumerate().map(|(d, &c)| (d * c) as f64).sum();
+        sum / reachable as f64
+    }
+
+    /// Largest observed distance.
+    pub fn max_distance(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+
+    #[test]
+    fn pairs_are_deterministic_distinct_and_in_range() {
+        let a = sample_pairs(50, 200, 9);
+        let b = sample_pairs(50, 200, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for &(s, t) in &a {
+            assert!(s < 50 && t < 50 && s != t);
+        }
+        assert_ne!(a, sample_pairs(50, 200, 10));
+    }
+
+    #[test]
+    fn distribution_on_path_graph() {
+        let g = generate::path(4); // distances 1,1,1,2,2,3 over distinct pairs
+        let pairs: Vec<(u32, u32)> =
+            (0..4).flat_map(|s| (0..4).filter(move |&t| s != t).map(move |t| (s, t))).collect();
+        let d = DistanceDistribution::measure(&g, &pairs);
+        assert_eq!(d.total, 12);
+        assert_eq!(d.counts[1], 6);
+        assert_eq!(d.counts[2], 4);
+        assert_eq!(d.counts[3], 2);
+        assert_eq!(d.unreachable, 0);
+        assert!((d.fraction(1) - 0.5).abs() < 1e-12);
+        assert!((d.mean() - (6.0 + 8.0 + 6.0) / 12.0).abs() < 1e-12);
+        assert_eq!(d.max_distance(), 3);
+    }
+
+    #[test]
+    fn distribution_counts_unreachable() {
+        let g = hcl_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = DistanceDistribution::measure(&g, &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(d.unreachable, 2);
+        assert_eq!(d.counts[1], 1);
+    }
+
+    #[test]
+    fn small_world_standins_have_small_mean_distance() {
+        let g = generate::barabasi_albert(2_000, 9, 42);
+        let pairs = sample_pairs(g.num_vertices(), 500, 7);
+        let d = DistanceDistribution::measure(&g, &pairs);
+        // Figure 6: most pairs lie between distance 2 and 8.
+        assert!(d.mean() > 1.5 && d.mean() < 8.0, "mean {}", d.mean());
+        assert_eq!(d.unreachable, 0);
+    }
+
+    #[test]
+    fn measure_with_oracle_agrees_with_bibfs() {
+        let g = generate::erdos_renyi(60, 120, 3);
+        let pairs = sample_pairs(60, 100, 1);
+        let reference = DistanceDistribution::measure(&g, &pairs);
+        let mut oracle = hcl_graph::SearchSpace::new(g.num_vertices());
+        let mut via_record = DistanceDistribution::default();
+        for &(s, t) in &pairs {
+            via_record.record(oracle.bibfs_distance(&g, s, t));
+        }
+        assert_eq!(reference, via_record);
+    }
+}

@@ -1,0 +1,94 @@
+//! Side-by-side comparison of every method on one dataset — a miniature of
+//! the paper's Table 2/3 you can run in seconds.
+//!
+//! ```text
+//! cargo run --release --example method_comparison [dataset] [queries]
+//! ```
+
+use hcl::prelude::*;
+use hcl::workloads::queries::sample_pairs;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args.get(1).map(String::as_str).unwrap_or("Skitter");
+    let num_queries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+
+    let spec = hcl::workloads::datasets::dataset_by_name(dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {dataset:?}; see Table 1 names"));
+    println!("generating {} stand-in …", spec.name);
+    let g = spec.generate(1.0);
+    println!("  n = {}, m = {}\n", g.num_vertices(), g.num_edges());
+    let pairs = sample_pairs(g.num_vertices(), num_queries, 2024);
+
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>10}",
+        "method", "build", "index bytes", "µs/query", "ALS"
+    );
+
+    // HL (this paper).
+    let landmarks = LandmarkStrategy::TopDegree(20).select(&g);
+    let start = Instant::now();
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let build = start.elapsed();
+    let mut hl = HlOracle::new(&g, labelling);
+    report(&mut hl, build, &pairs);
+
+    // FD.
+    let start = Instant::now();
+    let (fd_index, _) = FdIndex::build(&g, FdConfig::default()).unwrap();
+    let build = start.elapsed();
+    let mut fd = FdOracle::new(&g, fd_index);
+    report(&mut fd, build, &pairs);
+
+    // PLL.
+    let start = Instant::now();
+    let (pll_index, _) = PllIndex::build(&g, PllConfig::default()).unwrap();
+    let build = start.elapsed();
+    let mut pll = hcl::baselines::pll::PllOracle::new(pll_index);
+    report(&mut pll, build, &pairs);
+
+    // IS-L.
+    let start = Instant::now();
+    let (isl_index, _) = IslIndex::build(&g, IslConfig::default()).unwrap();
+    let build = start.elapsed();
+    let mut isl = IslOracle::new(isl_index);
+    report(&mut isl, build, &pairs[..pairs.len().min(500)]);
+
+    // Bi-BFS (no index).
+    let mut bibfs = BiBfsOracle::new(&g);
+    report(&mut bibfs, std::time::Duration::ZERO, &pairs[..pairs.len().min(500)]);
+
+    // Cross-check: all methods agree on a sample.
+    let mut mismatch = 0;
+    for &(s, t) in pairs.iter().take(200) {
+        let d = hl.distance(s, t);
+        if fd.distance(s, t) != d
+            || pll.distance(s, t) != d
+            || isl.distance(s, t) != d
+            || bibfs.distance(s, t) != d
+        {
+            mismatch += 1;
+        }
+    }
+    println!("\ncross-check on 200 pairs: {mismatch} disagreements");
+}
+
+fn report(oracle: &mut dyn DistanceOracle, build: std::time::Duration, pairs: &[(u32, u32)]) {
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for &(s, t) in pairs {
+        if let Some(d) = oracle.distance(s, t) {
+            checksum = checksum.wrapping_add(d as u64);
+        }
+    }
+    let per_query = start.elapsed().as_micros() as f64 / pairs.len() as f64;
+    println!(
+        "{:<8} {:>12} {:>14} {:>12.2} {:>10.1}   (checksum {checksum})",
+        oracle.name(),
+        format!("{build:.2?}"),
+        oracle.index_bytes(),
+        per_query,
+        oracle.avg_label_entries(),
+    );
+}

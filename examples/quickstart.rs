@@ -1,0 +1,50 @@
+//! Quickstart: build a highway cover labelling and answer distance queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hcl::prelude::*;
+
+fn main() {
+    // A synthetic social network: 50k vertices, preferential attachment.
+    println!("generating a 50k-vertex scale-free network …");
+    let g = hcl::graph::generate::barabasi_albert(50_000, 8, 42);
+    println!(
+        "  n = {}, m = {}, max degree = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    // Step 1: pick landmarks. The paper uses the 20 highest-degree vertices.
+    let landmarks = LandmarkStrategy::TopDegree(20).select(&g);
+
+    // Step 2: build the labelling (HL-P: one pruned BFS per landmark,
+    // landmarks processed in parallel).
+    let (labelling, stats) =
+        HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).expect("build labelling");
+    println!(
+        "built labelling in {:?}: {} entries ({:.2} per vertex), index {} bytes",
+        stats.duration,
+        labelling.labels().total_entries(),
+        labelling.labels().avg_label_size(),
+        labelling.index_bytes(),
+    );
+
+    // Step 3: query. The oracle owns reusable search buffers, so queries
+    // allocate nothing.
+    let mut oracle = HlOracle::new(&g, labelling);
+    for (s, t) in [(0u32, 49_999u32), (123, 45_678), (7, 7), (31_415, 27_182)] {
+        let ub = oracle.upper_bound(s, t);
+        match oracle.query(s, t) {
+            Some(d) => println!("d({s:>6}, {t:>6}) = {d}   (label upper bound {ub})"),
+            None => println!("d({s:>6}, {t:>6}) = unreachable"),
+        }
+    }
+
+    // The same oracle behind the common trait, for method-generic code.
+    let mut boxed: Box<dyn DistanceOracle + '_> = Box::new(oracle);
+    let d = boxed.distance(1, 2);
+    println!("via DistanceOracle: d(1, 2) = {d:?} using method {}", boxed.name());
+}

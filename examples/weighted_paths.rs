@@ -1,0 +1,57 @@
+//! Weighted highway cover labelling + shortest-path reconstruction — two
+//! extensions beyond the paper (which evaluates unweighted distance-only
+//! queries).
+//!
+//! A logistics-style scenario: a road-ish network with integer edge costs;
+//! we answer exact weighted distances through the labelling and reconstruct
+//! an actual unweighted route with the greedy path extractor.
+//!
+//! ```text
+//! cargo run --release --example weighted_paths
+//! ```
+
+use hcl::core::weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
+use hcl::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Base topology: small-world network; weights: 1..=10 (travel minutes).
+    let base = hcl::graph::generate::watts_strogatz(20_000, 6, 0.05, 9);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut builder = hcl::graph::WeightedGraphBuilder::new(base.num_vertices());
+    for (u, v) in base.edges() {
+        builder.add_edge(u, v, rng.random_range(1..=10));
+    }
+    let wg = builder.build();
+    println!("weighted network: n = {}, m = {}", wg.num_vertices(), wg.num_edges());
+
+    // Landmarks by weighted-graph degree.
+    let mut order: Vec<u32> = (0..wg.num_vertices() as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(wg.degree(v)));
+    order.truncate(20);
+
+    let labelling = WeightedHighwayCoverLabelling::build(&wg, &order).expect("build");
+    println!(
+        "weighted labelling: {} entries ({:.2} per vertex)",
+        labelling.total_entries(),
+        labelling.total_entries() as f64 / wg.num_vertices() as f64
+    );
+    let mut oracle = WeightedHlOracle::new(&wg, labelling);
+    for (s, t) in [(0u32, 10_000u32), (42, 13_337), (777, 777)] {
+        println!("weighted d({s:>5}, {t:>5}) = {:?}", oracle.query(s, t));
+    }
+
+    // Path reconstruction on the unweighted graph via the HL oracle.
+    let landmarks = LandmarkStrategy::TopDegree(20).select(&base);
+    let (unweighted, _) = HighwayCoverLabelling::build_parallel(&base, &landmarks, 0).unwrap();
+    let mut hl = HlOracle::new(&base, unweighted);
+    let (s, t) = (0u32, 10_000u32);
+    let path = hcl::graph::paths::shortest_path(&base, &mut hl, s, t).expect("connected");
+    assert!(hcl::graph::paths::is_valid_path(&base, &path));
+    println!(
+        "\nunweighted route {s} -> {t} ({} hops): {:?} …",
+        path.len() - 1,
+        &path[..path.len().min(8)]
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration: every exact method in the workspace must return identical
+//! distances on every dataset family the evaluation uses — HL (sequential
+//! and parallel builds), FD, PLL (with and without bit-parallel roots),
+//! IS-L, Bi-BFS and plain BFS.
+
+use hcl::prelude::*;
+use hcl::workloads::queries::sample_pairs;
+use hcl_baselines::pll::PllOracle;
+
+fn oracles_agree(g: &CsrGraph, queries: usize, seed: u64) {
+    let pairs = sample_pairs(g.num_vertices(), queries, seed);
+
+    let landmarks = LandmarkStrategy::TopDegree(12).select(g);
+    let (seq, _) = HighwayCoverLabelling::build(g, &landmarks).unwrap();
+    let (par, _) = HighwayCoverLabelling::build_parallel(g, &landmarks, 4).unwrap();
+    assert_eq!(seq, par, "parallel and sequential labellings must be identical");
+    let mut hl = HlOracle::new(g, seq);
+
+    let (fd_index, _) = FdIndex::build(g, FdConfig::default()).unwrap();
+    let mut fd = FdOracle::new(g, fd_index);
+
+    let (pll_plain, _) =
+        PllIndex::build(g, PllConfig { num_bp_roots: 0, bp_neighbors: 0 }).unwrap();
+    let mut pll0 = PllOracle::new(pll_plain);
+    let (pll_bp, _) =
+        PllIndex::build(g, PllConfig { num_bp_roots: 8, bp_neighbors: 64 }).unwrap();
+    let mut pll8 = PllOracle::new(pll_bp);
+
+    let (isl_index, _) = IslIndex::build(g, IslConfig::default()).unwrap();
+    let mut isl = IslOracle::new(isl_index);
+
+    let mut bibfs = BiBfsOracle::new(g);
+    let mut bfs = BfsOracle::new(g);
+
+    for &(s, t) in &pairs {
+        let expect = bfs.distance(s, t);
+        assert_eq!(hl.distance(s, t), expect, "HL {s}->{t}");
+        assert_eq!(fd.distance(s, t), expect, "FD {s}->{t}");
+        assert_eq!(pll0.distance(s, t), expect, "PLL {s}->{t}");
+        assert_eq!(pll8.distance(s, t), expect, "PLL+BP {s}->{t}");
+        assert_eq!(isl.distance(s, t), expect, "IS-L {s}->{t}");
+        assert_eq!(bibfs.distance(s, t), expect, "Bi-BFS {s}->{t}");
+    }
+}
+
+#[test]
+fn agreement_on_scale_free_network() {
+    let g = hcl::graph::generate::barabasi_albert(600, 4, 1);
+    oracles_agree(&g, 400, 10);
+}
+
+#[test]
+fn agreement_on_web_copying_network() {
+    let g = hcl::graph::generate::web_copying(700, 5, 0.25, 2);
+    let g = hcl::graph::connectivity::largest_connected_component(&g).0;
+    oracles_agree(&g, 400, 11);
+}
+
+#[test]
+fn agreement_on_erdos_renyi() {
+    let g = hcl::graph::generate::erdos_renyi(500, 1_100, 3);
+    oracles_agree(&g, 400, 12);
+}
+
+#[test]
+fn agreement_on_small_world() {
+    let g = hcl::graph::generate::watts_strogatz(400, 6, 0.1, 4);
+    oracles_agree(&g, 400, 13);
+}
+
+#[test]
+fn agreement_on_sparse_tree_like_graph() {
+    let g = hcl::graph::generate::random_tree(300, 5);
+    oracles_agree(&g, 300, 14);
+}
+
+#[test]
+fn agreement_on_grid() {
+    let g = hcl::graph::generate::grid(15, 18);
+    oracles_agree(&g, 300, 15);
+}
+
+#[test]
+fn agreement_on_dataset_standins() {
+    // Tiny-scale versions of three Table 1 stand-ins, one per family.
+    for name in ["Skitter", "LiveJournal", "Indochina"] {
+        let spec = hcl::workloads::datasets::dataset_by_name(name).unwrap();
+        let g = spec.generate(0.05);
+        oracles_agree(&g, 250, 16);
+    }
+}
+
+#[test]
+fn agreement_on_disconnected_components() {
+    // Two BA components glued into one vertex set, plus isolated vertices.
+    let a = hcl::graph::generate::barabasi_albert(150, 3, 7);
+    let b = hcl::graph::generate::barabasi_albert(120, 3, 8);
+    let mut builder = GraphBuilder::new(150 + 120 + 5);
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v).unwrap();
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(u + 150, v + 150).unwrap();
+    }
+    let g = builder.build();
+    oracles_agree(&g, 400, 17);
+}

@@ -1,0 +1,122 @@
+//! End-to-end pipeline tests: dataset generation → labelling → persistence
+//! → querying, the way the CLI and the benchmark harness drive the library.
+
+use hcl::prelude::*;
+use hcl::workloads::queries::{sample_pairs, DistanceDistribution};
+
+#[test]
+fn full_pipeline_on_standin_dataset() {
+    let spec = hcl::workloads::datasets::dataset_by_name("Flickr").unwrap();
+    let g = spec.generate(0.1);
+    assert!(hcl::graph::connectivity::is_connected(&g));
+
+    // Build, persist, reload.
+    let landmarks = LandmarkStrategy::TopDegree(20).select(&g);
+    let (labelling, stats) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    assert!(stats.labels_added > 0);
+    let dir = std::env::temp_dir().join("hcl_pipeline_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.hclg");
+    let index_path = dir.join("g.hcl");
+    hcl::graph::io::save_binary(&g, &graph_path).unwrap();
+    hcl::core::io::save_labelling(&labelling, &index_path).unwrap();
+
+    let g2 = hcl::graph::io::load_binary(&graph_path).unwrap();
+    let labelling2 = hcl::core::io::load_labelling(&index_path).unwrap();
+    assert_eq!(g, g2);
+    assert_eq!(labelling, labelling2);
+
+    // Queries on the reloaded index match Bi-BFS ground truth.
+    let mut oracle = HlOracle::new(&g2, labelling2);
+    let mut reference = BiBfsOracle::new(&g);
+    let pairs = sample_pairs(g.num_vertices(), 300, 5);
+    for &(s, t) in &pairs {
+        assert_eq!(oracle.distance(s, t), reference.distance(s, t), "{s}->{t}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distance_distribution_matches_between_oracle_and_bibfs() {
+    // Figure 6 is computed through the HL oracle in the harness; verify
+    // that gives the identical distribution to Bi-BFS.
+    let spec = hcl::workloads::datasets::dataset_by_name("Skitter").unwrap();
+    let g = spec.generate(0.1);
+    let pairs = sample_pairs(g.num_vertices(), 500, 9);
+    let reference = DistanceDistribution::measure(&g, &pairs);
+
+    let landmarks = LandmarkStrategy::TopDegree(20).select(&g);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let mut oracle = HlOracle::new(&g, labelling);
+    let mut via_oracle = DistanceDistribution::default();
+    for &(s, t) in &pairs {
+        via_oracle.record(oracle.query(s, t));
+    }
+    assert_eq!(reference, via_oracle);
+    // Small-world sanity (Figure 6's shape): short average distances.
+    assert!(via_oracle.mean() < 10.0);
+}
+
+#[test]
+fn every_standin_dataset_generates_and_answers_queries() {
+    // Tiny scale so all 12 datasets stay fast; exercises both generator
+    // families end to end.
+    for spec in hcl::workloads::all_datasets() {
+        let g = spec.generate(0.02);
+        assert!(g.num_vertices() >= 16, "{}", spec.name);
+        let landmarks = LandmarkStrategy::TopDegree(10).select(&g);
+        let (labelling, _) =
+            HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+        let mut oracle = HlOracle::new(&g, labelling);
+        let mut reference = BiBfsOracle::new(&g);
+        for &(s, t) in sample_pairs(g.num_vertices(), 60, 3).iter() {
+            assert_eq!(
+                oracle.distance(s, t),
+                reference.distance(s, t),
+                "{} {s}->{t}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn landmark_strategies_all_produce_exact_oracles() {
+    let g = hcl::graph::generate::barabasi_albert(400, 4, 21);
+    let mut reference = BiBfsOracle::new(&g);
+    for strategy in [
+        LandmarkStrategy::TopDegree(15),
+        LandmarkStrategy::TopTwoHopDegree(15),
+        LandmarkStrategy::Random { k: 15, seed: 2 },
+    ] {
+        let landmarks = strategy.select(&g);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let mut oracle = HlOracle::new(&g, labelling);
+        for &(s, t) in sample_pairs(400, 200, 8).iter() {
+            assert_eq!(
+                oracle.distance(s, t),
+                reference.distance(s, t),
+                "{} {s}->{t}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_increases_with_landmarks() {
+    // The monotonicity behind Figure 9: top-degree landmark sets are
+    // nested, so covered pairs can only grow with k.
+    let spec = hcl::workloads::datasets::dataset_by_name("LiveJournal").unwrap();
+    let g = spec.generate(0.1);
+    let pairs = sample_pairs(g.num_vertices(), 400, 31);
+    let mut last = 0usize;
+    for k in [10usize, 20, 30, 40, 50] {
+        let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
+        let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+        let mut oracle = HlOracle::new(&g, labelling);
+        let covered = pairs.iter().filter(|&&(s, t)| oracle.pair_covered(s, t)).count();
+        assert!(covered >= last, "coverage dropped from {last} to {covered} at k={k}");
+        last = covered;
+    }
+}
