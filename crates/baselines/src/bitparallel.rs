@@ -168,21 +168,15 @@ mod tests {
             }
             for (i, sd) in sel_dist.iter().enumerate() {
                 let bit = 1u64 << i;
-                let expect_minus = root_dist[vi] != INF
-                    && sd[vi] != INF
-                    && sd[vi] + 1 == root_dist[vi];
-                let expect_zero =
-                    root_dist[vi] != INF && sd[vi] != INF && sd[vi] == root_dist[vi];
+                let expect_minus =
+                    root_dist[vi] != INF && sd[vi] != INF && sd[vi] + 1 == root_dist[vi];
+                let expect_zero = root_dist[vi] != INF && sd[vi] != INF && sd[vi] == root_dist[vi];
                 assert_eq!(
                     tree.s_minus[vi] & bit != 0,
                     expect_minus,
                     "s_minus bit {i} at vertex {v}"
                 );
-                assert_eq!(
-                    tree.s_zero[vi] & bit != 0,
-                    expect_zero,
-                    "s_zero bit {i} at vertex {v}"
-                );
+                assert_eq!(tree.s_zero[vi] & bit != 0, expect_zero, "s_zero bit {i} at vertex {v}");
             }
         }
     }
@@ -221,9 +215,7 @@ mod tests {
                 // neighbour, the bound must be exact.
                 let through = std::iter::once(tree.root())
                     .chain(tree.selected().iter().copied())
-                    .any(|u| {
-                        all[s as usize][u as usize] + all[u as usize][t as usize] == d
-                    });
+                    .any(|u| all[s as usize][u as usize] + all[u as usize][t as usize] == d);
                 if through {
                     assert_eq!(b, d, "tight through S at {s}->{t}");
                 }

@@ -199,8 +199,7 @@ impl FdIndex {
                 let (da, db) = (row[a as usize], row[b as usize]);
                 // Seed the repair from whichever endpoint the new edge
                 // brings closer to the landmark.
-                let (seed, seed_dist) = if da != UNREACHED16 && (db == UNREACHED16 || da + 1 < db)
-                {
+                let (seed, seed_dist) = if da != UNREACHED16 && (db == UNREACHED16 || da + 1 < db) {
                     (b, da + 1)
                 } else if db != UNREACHED16 && (da == UNREACHED16 || db + 1 < da) {
                     (a, db + 1)
@@ -262,9 +261,7 @@ impl<'g> FdOracle<'g> {
         }
         let bound = self.index.upper_bound(s, t);
         let index = &self.index;
-        let d = self
-            .space
-            .bounded_bibfs(self.graph, s, t, bound, |v| index.is_landmark(v));
+        let d = self.space.bounded_bibfs(self.graph, s, t, bound, |v| index.is_landmark(v));
         (d != INF).then_some(d)
     }
 }
@@ -326,8 +323,7 @@ mod tests {
     #[test]
     fn exact_on_disconnected_graph() {
         let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
-        let (idx, _) =
-            FdIndex::build_with_landmarks(&g, &[1, 4], FdConfig::default()).unwrap();
+        let (idx, _) = FdIndex::build_with_landmarks(&g, &[1, 4], FdConfig::default()).unwrap();
         let mut oracle = FdOracle::new(&g, idx);
         assert_eq!(oracle.query(0, 2), Some(2));
         assert_eq!(oracle.query(0, 5), None);
@@ -411,8 +407,7 @@ mod tests {
                     .collect();
                 g = with_edges(&g, &batch);
                 idx.apply_insertions(&g, &batch).unwrap();
-                let (rebuilt, _) =
-                    FdIndex::build_with_landmarks(&g, &landmarks, cfg).unwrap();
+                let (rebuilt, _) = FdIndex::build_with_landmarks(&g, &landmarks, cfg).unwrap();
                 for rank in 0..landmarks.len() {
                     for v in g.vertices() {
                         assert_eq!(

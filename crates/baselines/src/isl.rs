@@ -85,8 +85,7 @@ impl IslIndex {
             order.sort_by_key(|&v| (adj[v as usize].len(), v));
             let mut selected: Vec<VertexId> = Vec::new();
             for &v in &order {
-                if blocked[v as usize] == round || adj[v as usize].len() > config.max_is_degree
-                {
+                if blocked[v as usize] == round || adj[v as usize].len() > config.max_is_degree {
                     continue;
                 }
                 selected.push(v);
@@ -175,7 +174,9 @@ impl IslIndex {
 
     /// Index size in bytes (levels + CSR arrays).
     pub fn index_bytes(&self) -> usize {
-        self.level.len() * 4 + self.offsets.len() * 4 + self.targets.len() * 4
+        self.level.len() * 4
+            + self.offsets.len() * 4
+            + self.targets.len() * 4
             + self.weights.len() * 4
     }
 

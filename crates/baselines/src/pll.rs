@@ -209,10 +209,7 @@ impl PllIndex {
         }
 
         stats.duration = start.elapsed();
-        Ok((
-            PllIndex { roots: root_order.to_vec(), offsets, hubs, dists, bp, complete },
-            stats,
-        ))
+        Ok((PllIndex { roots: root_order.to_vec(), offsets, hubs, dists, bp, complete }, stats))
     }
 
     /// Whether this index was built over every vertex (exact queries).
@@ -348,10 +345,8 @@ mod tests {
     #[test]
     fn figure_4_order_dependence() {
         let g = fixture::paper_graph();
-        let o159: Vec<u32> =
-            [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
-        let o951: Vec<u32> =
-            [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o159: Vec<u32> = [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o951: Vec<u32> = [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
         let (a, _) = PllIndex::build_with_order(&g, &o159, no_bp()).unwrap();
         let (b, _) = PllIndex::build_with_order(&g, &o951, no_bp()).unwrap();
         // Figure 4: LS = 25 under <1,5,9>, LS = 30 under <9,5,1> — and both
@@ -366,10 +361,8 @@ mod tests {
         // three under <9,5,1>.
         let g = fixture::paper_graph();
         let v11 = fixture::paper_vertex(11);
-        let o159: Vec<u32> =
-            [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
-        let o951: Vec<u32> =
-            [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o159: Vec<u32> = [1u32, 5, 9].iter().map(|&v| fixture::paper_vertex(v)).collect();
+        let o951: Vec<u32> = [9u32, 5, 1].iter().map(|&v| fixture::paper_vertex(v)).collect();
         let (a, _) = PllIndex::build_with_order(&g, &o159, no_bp()).unwrap();
         let (b, _) = PllIndex::build_with_order(&g, &o951, no_bp()).unwrap();
         assert_eq!(a.label_of(v11), vec![(fixture::paper_vertex(1), 1)]);

@@ -2,8 +2,8 @@
 //! the bit-parallel masks match their set definitions.
 
 use hcl_baselines::{
-    bitparallel::BpTree, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle,
-    PllConfig, PllIndex,
+    bitparallel::BpTree, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle, PllConfig,
+    PllIndex,
 };
 use hcl_graph::oracle::DistanceOracle;
 use hcl_graph::{traversal, CsrGraph, INF};

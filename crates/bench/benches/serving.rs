@@ -1,0 +1,61 @@
+//! Serving-throughput benchmark: batched queries/second through the
+//! `hcl-server` [`BatchExecutor`] at 1/2/4/8 worker threads, with a cold
+//! cache (cleared before every pass), a warm cache (pre-warmed, all hits),
+//! and no cache at all. Queries share nothing but the read-only index, so
+//! the no-cache configuration should scale near-linearly with threads; the
+//! warm configuration measures pure cache + fan-out overhead.
+//!
+//! Note: on a single-core host every thread count reports the same rate —
+//! compare thread counts only where `nproc` exceeds the largest count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcl_core::HighwayCoverLabelling;
+use hcl_graph::generate;
+use hcl_server::{BatchExecutor, QueryService};
+use hcl_workloads::queries::sample_pairs;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const QUERIES: usize = 4_096;
+
+fn bench_serving(c: &mut Criterion) {
+    let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let labelling = Arc::new(labelling);
+    let pairs = sample_pairs(g.num_vertices(), QUERIES, 7);
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+
+    for threads in [1usize, 2, 4, 8] {
+        let no_cache = BatchExecutor::new(
+            Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::clone(&labelling), 0)),
+            threads,
+        );
+        group.bench_with_input(BenchmarkId::new("no-cache", threads), &threads, |b, _| {
+            b.iter(|| black_box(no_cache.execute(&pairs).unwrap()))
+        });
+
+        let cached_service =
+            Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::clone(&labelling), 1 << 16));
+        let cached = BatchExecutor::new(Arc::clone(&cached_service), threads);
+
+        group.bench_with_input(BenchmarkId::new("cold-cache", threads), &threads, |b, _| {
+            b.iter(|| {
+                cached_service.cache().unwrap().clear();
+                black_box(cached.execute(&pairs).unwrap())
+            })
+        });
+
+        cached.execute(&pairs).unwrap(); // pre-warm: every pair resident
+        group.bench_with_input(BenchmarkId::new("warm-cache", threads), &threads, |b, _| {
+            b.iter(|| black_box(cached.execute(&pairs).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -49,10 +49,8 @@ fn pll_order_dependence(picks: &[&PreparedDataset]) {
         let mut reversed = landmarks.clone();
         reversed.reverse();
         let (hl, _) = HighwayCoverLabelling::build(g, &landmarks).unwrap();
-        let (pll_fwd, _) =
-            hcl_baselines::PllIndex::build_with_order(g, &landmarks, no_bp).unwrap();
-        let (pll_rev, _) =
-            hcl_baselines::PllIndex::build_with_order(g, &reversed, no_bp).unwrap();
+        let (pll_fwd, _) = hcl_baselines::PllIndex::build_with_order(g, &landmarks, no_bp).unwrap();
+        let (pll_rev, _) = hcl_baselines::PllIndex::build_with_order(g, &reversed, no_bp).unwrap();
         rows.push(vec![
             prepared.spec.name.to_string(),
             hl.labels().total_entries().to_string(),
@@ -65,10 +63,7 @@ fn pll_order_dependence(picks: &[&PreparedDataset]) {
             ),
         ]);
     }
-    print_table(
-        &["Dataset", "HL entries", "PLL desc-degree", "PLL asc-degree", "worst/HL"],
-        &rows,
-    );
+    print_table(&["Dataset", "HL entries", "PLL desc-degree", "PLL asc-degree", "worst/HL"], &rows);
     println!("\n(HL entries are identical under any order — Lemma 3.11; PLL's are not.)");
 }
 
@@ -147,11 +142,8 @@ fn landmark_strategies(picks: &[&PreparedDataset]) {
             let entries = labelling.labels().total_entries();
             let mut oracle = HlOracle::new(g, labelling);
             let (qt, _) = time_queries(&mut oracle, &pairs);
-            let covered = pairs
-                .iter()
-                .take(2_000)
-                .filter(|&&(s, t)| oracle.pair_covered(s, t))
-                .count();
+            let covered =
+                pairs.iter().take(2_000).filter(|&&(s, t)| oracle.pair_covered(s, t)).count();
             rows.push(vec![
                 prepared.spec.name.to_string(),
                 strategy.name().to_string(),
@@ -240,17 +232,13 @@ fn thread_scaling(picks: &[&PreparedDataset]) {
         let mut row = vec![prepared.spec.name.to_string()];
         let mut base = None;
         for threads in [1usize, 2, 4, 8] {
-            let (_, stats) =
-                HighwayCoverLabelling::build_parallel(g, &landmarks, threads).unwrap();
+            let (_, stats) = HighwayCoverLabelling::build_parallel(g, &landmarks, threads).unwrap();
             let secs = stats.duration.as_secs_f64();
             if threads == 1 {
                 base = Some(secs);
                 row.push(format!("{secs:.3}s"));
             } else {
-                row.push(format!(
-                    "{secs:.3}s ({:.1}x)",
-                    base.unwrap_or(secs) / secs.max(1e-12)
-                ));
+                row.push(format!("{secs:.3}s ({:.1}x)", base.unwrap_or(secs) / secs.max(1e-12)));
             }
         }
         rows.push(row);

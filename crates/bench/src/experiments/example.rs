@@ -40,7 +40,8 @@ pub fn run_paper_example() {
     // Highway distances (Example 4.2).
     let h = hcl.highway();
     let rank = |pv: u32| h.rank(fixture::paper_vertex(pv)).unwrap();
-    println!("\nhighway: δH(1,5) = {}, δH(1,9) = {}, δH(5,9) = {}",
+    println!(
+        "\nhighway: δH(1,5) = {}, δH(1,9) = {}, δH(5,9) = {}",
         h.distance(rank(1), rank(5)),
         h.distance(rank(1), rank(9)),
         h.distance(rank(5), rank(9)),

@@ -3,8 +3,7 @@
 use crate::harness::*;
 use hcl_baselines::pll::PllOracle;
 use hcl_baselines::{
-    BiBfsOracle, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle, PllConfig,
-    PllIndex,
+    BiBfsOracle, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle, PllConfig, PllIndex,
 };
 use hcl_core::labels::LabelEncoding;
 use hcl_core::{HighwayCoverLabelling, HlOracle};
@@ -243,8 +242,7 @@ pub fn run_fig8() {
         let mut row = vec![prepared.spec.name.to_string()];
         for &k in &ks {
             let landmarks = default_landmarks(g, k);
-            let (labelling, _) =
-                HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
+            let (labelling, _) = HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
             let bytes = labelling.labels().encoded_bytes(LabelEncoding::Wide32).unwrap()
                 + labelling.highway().matrix_bytes();
             row.push(format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)));
@@ -270,16 +268,14 @@ pub fn run_fig9() {
         // Exact distances once, from the largest landmark set (any exact
         // method works; HL-50 is the fastest available here).
         let landmarks50 = default_landmarks(g, 50);
-        let (labelling50, _) =
-            HighwayCoverLabelling::build_parallel(g, &landmarks50, 0).unwrap();
+        let (labelling50, _) = HighwayCoverLabelling::build_parallel(g, &landmarks50, 0).unwrap();
         let mut oracle = HlOracle::new(g, labelling50);
         let exact: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
 
         let mut row = vec![prepared.spec.name.to_string()];
         for &k in &ks {
             let landmarks = default_landmarks(g, k);
-            let (labelling, _) =
-                HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
+            let (labelling, _) = HighwayCoverLabelling::build_parallel(g, &landmarks, 0).unwrap();
             let covered = pairs
                 .iter()
                 .zip(&exact)

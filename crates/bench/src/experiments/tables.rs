@@ -2,11 +2,13 @@
 
 use crate::harness::*;
 use hcl_baselines::pll::PllOracle;
-use hcl_baselines::{BiBfsOracle, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle, PllConfig, PllIndex};
+use hcl_baselines::{
+    BiBfsOracle, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex, IslOracle, PllConfig, PllIndex,
+};
 use hcl_core::labels::LabelEncoding;
 use hcl_core::{HighwayCoverLabelling, HlOracle};
-use hcl_graph::DistanceOracle;
 use hcl_graph::stats::{format_bytes, format_count, GraphStats};
+use hcl_graph::DistanceOracle;
 use hcl_workloads::queries::sample_pairs;
 use std::time::Duration;
 
@@ -32,10 +34,7 @@ pub fn run_table1() {
         ]);
     }
     print_table(
-        &[
-            "Dataset", "Type", "paper n", "paper m", "n", "m", "m/n", "avg.deg", "max.deg",
-            "|G|",
-        ],
+        &["Dataset", "Type", "paper n", "paper m", "n", "m", "m/n", "avg.deg", "max.deg", "|G|"],
         &rows,
     );
 }
@@ -78,8 +77,7 @@ pub fn measure_table2(prepared: &PreparedDataset, queries: usize) -> Table2Row {
     let als_hl = labelling.labels().avg_label_size();
     let mut hl = HlOracle::new(g, labelling);
     let (qt_hl, _) = time_queries(&mut hl, &pairs);
-    let reference: Vec<Option<u32>> =
-        check_pairs.iter().map(|&(s, t)| hl.query(s, t)).collect();
+    let reference: Vec<Option<u32>> = check_pairs.iter().map(|&(s, t)| hl.query(s, t)).collect();
     let mut mismatches = Vec::new();
 
     // FD.
@@ -113,12 +111,7 @@ pub fn measure_table2(prepared: &PreparedDataset, queries: usize) -> Table2Row {
         let als = idx.avg_label_entries();
         let mut isl = IslOracle::new(idx);
         let (qt, _) = time_queries(&mut isl, isl_pairs);
-        if check_pairs
-            .iter()
-            .zip(&reference)
-            .take(50)
-            .any(|(&(s, t), r)| isl.query(s, t) != *r)
-        {
+        if check_pairs.iter().zip(&reference).take(50).any(|(&(s, t), r)| isl.query(s, t) != *r) {
             mismatches.push("IS-L");
         }
         (Some(ct), Some(qt), Some(als))
@@ -154,8 +147,7 @@ pub fn measure_table2(prepared: &PreparedDataset, queries: usize) -> Table2Row {
 /// method on every dataset.
 pub fn run_table2() {
     let queries = num_queries();
-    println!(
-        "== Table 2: construction time CT[s], avg query time QT[ms], avg label size ALS ==");
+    println!("== Table 2: construction time CT[s], avg query time QT[ms], avg label size ALS ==");
     println!("   ({queries} query pairs; 1,000 for Bi-BFS, 200 for IS-L — as in the paper)\n");
     let mut rows = Vec::new();
     for prepared in prepare_datasets() {
@@ -183,8 +175,21 @@ pub fn run_table2() {
     }
     print_table(
         &[
-            "Dataset", "CT HL-P", "CT HL", "CT FD", "CT PLL", "CT IS-L", "QT HL", "QT FD",
-            "QT PLL", "QT IS-L", "QT Bi-BFS", "ALS HL", "ALS FD", "ALS PLL", "ALS IS-L",
+            "Dataset",
+            "CT HL-P",
+            "CT HL",
+            "CT FD",
+            "CT PLL",
+            "CT IS-L",
+            "QT HL",
+            "QT FD",
+            "QT PLL",
+            "QT IS-L",
+            "QT Bi-BFS",
+            "ALS HL",
+            "ALS FD",
+            "ALS PLL",
+            "ALS IS-L",
         ],
         &rows,
     );
@@ -207,8 +212,7 @@ pub fn run_table3() {
         let fd_bytes = Some(fd_index.index_bytes());
 
         let pll_bytes = if pll_feasible(g) {
-            let bp =
-                std::env::var("HCL_PLL_BP").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+            let bp = std::env::var("HCL_PLL_BP").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
             let (idx, _) =
                 PllIndex::build(g, PllConfig { num_bp_roots: bp, bp_neighbors: 64 }).unwrap();
             Some(idx.index_bytes())

@@ -47,10 +47,7 @@ pub fn num_queries() -> usize {
 /// Times a query batch; returns `(avg microseconds per query, checksum)`.
 /// The checksum keeps the optimiser honest and doubles as a cross-method
 /// agreement check.
-pub fn time_queries(
-    oracle: &mut dyn DistanceOracle,
-    pairs: &[(u32, u32)],
-) -> (f64, u64) {
+pub fn time_queries(oracle: &mut dyn DistanceOracle, pairs: &[(u32, u32)]) -> (f64, u64) {
     let start = Instant::now();
     let mut checksum = 0u64;
     for &(s, t) in pairs {

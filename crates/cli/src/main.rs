@@ -7,16 +7,21 @@
 //! hcl build graph.hclg --landmarks 20 [--threads 0] --out index.hcl
 //! hcl query graph.hclg index.hcl <s> <t> [<s> <t> ...]
 //! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
+//! hcl serve graph.hclg index.hcl [--port 7777] [--threads 0] [--cache 65536]
+//! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
+//! hcl client 127.0.0.1:7777 stats|ping|shutdown
 //! ```
 //!
 //! Graphs use the binary container of `hcl_graph::io` (generate one with
 //! `gen`, or convert an edge list by passing a `.txt`/`.el` path anywhere a
-//! graph is expected).
+//! graph is expected). `serve` exposes the index over the `hcl_server`
+//! line protocol; `client` talks to a running server.
 
 use hcl_core::landmarks::LandmarkStrategy;
 use hcl_core::{HighwayCoverLabelling, HlOracle};
 use hcl_graph::{stats::GraphStats, CsrGraph};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +31,8 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("random-queries") => cmd_random_queries(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -51,9 +58,17 @@ USAGE:
   hcl build <graph file> [--landmarks <k>] [--threads <t>] --out <index file>
   hcl query <graph file> <index file> <s> <t> [<s> <t> ...]
   hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
+  hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
+            [--cache <entries>]
+  hcl client <addr> query <s> <t> [<s> <t> ...]
+  hcl client <addr> stats | ping | shutdown
 
 Graph files ending in .txt/.el are parsed as whitespace edge lists;
 anything else uses the binary container.
+
+serve answers QUERY/BATCH/STATS requests over a newline-delimited TCP
+protocol until a client sends SHUTDOWN (--cache 0 disables the distance
+cache; --port 0 picks an ephemeral port, printed on startup).
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -71,11 +86,7 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("gen requires --out <file>")?;
-    let seed: u64 = flag(args, "--seed")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("--seed: {e}"))?
-        .unwrap_or(42);
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
 
     let parse_pair = |spec: &str, what: &str| -> Result<(usize, usize), String> {
         let (a, b) = spec.split_once(',').ok_or(format!("--{what} wants <a>,<b>"))?;
@@ -86,11 +97,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     };
 
     let g = if let Some(name) = flag(args, "--dataset") {
-        let scale: f64 = flag(args, "--scale")
-            .map(|s| s.parse())
-            .transpose()
-            .map_err(|e| format!("--scale: {e}"))?
-            .unwrap_or(1.0);
+        let scale: f64 = parse_flag(args, "--scale", 1.0)?;
         let spec = hcl_workloads::datasets::dataset_by_name(&name)
             .ok_or(format!("unknown dataset {name:?}"))?;
         spec.generate(scale)
@@ -130,16 +137,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("build requires a graph file")?;
     let out = flag(args, "--out").ok_or("build requires --out <index file>")?;
-    let k: usize = flag(args, "--landmarks")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("--landmarks: {e}"))?
-        .unwrap_or(20);
-    let threads: usize = flag(args, "--threads")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("--threads: {e}"))?
-        .unwrap_or(0);
+    let k: usize = parse_flag(args, "--landmarks", 20)?;
+    let threads: usize = parse_flag(args, "--threads", 0)?;
 
     let g = load_graph(path)?;
     let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
@@ -182,16 +181,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 fn cmd_random_queries(args: &[String]) -> Result<(), String> {
     let graph_path = args.first().ok_or("random-queries requires a graph file")?;
     let index_path = args.get(1).ok_or("random-queries requires an index file")?;
-    let count: usize = flag(args, "--count")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("--count: {e}"))?
-        .unwrap_or(1_000);
-    let seed: u64 = flag(args, "--seed")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|e| format!("--seed: {e}"))?
-        .unwrap_or(7);
+    let count: usize = parse_flag(args, "--count", 1_000)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
 
     let g = load_graph(graph_path)?;
     let labelling =
@@ -210,5 +201,100 @@ fn cmd_random_queries(args: &[String]) -> Result<(), String> {
         dist.mean(),
         dist.unreachable
     );
+    Ok(())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flag(args, name)
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("{name}: {e}"))
+        .map(|v| v.unwrap_or(default))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let graph_path = args.first().ok_or("serve requires a graph file")?;
+    let index_path = args.get(1).ok_or("serve requires an index file")?;
+    let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = parse_flag(args, "--port", 7777)?;
+    let threads: usize = parse_flag(args, "--threads", 0)?;
+    let cache: usize = parse_flag(args, "--cache", 1 << 16)?;
+
+    let g = Arc::new(load_graph(graph_path)?);
+    let labelling =
+        hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
+    if labelling.labels().num_vertices() != g.num_vertices() {
+        return Err(format!(
+            "index has {} vertices but graph has {} — wrong index for this graph?",
+            labelling.labels().num_vertices(),
+            g.num_vertices()
+        ));
+    }
+
+    let service =
+        Arc::new(hcl_server::QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), cache));
+    let config = hcl_server::ServerConfig { batch_threads: threads, ..Default::default() };
+    let handle = hcl_server::Server::bind(service, (host.as_str(), port), config)
+        .map_err(|e| format!("binding {host}:{port}: {e}"))?;
+    println!(
+        "serving {} ({} vertices, {} edges) on {} — cache {} entries, send SHUTDOWN to stop",
+        graph_path,
+        g.num_vertices(),
+        g.num_edges(),
+        handle.local_addr(),
+        cache
+    );
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("client requires a server address")?;
+    let action = args.get(1).map(String::as_str).ok_or("client requires an action")?;
+    let mut client = hcl_server::Client::connect(addr.as_str())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match action {
+        "query" => {
+            let rest = &args[2..];
+            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                return Err("client query requires an even number of vertex ids".to_string());
+            }
+            let mut pairs = Vec::with_capacity(rest.len() / 2);
+            for chunk in rest.chunks(2) {
+                let s: u32 = chunk[0].parse().map_err(|e| format!("vertex {:?}: {e}", chunk[0]))?;
+                let t: u32 = chunk[1].parse().map_err(|e| format!("vertex {:?}: {e}", chunk[1]))?;
+                pairs.push((s, t));
+            }
+            let distances = client.batch(&pairs).map_err(|e| e.to_string())?;
+            for (&(s, t), d) in pairs.iter().zip(&distances) {
+                match d {
+                    Some(d) => println!("d({s}, {t}) = {d}"),
+                    None => println!("d({s}, {t}) = unreachable"),
+                }
+            }
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            for kv in stats.split_ascii_whitespace() {
+                match kv.split_once('=') {
+                    Some((k, v)) => println!("{k:<20} {v}"),
+                    None => println!("{kv}"),
+                }
+            }
+        }
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("PONG");
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+        }
+        other => return Err(format!("unknown client action {other:?}\n\n{USAGE}")),
+    }
     Ok(())
 }

@@ -49,10 +49,7 @@ impl HighwayCoverLabelling {
     ///
     /// `landmarks` may be in any order; the result is identical for every
     /// ordering (Lemma 3.11), which the tests verify.
-    pub fn build(
-        g: &CsrGraph,
-        landmarks: &[VertexId],
-    ) -> Result<(Self, BuildStats), BuildError> {
+    pub fn build(g: &CsrGraph, landmarks: &[VertexId]) -> Result<(Self, BuildStats), BuildError> {
         let start = Instant::now();
         validate_landmarks(g, landmarks)?;
         let mut highway = Highway::new(g.num_vertices(), landmarks);
@@ -108,10 +105,7 @@ impl HighwayCoverLabelling {
     }
 }
 
-pub(crate) fn validate_landmarks(
-    g: &CsrGraph,
-    landmarks: &[VertexId],
-) -> Result<(), BuildError> {
+pub(crate) fn validate_landmarks(g: &CsrGraph, landmarks: &[VertexId]) -> Result<(), BuildError> {
     if landmarks.len() > u16::MAX as usize {
         return Err(BuildError::TooManyLandmarks { requested: landmarks.len() });
     }
@@ -131,10 +125,7 @@ pub(crate) fn validate_landmarks(
 /// Merges per-landmark `(vertex, dist)` outputs into the flat CSR label
 /// store. Iterating landmarks in rank order keeps every per-vertex list
 /// sorted by rank, so queries can merge labels in one pass.
-pub(crate) fn assemble_labels(
-    n: usize,
-    per_landmark: &[Vec<(VertexId, u16)>],
-) -> HighwayLabels {
+pub(crate) fn assemble_labels(n: usize, per_landmark: &[Vec<(VertexId, u16)>]) -> HighwayLabels {
     let mut counts = vec![0u32; n + 1];
     for batch in per_landmark {
         for &(v, _) in batch {
@@ -293,10 +284,7 @@ mod tests {
             );
         }
         // And nothing else.
-        assert_eq!(
-            hcl.labels().total_entries(),
-            fixture::paper_expected_labels().len()
-        );
+        assert_eq!(hcl.labels().total_entries(), fixture::paper_expected_labels().len());
         hcl.labels().validate(hcl.highway()).unwrap();
     }
 
@@ -356,8 +344,7 @@ mod tests {
                                 && dist[r as usize][w as usize] + dist[w as usize][v as usize]
                                     == d_rv
                         });
-                    let present =
-                        hcl.labels().label(v).iter().any(|e| e.landmark == rank as u16);
+                    let present = hcl.labels().label(v).iter().any(|e| e.landmark == rank as u16);
                     assert_eq!(present, expected, "landmark {r} vertex {v} seed {seed}");
                 }
             }

@@ -15,10 +15,7 @@ use std::path::Path;
 const MAGIC: &[u8; 8] = b"HCLIDX01";
 
 /// Serialises a labelling.
-pub fn write_labelling<W: Write>(
-    l: &HighwayCoverLabelling,
-    writer: W,
-) -> Result<(), GraphError> {
+pub fn write_labelling<W: Write>(l: &HighwayCoverLabelling, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     let n = l.labels().num_vertices() as u64;
@@ -109,10 +106,7 @@ pub fn read_labelling<R: Read>(reader: R) -> Result<HighwayCoverLabelling, Graph
             }
         }
     }
-    Ok(HighwayCoverLabelling::from_parts(
-        highway,
-        HighwayLabels::from_parts(offsets, entries),
-    ))
+    Ok(HighwayCoverLabelling::from_parts(highway, HighwayLabels::from_parts(offsets, entries)))
 }
 
 /// Saves a labelling to a file.

@@ -121,9 +121,8 @@ impl HighwayLabels {
 
     /// Iterates `(vertex, entry)` over all labels (test / debug helper).
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, LabelEntry)> + '_ {
-        (0..self.num_vertices()).flat_map(move |v| {
-            self.label(v as VertexId).iter().map(move |&e| (v as VertexId, e))
-        })
+        (0..self.num_vertices())
+            .flat_map(move |v| self.label(v as VertexId).iter().map(move |&e| (v as VertexId, e)))
     }
 
     /// Checks internal invariants: sorted, duplicate-free labels whose ranks
@@ -190,10 +189,8 @@ mod tests {
 
     #[test]
     fn encoded_rejects_overflow() {
-        let l = HighwayLabels::from_parts(
-            vec![0, 1],
-            vec![LabelEntry { landmark: 300, dist: 300 }],
-        );
+        let l =
+            HighwayLabels::from_parts(vec![0, 1], vec![LabelEntry { landmark: 300, dist: 300 }]);
         assert_eq!(l.encoded_bytes(LabelEncoding::Compact8), None);
         assert_eq!(l.encoded_bytes(LabelEncoding::Wide32), None);
     }

@@ -33,8 +33,7 @@ impl LandmarkStrategy {
                 let mut score: Vec<(u64, VertexId)> = g
                     .vertices()
                     .map(|v| {
-                        let two_hop: u64 =
-                            g.neighbors(v).iter().map(|&u| g.degree(u) as u64).sum();
+                        let two_hop: u64 = g.neighbors(v).iter().map(|&u| g.degree(u) as u64).sum();
                         (two_hop + g.degree(v) as u64, v)
                     })
                     .collect();

@@ -48,12 +48,14 @@ pub mod labels;
 pub mod landmarks;
 pub mod parallel;
 pub mod query;
+pub mod shared;
 pub mod weighted;
 
 pub use build::{BuildStats, HighwayCoverLabelling};
 pub use highway::Highway;
 pub use labels::{HighwayLabels, LabelEntry};
 pub use query::{HlOracle, QueryContext};
+pub use shared::{ContextPool, PooledContext, SharedOracle};
 pub use weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
 
 /// Errors produced while constructing a highway cover labelling.

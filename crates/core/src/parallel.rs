@@ -63,11 +63,11 @@ impl HighwayCoverLabelling {
             // Workers only need rank lookups from the highway; distance
             // recording is deferred to the main thread after the scope ends.
             let highway_ref = &highway;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
                     let tx = tx.clone();
                     let next = &next;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut worker = PrunedBfsWorker::new(g.num_vertices());
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -102,8 +102,7 @@ impl HighwayCoverLabelling {
                         }
                     }
                 }
-            })
-            .expect("worker thread panicked");
+            });
         }
 
         if let Some(e) = first_error {

@@ -180,9 +180,7 @@ impl HighwayCoverLabelling {
             // Corollary 3.8 / the highway matrix make the bound exact.
             return if bound == INF { None } else { Some(bound) };
         }
-        let d = ctx
-            .space
-            .bounded_bibfs(graph, s, t, bound, |v| self.highway().is_landmark(v));
+        let d = ctx.space.bounded_bibfs(graph, s, t, bound, |v| self.highway().is_landmark(v));
         if d == INF {
             None
         } else {
@@ -212,17 +210,16 @@ impl HighwayCoverLabelling {
         }
         let mut results: Vec<Option<u32>> = vec![None; pairs.len()];
         let chunk = pairs.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut ctx = QueryContext::new(graph.num_vertices());
                     for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
                         *out = self.distance_with(graph, &mut ctx, s, t);
                     }
                 });
             }
-        })
-        .expect("query worker panicked");
+        });
         results
     }
 }
@@ -233,9 +230,14 @@ impl HighwayCoverLabelling {
 /// This is the "HL" method of the paper's evaluation. Construction is
 /// `O(|R| · m)`; queries cost one label merge plus a distance-bounded
 /// bidirectional BFS on the landmark-free subgraph.
+///
+/// Internally this is a thin wrapper over a borrowed-graph
+/// [`SharedOracle`](crate::SharedOracle): the shared handle answers the
+/// concurrent `&self` path, while `HlOracle` adds the classic `&mut self`
+/// API with a private context that skips the pool. Use
+/// [`shared`](Self::shared) to fan the same index out across threads.
 pub struct HlOracle<'g> {
-    graph: &'g CsrGraph,
-    labelling: HighwayCoverLabelling,
+    shared: crate::SharedOracle<&'g CsrGraph>,
     ctx: QueryContext,
 }
 
@@ -243,27 +245,36 @@ impl<'g> HlOracle<'g> {
     /// Wraps a labelling built over `graph`.
     pub fn new(graph: &'g CsrGraph, labelling: HighwayCoverLabelling) -> Self {
         let n = graph.num_vertices();
-        HlOracle { graph, labelling, ctx: QueryContext::new(n) }
+        HlOracle {
+            shared: crate::SharedOracle::with_graph(graph, labelling),
+            ctx: QueryContext::new(n),
+        }
     }
 
     /// The underlying labelling.
     pub fn labelling(&self) -> &HighwayCoverLabelling {
-        &self.labelling
+        self.shared.labelling()
     }
 
     /// Consumes the oracle and returns the labelling (e.g. to serialise it).
     pub fn into_labelling(self) -> HighwayCoverLabelling {
-        self.labelling
+        self.shared.into_labelling()
+    }
+
+    /// The thread-safe shared oracle this wrapper fronts. Queries on the
+    /// returned handle take `&self`, so it can be passed to scoped threads.
+    pub fn shared(&self) -> &crate::SharedOracle<&'g CsrGraph> {
+        &self.shared
     }
 
     /// Upper bound `d⊤(s, t)` (Lemma 5.1 merge, reusable buffers).
     pub fn upper_bound(&mut self, s: VertexId, t: VertexId) -> u32 {
-        self.labelling.upper_bound_with(&mut self.ctx, s, t)
+        self.shared.labelling().upper_bound_with(&mut self.ctx, s, t)
     }
 
     /// Exact distance via the full framework (upper bound + bounded search).
     pub fn query(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
-        self.labelling.distance_with(self.graph, &mut self.ctx, s, t)
+        self.shared.labelling().distance_with(self.shared.graph(), &mut self.ctx, s, t)
     }
 
     /// Whether the pair `(s, t)` is *covered* by the landmarks: some
@@ -288,11 +299,11 @@ impl DistanceOracle for HlOracle<'_> {
     }
 
     fn index_bytes(&self) -> usize {
-        self.labelling.index_bytes()
+        self.labelling().index_bytes()
     }
 
     fn avg_label_entries(&self) -> f64 {
-        self.labelling.labels().avg_label_size()
+        self.labelling().labels().avg_label_size()
     }
 }
 
@@ -499,9 +510,6 @@ mod tests {
         assert_eq!(oracle.name(), "HL");
         assert!(oracle.index_bytes() > 0);
         assert!(oracle.avg_label_entries() > 0.0);
-        assert_eq!(
-            DistanceOracle::distance(&mut oracle, 0, 1),
-            oracle.query(0, 1)
-        );
+        assert_eq!(DistanceOracle::distance(&mut oracle, 0, 1), oracle.query(0, 1));
     }
 }

@@ -44,10 +44,7 @@ pub struct WeightedHighwayCoverLabelling {
 impl WeightedHighwayCoverLabelling {
     /// Builds the labelling with one pruned Dijkstra per landmark. All edge
     /// weights must be positive.
-    pub fn build(
-        g: &WeightedGraph,
-        landmarks: &[VertexId],
-    ) -> Result<Self, BuildError> {
+    pub fn build(g: &WeightedGraph, landmarks: &[VertexId]) -> Result<Self, BuildError> {
         let n = g.num_vertices();
         if landmarks.len() > u16::MAX as usize {
             return Err(BuildError::TooManyLandmarks { requested: landmarks.len() });
@@ -88,11 +85,11 @@ impl WeightedHighwayCoverLabelling {
                     highway.record(rank as u32, highway.rank(u).unwrap(), d);
                     true
                 } else {
-                    let on_pruned_path = g
-                        .neighbors(u)
-                        .any(|(p, w)| dist[p as usize] != INF
+                    let on_pruned_path = g.neighbors(u).any(|(p, w)| {
+                        dist[p as usize] != INF
                             && dist[p as usize].saturating_add(w) == d
-                            && pruned[p as usize]);
+                            && pruned[p as usize]
+                    });
                     if !on_pruned_path {
                         labels.push((u, d));
                     }
@@ -131,8 +128,7 @@ impl WeightedHighwayCoverLabelling {
             counts[i] += counts[i - 1];
         }
         let offsets = counts;
-        let mut entries =
-            vec![WeightedLabelEntry { landmark: 0, dist: 0 }; offsets[n] as usize];
+        let mut entries = vec![WeightedLabelEntry { landmark: 0, dist: 0 }; offsets[n] as usize];
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         for (rank, batch) in per_landmark.iter().enumerate() {
             for &(v, d) in batch {
@@ -375,12 +371,8 @@ mod tests {
         for v in base.vertices() {
             let wl: Vec<(u16, u32)> =
                 weighted.label(v).iter().map(|e| (e.landmark, e.dist)).collect();
-            let ul: Vec<(u16, u32)> = unweighted
-                .labels()
-                .label(v)
-                .iter()
-                .map(|e| (e.landmark, e.dist as u32))
-                .collect();
+            let ul: Vec<(u16, u32)> =
+                unweighted.labels().label(v).iter().map(|e| (e.landmark, e.dist as u32)).collect();
             assert_eq!(wl, ul, "vertex {v}");
         }
     }
@@ -391,8 +383,7 @@ mod tests {
         let g = random_weighted(40, 90, 5, 11);
         let landmarks = top_degree_w(&g, 5);
         let labelling = WeightedHighwayCoverLabelling::build(&g, &landmarks).unwrap();
-        let dist: Vec<Vec<u32>> =
-            (0..40u32).map(|v| dijkstra_distances(&g, v)).collect();
+        let dist: Vec<Vec<u32>> = (0..40u32).map(|v| dijkstra_distances(&g, v)).collect();
         for v in 0..40u32 {
             if labelling.highway().is_landmark(v) {
                 assert!(labelling.label(v).is_empty());
@@ -402,11 +393,11 @@ mod tests {
                 let d_rv = dist[r as usize][v as usize];
                 let expected = d_rv != INF
                     && !landmarks.iter().any(|&w| {
-                        w != r && w != v
+                        w != r
+                            && w != v
                             && dist[r as usize][w as usize] != INF
                             && dist[w as usize][v as usize] != INF
-                            && dist[r as usize][w as usize] + dist[w as usize][v as usize]
-                                == d_rv
+                            && dist[r as usize][w as usize] + dist[w as usize][v as usize] == d_rv
                     });
                 let present = labelling.label(v).iter().any(|e| e.landmark == rank as u16);
                 assert_eq!(present, expected, "landmark {r} vertex {v}");

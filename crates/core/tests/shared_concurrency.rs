@@ -1,0 +1,121 @@
+//! Concurrent-correctness tests for [`SharedOracle`]: many threads
+//! hammering one shared instance must all see exactly the distances a
+//! single-threaded BFS computes.
+
+use hcl_core::{HighwayCoverLabelling, SharedOracle};
+use hcl_graph::{generate, traversal, INF};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn ground_truth(g: &hcl_graph::CsrGraph, sources: &[u32]) -> Vec<Vec<u32>> {
+    sources.iter().map(|&s| traversal::bfs_distances(g, s)).collect()
+}
+
+#[test]
+fn eight_threads_hammering_one_oracle_match_bfs() {
+    const THREADS: usize = 8;
+    const QUERIES_PER_THREAD: usize = 2_000;
+
+    let g = Arc::new(generate::barabasi_albert(1_500, 5, 42));
+    let n = g.num_vertices() as u32;
+    let landmarks = hcl_graph::order::top_degree(&g, 16);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let oracle = SharedOracle::new(Arc::clone(&g), Arc::new(labelling));
+
+    // Single-threaded BFS ground truth from a spread of sources; every
+    // thread derives its queries from these sources so each answer is
+    // checkable.
+    let sources: Vec<u32> = (0..n).step_by(97).collect();
+    let truth = ground_truth(&g, &sources);
+
+    let checked = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let oracle = &oracle;
+            let sources = &sources;
+            let truth = &truth;
+            let checked = &checked;
+            scope.spawn(move || {
+                // Deterministic per-thread query stream, interleaved so all
+                // threads touch overlapping pairs concurrently.
+                for i in 0..QUERIES_PER_THREAD {
+                    let si = (i * 7 + thread) % sources.len();
+                    let s = sources[si];
+                    let t = ((i as u64 * 2_654_435_761 + thread as u64 * 97) % n as u64) as u32;
+                    let expect = (truth[si][t as usize] != INF).then_some(truth[si][t as usize]);
+                    assert_eq!(
+                        oracle.distance(s, t),
+                        expect,
+                        "thread {thread} query {i}: d({s}, {t})"
+                    );
+                    // Symmetric direction exercises the other label order.
+                    assert_eq!(
+                        oracle.distance(t, s),
+                        expect,
+                        "thread {thread} query {i}: d({t}, {s})"
+                    );
+                    checked.fetch_add(2, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(checked.load(Ordering::Relaxed), THREADS * QUERIES_PER_THREAD * 2);
+
+    // The pool retained contexts for reuse, but never more than the cap.
+    let idle = oracle.context_pool().idle_count();
+    assert!((1..=THREADS).contains(&idle), "unexpected idle context count {idle}");
+}
+
+#[test]
+fn concurrent_batches_match_sequential_batches() {
+    let g = Arc::new(generate::watts_strogatz(600, 6, 0.1, 9));
+    let landmarks = hcl_graph::order::top_degree(&g, 10);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+    let oracle = SharedOracle::new(Arc::clone(&g), Arc::new(labelling));
+
+    let pairs: Vec<(u32, u32)> =
+        (0..500u32).map(|i| ((i * 13) % 600, (i * 31 + 7) % 600)).collect();
+    let expect = oracle.batch_distances(&pairs, 1);
+
+    std::thread::scope(|scope| {
+        for threads in [2usize, 4, 8] {
+            let oracle = &oracle;
+            let pairs = &pairs;
+            let expect = &expect;
+            scope.spawn(move || {
+                assert_eq!(&oracle.batch_distances(pairs, threads), expect);
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_handles_disconnected_pairs_concurrently() {
+    // Two components: every cross-component query must be None from every
+    // thread.
+    let mut edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+    edges.extend((100..199).map(|i| (i, i + 1)));
+    let g = Arc::new(hcl_graph::CsrGraph::from_edges(200, &edges));
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &[50, 150]).unwrap();
+    let oracle = SharedOracle::new(Arc::clone(&g), Arc::new(labelling));
+
+    std::thread::scope(|scope| {
+        for thread in 0..8u32 {
+            let oracle = &oracle;
+            scope.spawn(move || {
+                for i in 0..200u32 {
+                    let s = (i + thread) % 100;
+                    let t = 100 + ((i * 3 + thread) % 100);
+                    assert_eq!(oracle.distance(s, t), None, "{s}->{t}");
+                    assert_eq!(
+                        oracle.distance(s, (s + 7) % 100),
+                        Some({
+                            let (a, b) = ((s % 100), ((s + 7) % 100));
+                            a.abs_diff(b)
+                        })
+                    );
+                }
+            });
+        }
+    });
+}

@@ -39,10 +39,8 @@ fn parse_vertex(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> 
         line,
         message: "expected two vertex ids".to_string(),
     })?;
-    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
-        line,
-        message: format!("invalid vertex id {tok:?}: {e}"),
-    })
+    tok.parse::<VertexId>()
+        .map_err(|e| GraphError::Parse { line, message: format!("invalid vertex id {tok:?}: {e}") })
 }
 
 /// Loads a text edge list from a file.
@@ -102,8 +100,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     for _ in 0..m {
         let u = read_u32(&mut r)?;
         let v = read_u32(&mut r)?;
-        b.add_edge(u, v)
-            .map_err(|e| GraphError::Format(format!("edge out of range: {e}")))?;
+        b.add_edge(u, v).map_err(|e| GraphError::Format(format!("edge out of range: {e}")))?;
     }
     Ok(b.build())
 }

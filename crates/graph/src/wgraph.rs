@@ -120,8 +120,9 @@ impl WeightedGraphBuilder {
         for v in 0..n {
             let range = offsets[v]..offsets[v + 1];
             scratch.clear();
-            scratch
-                .extend(targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()));
+            scratch.extend(
+                targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()),
+            );
             scratch.sort_unstable();
             for (i, &(t, w)) in scratch.iter().enumerate() {
                 targets[range.start + i] = t;

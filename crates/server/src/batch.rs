@@ -1,0 +1,236 @@
+//! A persistent worker pool that fans batched distance queries across
+//! threads while preserving request order.
+//!
+//! [`SharedOracle::batch_distances`](hcl_core::SharedOracle) spawns scoped
+//! threads per call — fine for one offline batch, wasteful at serving rates
+//! where every connection may submit batches concurrently. The
+//! [`BatchExecutor`] keeps `threads` long-lived workers (each with its own
+//! [`QueryContext`]) pulling chunks from a shared channel, so concurrent
+//! batches from different connections interleave on the same pool and the
+//! per-request cost is a channel send plus a condvar wait.
+
+use crate::metrics::ServeMetrics;
+use crate::oracle_pool::{QueryError, QueryService};
+use hcl_core::QueryContext;
+use hcl_graph::VertexId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One submitted batch: the input pairs, the in-progress results, and the
+/// completion signal.
+struct BatchJob {
+    pairs: Vec<(VertexId, VertexId)>,
+    results: Mutex<Vec<Option<u32>>>,
+    /// Chunks not yet fully computed.
+    remaining: AtomicUsize,
+    done: (Mutex<bool>, Condvar),
+}
+
+/// A contiguous slice of one job, claimed by a single worker.
+struct Chunk {
+    job: Arc<BatchJob>,
+    start: usize,
+    end: usize,
+}
+
+/// The persistent batch worker pool; see the module docs.
+pub struct BatchExecutor {
+    service: Arc<QueryService>,
+    /// `None` only during drop (disconnects the workers).
+    injector: Option<mpsc::Sender<Chunk>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Spawns `threads` workers over `service` (0 = all cores).
+    pub fn new(service: Arc<QueryService>, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let (tx, rx) = mpsc::channel::<Chunk>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let mut ctx = QueryContext::new(service.num_vertices());
+                    loop {
+                        // Hold the receiver lock only for the pop, not the
+                        // computation.
+                        let chunk = match rx.lock().expect("batch queue poisoned").recv() {
+                            Ok(chunk) => chunk,
+                            Err(_) => return, // executor dropped
+                        };
+                        Self::run_chunk(&service, &mut ctx, &chunk);
+                    }
+                })
+            })
+            .collect();
+        BatchExecutor { service, injector: Some(tx), workers, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The service this pool queries.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    fn run_chunk(service: &QueryService, ctx: &mut QueryContext, chunk: &Chunk) {
+        let job = &chunk.job;
+        // Compute outside the results lock; one short splice per chunk.
+        let computed: Vec<Option<u32>> = job.pairs[chunk.start..chunk.end]
+            .iter()
+            .map(|&(s, t)| service.cached_distance_with(ctx, s, t))
+            .collect();
+        job.results.lock().expect("batch results poisoned")[chunk.start..chunk.end]
+            .copy_from_slice(&computed);
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let (lock, cvar) = &job.done;
+            *lock.lock().expect("batch signal poisoned") = true;
+            cvar.notify_all();
+        }
+    }
+
+    /// Answers `pairs` in input order, fanned across the worker pool.
+    /// Validates every pair up front; on error nothing is executed.
+    /// Callable concurrently from any number of threads.
+    pub fn execute(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<Option<u32>>, QueryError> {
+        for &(s, t) in pairs {
+            self.service.check_pair(s, t)?;
+        }
+        let metrics = self.service.metrics();
+        ServeMetrics::bump(&metrics.batch_requests);
+        ServeMetrics::add(&metrics.batch_queries, pairs.len() as u64);
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Over-split relative to the thread count so a slow chunk (cache
+        // misses needing real searches) doesn't serialise the tail.
+        let chunk_size = pairs.len().div_ceil(self.threads * 4).max(1);
+        let num_chunks = pairs.len().div_ceil(chunk_size);
+        let job = Arc::new(BatchJob {
+            pairs: pairs.to_vec(),
+            results: Mutex::new(vec![None; pairs.len()]),
+            remaining: AtomicUsize::new(num_chunks),
+            done: (Mutex::new(false), Condvar::new()),
+        });
+        let injector = self.injector.as_ref().expect("executor not shut down");
+        for i in 0..num_chunks {
+            let start = i * chunk_size;
+            let end = (start + chunk_size).min(pairs.len());
+            injector
+                .send(Chunk { job: Arc::clone(&job), start, end })
+                .expect("batch workers alive while executor exists");
+        }
+
+        let (lock, cvar) = &job.done;
+        let mut finished = lock.lock().expect("batch signal poisoned");
+        while !*finished {
+            finished = cvar.wait(finished).expect("batch signal poisoned");
+        }
+        drop(finished);
+        let results = std::mem::take(&mut *job.results.lock().expect("batch results poisoned"));
+        Ok(results)
+    }
+}
+
+impl Drop for BatchExecutor {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain outstanding chunks and
+        // exit, then join them.
+        self.injector = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::HighwayCoverLabelling;
+    use hcl_graph::generate;
+
+    fn service(cache_capacity: usize) -> Arc<QueryService> {
+        let g = Arc::new(generate::barabasi_albert(500, 4, 33));
+        let landmarks = hcl_graph::order::top_degree(&g, 12);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        Arc::new(QueryService::from_parts(g, Arc::new(labelling), cache_capacity))
+    }
+
+    fn pairs(count: usize, n: u32) -> Vec<(u32, u32)> {
+        (0..count as u32).map(|i| ((i * 7) % n, (i * 13 + 1) % n)).collect()
+    }
+
+    #[test]
+    fn matches_sequential_in_order() {
+        let service = service(0);
+        let pairs = pairs(997, 500);
+        let expect = service.oracle().batch_distances(&pairs, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let executor = BatchExecutor::new(Arc::clone(&service), threads);
+            assert_eq!(executor.execute(&pairs).unwrap(), expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let executor = BatchExecutor::new(service(0), 2);
+        assert!(executor.execute(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range_without_executing() {
+        let service = service(0);
+        let executor = BatchExecutor::new(Arc::clone(&service), 2);
+        let err = executor.execute(&[(0, 1), (0, 500)]).unwrap_err();
+        assert_eq!(err, QueryError::VertexOutOfRange { vertex: 500, n: 500 });
+        // Validation happens before any work or accounting.
+        assert_eq!(service.metrics_snapshot().batch_requests, 0);
+        assert_eq!(service.metrics_snapshot().batch_queries, 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let service = service(1 << 12);
+        let executor = Arc::new(BatchExecutor::new(Arc::clone(&service), 4));
+        let expect = service.oracle().batch_distances(&pairs(400, 500), 1);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let executor = Arc::clone(&executor);
+                let expect = expect.clone();
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        assert_eq!(executor.execute(&pairs(400, 500)).unwrap(), expect);
+                    }
+                });
+            }
+        });
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.batch_requests, 30);
+        assert_eq!(snap.batch_queries, 30 * 400);
+    }
+
+    #[test]
+    fn batches_with_cache_agree_with_no_cache() {
+        let cached = BatchExecutor::new(service(1 << 10), 3);
+        let uncached = BatchExecutor::new(service(0), 3);
+        let pairs = pairs(600, 500);
+        let a = cached.execute(&pairs).unwrap();
+        let b = uncached.execute(&pairs).unwrap();
+        assert_eq!(a, b);
+        // Second submission is served mostly from cache — still identical.
+        assert_eq!(cached.execute(&pairs).unwrap(), a);
+        assert!(cached.service().cache_stats().hits > 0);
+    }
+}

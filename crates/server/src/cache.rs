@@ -1,0 +1,396 @@
+//! A sharded LRU cache for answered distance queries.
+//!
+//! Distances are symmetric, so keys are normalised `(min(s,t), max(s,t))`
+//! pairs packed into a `u64`. The key hash picks one of N mutex-striped
+//! shards (N rounded up to a power of two), each an intrusive-list LRU over
+//! a slab — so two queries only contend when they land on the same shard,
+//! and a shard's critical section is a hash lookup plus two list splices.
+//!
+//! Complex-network query workloads are heavily skewed (hubs appear in a
+//! large fraction of pairs), which is exactly the regime where a small LRU
+//! in front of a microsecond oracle pays for itself; the `serving`
+//! benchmark measures the cold/warm difference.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Slot index sentinel for "no entry".
+const NIL: u32 = u32::MAX;
+
+/// Cached encoding of `Option<u32>`: `u32::MAX` stands for "unreachable"
+/// (real distances never reach it — labels are 16-bit).
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Configuration for a [`ShardedCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in entries, split across shards. `0` disables
+    /// construction ([`ShardedCache::new`] panics; callers gate on it).
+    pub capacity: usize,
+    /// Requested shard count; rounded up to a power of two and capped so
+    /// every shard holds at least one entry.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 1 << 16, shards: 16 }
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total capacity in entries.
+    pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+/// One LRU shard: hash index into an intrusive doubly-linked list kept in a
+/// slab, most-recent at `head`.
+#[derive(Debug)]
+struct Shard {
+    map: HashMap<u64, u32>,
+    slab: Vec<Entry>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    value: u32,
+    prev: u32,
+    next: u32,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let e = &self.slab[slot as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n as usize].prev = prev,
+        }
+    }
+
+    fn link_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[slot as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let slot = *self.map.get(&key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        Some(self.slab[slot as usize].value)
+    }
+
+    /// Inserts or refreshes `key`; returns `true` when an older entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: u64, value: u32) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot as usize].value = value;
+            if self.head != slot {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return false;
+        }
+        if self.map.len() < self.capacity {
+            let slot = self.slab.len() as u32;
+            self.slab.push(Entry { key, value, prev: NIL, next: NIL });
+            self.map.insert(key, slot);
+            self.link_front(slot);
+            return false;
+        }
+        // Full: repurpose the least-recently-used slot.
+        let slot = self.tail;
+        debug_assert_ne!(slot, NIL, "capacity >= 1 guarantees a tail when full");
+        self.unlink(slot);
+        let old_key = self.slab[slot as usize].key;
+        self.map.remove(&old_key);
+        {
+            let e = &mut self.slab[slot as usize];
+            e.key = key;
+            e.value = value;
+        }
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        true
+    }
+}
+
+/// The sharded LRU distance cache.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// Builds a cache from `config`. Panics when `config.capacity == 0`
+    /// (callers express "no cache" by not constructing one).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
+        let shards = config.shards.clamp(1, config.capacity).next_power_of_two();
+        let per_shard = config.capacity.div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shard_mask: shards as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: per_shard * shards,
+        }
+    }
+
+    /// The normalised key for an unordered pair.
+    fn key(s: u32, t: u32) -> u64 {
+        let (a, b) = if s <= t { (s, t) } else { (t, s) };
+        (a as u64) << 32 | b as u64
+    }
+
+    /// Mixes a key into a shard index (splitmix64 finaliser, so adjacent
+    /// vertex ids spread across shards).
+    fn shard_of(&self, key: u64) -> usize {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) & self.shard_mask) as usize
+    }
+
+    /// Looks up the distance for `(s, t)`. `None` = not cached;
+    /// `Some(None)` = cached as unreachable; `Some(Some(d))` = cached
+    /// distance.
+    pub fn get(&self, s: u32, t: u32) -> Option<Option<u32>> {
+        let key = Self::key(s, t);
+        let found = self.shards[self.shard_of(key)].lock().expect("cache shard poisoned").get(key);
+        match found {
+            Some(UNREACHABLE) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(None)
+            }
+            Some(d) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Some(d))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records the answer for `(s, t)`.
+    pub fn insert(&self, s: u32, t: u32, distance: Option<u32>) {
+        let key = Self::key(s, t);
+        let value = distance.unwrap_or(UNREACHABLE);
+        let evicted = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity in entries (rounded up to fill every shard).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empties every shard (counters are preserved). Used to measure
+    /// cold-cache behaviour and by operators to invalidate after reload.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.slab.clear();
+            shard.head = NIL;
+            shard.tail = NIL;
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+            shards: self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(capacity: usize, shards: usize) -> ShardedCache {
+        ShardedCache::new(CacheConfig { capacity, shards })
+    }
+
+    #[test]
+    fn hit_after_insert_both_orders() {
+        let cache = small(64, 4);
+        assert_eq!(cache.get(3, 9), None);
+        cache.insert(3, 9, Some(5));
+        assert_eq!(cache.get(3, 9), Some(Some(5)));
+        assert_eq!(cache.get(9, 3), Some(Some(5)), "keys are direction-normalised");
+        cache.insert(7, 2, None);
+        assert_eq!(cache.get(2, 7), Some(None), "unreachable is cached too");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single shard of capacity 2 so the eviction order is observable.
+        let cache = small(2, 1);
+        cache.insert(0, 1, Some(1));
+        cache.insert(0, 2, Some(2));
+        assert_eq!(cache.get(0, 1), Some(Some(1))); // refresh (0,1)
+        cache.insert(0, 3, Some(3)); // evicts (0,2)
+        assert_eq!(cache.get(0, 2), None, "LRU entry evicted");
+        assert_eq!(cache.get(0, 1), Some(Some(1)), "refreshed entry kept");
+        assert_eq!(cache.get(0, 3), Some(Some(3)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn update_refreshes_without_eviction() {
+        let cache = small(2, 1);
+        cache.insert(0, 1, Some(1));
+        cache.insert(0, 2, Some(2));
+        cache.insert(0, 1, Some(10)); // update, not insert
+        assert_eq!(cache.stats().evictions, 0);
+        cache.insert(0, 3, Some(3)); // now (0,2) is LRU
+        assert_eq!(cache.get(0, 2), None);
+        assert_eq!(cache.get(0, 1), Some(Some(10)));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let cache = small(100, 8);
+        for i in 0..10_000u32 {
+            cache.insert(i, i + 1, Some(i % 7));
+        }
+        assert!(cache.len() <= cache.capacity());
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.entries, cache.len());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = small(16, 2);
+        cache.insert(1, 2, Some(3));
+        assert_eq!(cache.get(1, 2), Some(Some(3)));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1, 2), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // Usable after clear.
+        cache.insert(1, 2, Some(4));
+        assert_eq!(cache.get(1, 2), Some(Some(4)));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = small(100, 7);
+        assert_eq!(cache.stats().shards, 8);
+        let tiny = small(2, 64);
+        assert!(tiny.stats().shards <= 2, "shards never exceed capacity");
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache = std::sync::Arc::new(small(1 << 12, 16));
+        std::thread::scope(|scope| {
+            for thread in 0..8u32 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..5_000u32 {
+                        let s = (i * 7 + thread) % 500;
+                        let t = (i * 13 + 1) % 500;
+                        if let Some(hit) = cache.get(s, t) {
+                            // Any hit must carry the value every writer
+                            // stores for this pair.
+                            assert_eq!(hit, Some(s.min(t) % 11));
+                        }
+                        cache.insert(s, t, Some(s.min(t) % 11));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = small(0, 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small blocking client for the [`protocol`](crate::protocol) — used by
+//! the `hcl client` CLI command, the loopback integration tests, and the
+//! serving benchmark.
+
+use crate::protocol::{self, ResponseError};
+use hcl_graph::VertexId;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// The server replied with an error or an unparseable line.
+    Response(ResponseError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Response(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ResponseError> for ClientError {
+    fn from(e: ResponseError) -> Self {
+        ClientError::Response(e)
+    }
+}
+
+/// One blocking connection speaking the line protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving process.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    fn send(&mut self, request: &str) -> Result<(), ClientError> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Disconnected);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// One exact distance (`None` = unreachable).
+    pub fn query(&mut self, s: VertexId, t: VertexId) -> Result<Option<u32>, ClientError> {
+        self.send(&format!("QUERY {s} {t}"))?;
+        Ok(protocol::parse_query_response(&self.receive()?)?)
+    }
+
+    /// A batch of distances, in input order.
+    pub fn batch(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<Option<u32>>, ClientError> {
+        let mut request = format!("BATCH {}", pairs.len());
+        for &(s, t) in pairs {
+            request.push('\n');
+            request.push_str(&format!("{s} {t}"));
+        }
+        self.send(&request)?;
+        Ok(protocol::parse_batch_response(&self.receive()?, pairs.len())?)
+    }
+
+    /// The raw `STATS` body (`key=value` pairs separated by spaces).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send("STATS")?;
+        let line = self.receive()?;
+        match line.strip_prefix("STATS ") {
+            Some(body) => Ok(body.to_string()),
+            None => Err(ClientError::Response(ResponseError::Malformed(line))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        let line = self.receive()?;
+        if line == "PONG" {
+            Ok(())
+        } else {
+            Err(ClientError::Response(ResponseError::Malformed(line)))
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        let line = self.receive()?;
+        if line == "BYE" {
+            Ok(())
+        } else {
+            Err(ClientError::Response(ResponseError::Malformed(line)))
+        }
+    }
+
+    /// Sends a raw request line and returns the raw response line
+    /// (single-line responses only — not `BATCH`).
+    pub fn raw(&mut self, request: &str) -> Result<String, ClientError> {
+        self.send(request)?;
+        self.receive()
+    }
+}

@@ -1,0 +1,54 @@
+//! `hcl-server` — the concurrent distance-query serving subsystem.
+//!
+//! The labelling built by `hcl-core` answers exact distance queries in
+//! microseconds, and it is immutable once built — so the serving problem is
+//! pure fan-out. This crate turns one index into a multi-client service:
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`oracle_pool`] | [`QueryService`]: a [`SharedOracle`](hcl_core::SharedOracle) + optional cache + metrics, all `&self` |
+//! | [`cache`] | [`ShardedCache`]: mutex-striped LRU over normalised `(s, t)` keys with hit/miss/eviction counters |
+//! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order |
+//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `SHUTDOWN`), both codec directions |
+//! | [`server`] | std-only TCP server with graceful shutdown + connection draining |
+//! | [`client`] | a blocking client for the protocol |
+//! | [`metrics`] | lock-free serving counters and snapshots |
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hcl_core::HighwayCoverLabelling;
+//! use hcl_graph::generate;
+//! use hcl_server::{Client, QueryService, Server, ServerConfig};
+//!
+//! let g = Arc::new(generate::barabasi_albert(500, 4, 7));
+//! let landmarks = hcl_graph::order::top_degree(&g, 8);
+//! let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+//!
+//! let service = Arc::new(QueryService::from_parts(g, Arc::new(labelling), 1 << 12));
+//! let handle =
+//!     Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let d = client.query(1, 499).unwrap();
+//! assert!(d.is_some());
+//! assert_eq!(client.batch(&[(1, 499), (2, 2)]).unwrap(), vec![d, Some(0)]);
+//! handle.shutdown();
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod oracle_pool;
+pub mod protocol;
+pub mod server;
+
+pub use batch::BatchExecutor;
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use client::{Client, ClientError};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use oracle_pool::{QueryError, QueryService};
+pub use protocol::{ProtocolError, Request, ResponseError};
+pub use server::{Server, ServerConfig, ServerHandle};

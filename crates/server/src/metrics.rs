@@ -1,0 +1,111 @@
+//! Serving counters, all lock-free atomics so every connection handler and
+//! batch worker can bump them without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing one serving process. Incremented with
+/// relaxed ordering — the counters are statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Single `QUERY` requests answered.
+    pub queries: AtomicU64,
+    /// `BATCH` requests answered.
+    pub batch_requests: AtomicU64,
+    /// Pairs answered inside `BATCH` requests.
+    pub batch_queries: AtomicU64,
+    /// Connections accepted over the lifetime of the server.
+    pub connections: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicU64,
+    /// Requests rejected with a protocol or range error.
+    pub errors: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a counter by one (used for gauges such as
+    /// [`active_connections`](Self::active_connections)).
+    pub fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`ServeMetrics`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Single `QUERY` requests answered.
+    pub queries: u64,
+    /// `BATCH` requests answered.
+    pub batch_requests: u64,
+    /// Pairs answered inside `BATCH` requests.
+    pub batch_queries: u64,
+    /// Connections accepted over the lifetime of the server.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Requests rejected with a protocol or range error.
+    pub errors: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total distances served, single and batched.
+    pub fn total_distances(&self) -> u64 {
+        self.queries + self.batch_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.queries);
+        ServeMetrics::add(&m.batch_queries, 41);
+        ServeMetrics::bump(&m.active_connections);
+        ServeMetrics::bump(&m.active_connections);
+        ServeMetrics::drop_one(&m.active_connections);
+        let snap = m.snapshot();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.batch_queries, 41);
+        assert_eq!(snap.active_connections, 1);
+        assert_eq!(snap.total_distances(), 42);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let m = ServeMetrics::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        ServeMetrics::bump(&m.queries);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().queries, 80_000);
+    }
+}

@@ -1,0 +1,203 @@
+//! The shared serving state: one [`SharedOracle`] (immutable index, graph,
+//! and pooled query contexts) fronted by an optional [`ShardedCache`] and
+//! a [`ServeMetrics`] block.
+//!
+//! Everything here is `&self`: one `Arc<QueryService>` is handed to every
+//! connection handler and batch worker in the process. Range validation
+//! happens here so both the TCP layer and in-process callers get the same
+//! errors.
+
+use crate::cache::{CacheConfig, CacheStats, ShardedCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use hcl_core::{HighwayCoverLabelling, QueryContext, SharedOracle};
+use hcl_graph::{CsrGraph, VertexId};
+use std::sync::Arc;
+
+/// A query the service cannot answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A vertex id at or beyond the graph's vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Shared per-process serving state; see the module docs.
+#[derive(Debug)]
+pub struct QueryService {
+    oracle: SharedOracle,
+    cache: Option<ShardedCache>,
+    metrics: ServeMetrics,
+}
+
+impl QueryService {
+    /// Builds a service over an oracle, with a cache when
+    /// `cache_capacity > 0`.
+    pub fn new(oracle: SharedOracle, cache_capacity: usize) -> Self {
+        let cache = (cache_capacity > 0).then(|| {
+            ShardedCache::new(CacheConfig { capacity: cache_capacity, ..Default::default() })
+        });
+        QueryService { oracle, cache, metrics: ServeMetrics::default() }
+    }
+
+    /// Convenience constructor from the index halves.
+    pub fn from_parts(
+        graph: Arc<CsrGraph>,
+        labelling: Arc<HighwayCoverLabelling>,
+        cache_capacity: usize,
+    ) -> Self {
+        QueryService::new(SharedOracle::new(graph, labelling), cache_capacity)
+    }
+
+    /// The underlying shared oracle.
+    pub fn oracle(&self) -> &SharedOracle {
+        &self.oracle
+    }
+
+    /// The distance cache, when serving with one.
+    pub fn cache(&self) -> Option<&ShardedCache> {
+        self.cache.as_ref()
+    }
+
+    /// The serving counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Number of vertices queries may address.
+    pub fn num_vertices(&self) -> usize {
+        self.oracle.num_vertices()
+    }
+
+    /// Validates that both endpoints are in range.
+    pub fn check_pair(&self, s: VertexId, t: VertexId) -> Result<(), QueryError> {
+        let n = self.num_vertices();
+        for v in [s, t] {
+            if v as usize >= n {
+                return Err(QueryError::VertexOutOfRange { vertex: v, n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers one query through the cache, using a pooled context only on
+    /// a miss — a hit never touches the context pool. Counts towards the
+    /// `queries` metric.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Result<Option<u32>, QueryError> {
+        self.check_pair(s, t)?;
+        ServeMetrics::bump(&self.metrics.queries);
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(s, t) {
+                return Ok(hit);
+            }
+        }
+        let mut ctx = self.oracle.context_pool().checkout();
+        let d = self.oracle.distance_with(&mut ctx, s, t);
+        if let Some(cache) = &self.cache {
+            cache.insert(s, t, d);
+        }
+        Ok(d)
+    }
+
+    /// Cache-through distance for callers that hold their own context
+    /// (batch workers). Endpoints must already be validated; does **not**
+    /// bump request metrics — the batch layer counts whole requests.
+    pub(crate) fn cached_distance_with(
+        &self,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<u32> {
+        debug_assert!(self.check_pair(s, t).is_ok());
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(s, t) {
+                return hit;
+            }
+            let d = self.oracle.distance_with(ctx, s, t);
+            cache.insert(s, t, d);
+            d
+        } else {
+            self.oracle.distance_with(ctx, s, t)
+        }
+    }
+
+    /// Cache statistics (zeroed when serving without a cache).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Metric counters at this instant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+
+    pub(crate) fn test_service(cache_capacity: usize) -> QueryService {
+        let g = Arc::new(generate::barabasi_albert(400, 4, 21));
+        let landmarks = hcl_graph::order::top_degree(&g, 10);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        QueryService::from_parts(g, Arc::new(labelling), cache_capacity)
+    }
+
+    #[test]
+    fn distance_checks_range() {
+        let service = test_service(0);
+        assert!(service.distance(0, 399).is_ok());
+        assert_eq!(
+            service.distance(0, 400),
+            Err(QueryError::VertexOutOfRange { vertex: 400, n: 400 })
+        );
+        assert_eq!(
+            service.distance(1_000_000, 3),
+            Err(QueryError::VertexOutOfRange { vertex: 1_000_000, n: 400 })
+        );
+    }
+
+    #[test]
+    fn cache_on_and_off_agree() {
+        let with = test_service(1 << 10);
+        let without = test_service(0);
+        for i in 0..300u32 {
+            let (s, t) = ((i * 7) % 400, (i * 13 + 1) % 400);
+            let a = with.distance(s, t).unwrap();
+            let b = without.distance(s, t).unwrap();
+            assert_eq!(a, b, "d({s}, {t})");
+            // Ask again to exercise the hit path.
+            assert_eq!(with.distance(s, t).unwrap(), a);
+        }
+        let stats = with.cache_stats();
+        assert!(stats.hits >= 300, "every repeat should hit, saw {}", stats.hits);
+        assert_eq!(without.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn metrics_count_queries() {
+        let service = test_service(16);
+        for _ in 0..5 {
+            service.distance(1, 2).unwrap();
+        }
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.queries, 5);
+        assert_eq!(snap.total_distances(), 5);
+    }
+}

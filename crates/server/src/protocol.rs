@@ -1,0 +1,324 @@
+//! The `hcl-serve` wire protocol: newline-delimited UTF-8 text, one
+//! response line per request.
+//!
+//! ```text
+//! -> QUERY <s> <t>          <- DIST <d>|INF
+//! -> BATCH <k>              (followed by k lines "<s> <t>")
+//!                           <- DISTS <d1> <d2> … <dk>   (INF for unreachable)
+//! -> STATS                  <- STATS key=value key=value …
+//! -> PING                   <- PONG
+//! -> SHUTDOWN               <- BYE       (server then drains and stops)
+//! ```
+//!
+//! Any malformed request line gets `ERR <message>` and the connection stays
+//! usable. Both codec directions live here so the server, the bundled
+//! client, and tests share one definition.
+
+use crate::cache::CacheStats;
+use crate::metrics::MetricsSnapshot;
+use hcl_graph::VertexId;
+
+/// Largest `k` a `BATCH` request may declare; guards the server against
+/// one line committing it to unbounded allocation.
+pub const MAX_BATCH: usize = 1 << 20;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY s t` — one exact distance.
+    Query(VertexId, VertexId),
+    /// `BATCH k` — `k` pair lines follow.
+    Batch(usize),
+    /// `STATS` — serving counters.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `SHUTDOWN` — begin graceful shutdown.
+    Shutdown,
+}
+
+/// A request the protocol cannot parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Blank request line.
+    Empty,
+    /// First token is not a known command.
+    UnknownCommand(String),
+    /// Known command with the wrong number of arguments.
+    BadArity {
+        /// The command name.
+        command: &'static str,
+        /// What the command expects, e.g. `"<s> <t>"`.
+        expected: &'static str,
+    },
+    /// An argument that should be a number is not.
+    BadNumber(String),
+    /// `BATCH k` with `k` beyond [`MAX_BATCH`].
+    BatchTooLarge {
+        /// The declared batch size.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty request"),
+            ProtocolError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+            ProtocolError::BadArity { command, expected } => {
+                write!(f, "{command} expects {expected}")
+            }
+            ProtocolError::BadNumber(tok) => write!(f, "not a number: {tok:?}"),
+            ProtocolError::BatchTooLarge { requested } => {
+                write!(f, "batch of {requested} exceeds the maximum of {MAX_BATCH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn parse_num<T: std::str::FromStr>(tok: &str) -> Result<T, ProtocolError> {
+    tok.parse().map_err(|_| ProtocolError::BadNumber(tok.to_string()))
+}
+
+/// Parses one request line (without its trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let mut tokens = line.split_ascii_whitespace();
+    let command = tokens.next().ok_or(ProtocolError::Empty)?;
+    let request = match command {
+        "QUERY" => {
+            let (Some(s), Some(t), None) = (tokens.next(), tokens.next(), tokens.next()) else {
+                return Err(ProtocolError::BadArity { command: "QUERY", expected: "<s> <t>" });
+            };
+            Request::Query(parse_num(s)?, parse_num(t)?)
+        }
+        "BATCH" => {
+            let (Some(k), None) = (tokens.next(), tokens.next()) else {
+                return Err(ProtocolError::BadArity { command: "BATCH", expected: "<k>" });
+            };
+            let k: usize = parse_num(k)?;
+            if k > MAX_BATCH {
+                return Err(ProtocolError::BatchTooLarge { requested: k });
+            }
+            Request::Batch(k)
+        }
+        "STATS" | "PING" | "SHUTDOWN" => {
+            if tokens.next().is_some() {
+                return Err(ProtocolError::BadArity {
+                    command: match command {
+                        "STATS" => "STATS",
+                        "PING" => "PING",
+                        _ => "SHUTDOWN",
+                    },
+                    expected: "no arguments",
+                });
+            }
+            match command {
+                "STATS" => Request::Stats,
+                "PING" => Request::Ping,
+                _ => Request::Shutdown,
+            }
+        }
+        other => return Err(ProtocolError::UnknownCommand(other.to_string())),
+    };
+    Ok(request)
+}
+
+/// Parses one `"<s> <t>"` pair line of a `BATCH` body.
+pub fn parse_pair(line: &str) -> Result<(VertexId, VertexId), ProtocolError> {
+    let mut tokens = line.split_ascii_whitespace();
+    match (tokens.next(), tokens.next(), tokens.next()) {
+        (Some(s), Some(t), None) => Ok((parse_num(s)?, parse_num(t)?)),
+        (None, ..) => Err(ProtocolError::Empty),
+        _ => Err(ProtocolError::BadArity { command: "BATCH pair", expected: "<s> <t>" }),
+    }
+}
+
+fn push_distance(out: &mut String, d: Option<u32>) {
+    match d {
+        Some(d) => out.push_str(&d.to_string()),
+        None => out.push_str("INF"),
+    }
+}
+
+/// Renders a `QUERY` response: `DIST <d>` / `DIST INF`.
+pub fn format_query_response(d: Option<u32>) -> String {
+    let mut out = String::from("DIST ");
+    push_distance(&mut out, d);
+    out
+}
+
+/// Renders a `BATCH` response: `DISTS <d1> … <dk>`.
+pub fn format_batch_response(distances: &[Option<u32>]) -> String {
+    let mut out = String::with_capacity(6 + distances.len() * 4);
+    out.push_str("DISTS");
+    for &d in distances {
+        out.push(' ');
+        push_distance(&mut out, d);
+    }
+    out
+}
+
+/// Renders the `STATS` response: one line of `key=value` pairs.
+pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats) -> String {
+    format!(
+        "STATS queries={} batch_requests={} batch_queries={} connections={} \
+         active_connections={} errors={} cache_hits={} cache_misses={} cache_evictions={} \
+         cache_entries={} cache_capacity={}",
+        metrics.queries,
+        metrics.batch_requests,
+        metrics.batch_queries,
+        metrics.connections,
+        metrics.active_connections,
+        metrics.errors,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        cache.capacity,
+    )
+}
+
+/// Renders an error response: `ERR <message>` (newlines squashed so the
+/// response stays one line).
+pub fn format_error(message: impl std::fmt::Display) -> String {
+    format!("ERR {}", message.to_string().replace('\n', " "))
+}
+
+/// A response the client-side codec cannot interpret.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseError {
+    /// The server replied `ERR <message>`.
+    Server(String),
+    /// The response line doesn't match the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseError::Server(msg) => write!(f, "server error: {msg}"),
+            ResponseError::Malformed(line) => write!(f, "malformed response: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ResponseError {}
+
+fn parse_distance_token(tok: &str) -> Result<Option<u32>, ResponseError> {
+    if tok == "INF" {
+        return Ok(None);
+    }
+    tok.parse().map(Some).map_err(|_| ResponseError::Malformed(tok.to_string()))
+}
+
+fn split_err(line: &str) -> Result<&str, ResponseError> {
+    match line.strip_prefix("ERR ") {
+        Some(msg) => Err(ResponseError::Server(msg.to_string())),
+        None => Ok(line),
+    }
+}
+
+/// Client side: interprets a `QUERY` response line.
+pub fn parse_query_response(line: &str) -> Result<Option<u32>, ResponseError> {
+    let line = split_err(line)?;
+    let rest =
+        line.strip_prefix("DIST ").ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
+    parse_distance_token(rest.trim())
+}
+
+/// Client side: interprets a `BATCH` response line, checking the count.
+pub fn parse_batch_response(
+    line: &str,
+    expected: usize,
+) -> Result<Vec<Option<u32>>, ResponseError> {
+    let line = split_err(line)?;
+    let rest =
+        line.strip_prefix("DISTS").ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
+    let distances: Vec<Option<u32>> =
+        rest.split_ascii_whitespace().map(parse_distance_token).collect::<Result<_, _>>()?;
+    if distances.len() != expected {
+        return Err(ResponseError::Malformed(format!(
+            "expected {expected} distances, got {}",
+            distances.len()
+        )));
+    }
+    Ok(distances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(parse_request("QUERY 3 9"), Ok(Request::Query(3, 9)));
+        assert_eq!(parse_request("  QUERY  3   9  "), Ok(Request::Query(3, 9)));
+        assert_eq!(parse_request("BATCH 128"), Ok(Request::Batch(128)));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert_eq!(parse_request(""), Err(ProtocolError::Empty));
+        assert_eq!(parse_request("   "), Err(ProtocolError::Empty));
+        assert!(matches!(parse_request("NOPE 1 2"), Err(ProtocolError::UnknownCommand(_))));
+        assert!(matches!(parse_request("QUERY 1"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("QUERY 1 2 3"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("QUERY a 2"), Err(ProtocolError::BadNumber(_))));
+        assert!(matches!(parse_request("QUERY -1 2"), Err(ProtocolError::BadNumber(_))));
+        assert!(matches!(parse_request("BATCH"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("STATS now"), Err(ProtocolError::BadArity { .. })));
+        assert_eq!(
+            parse_request(&format!("BATCH {}", MAX_BATCH + 1)),
+            Err(ProtocolError::BatchTooLarge { requested: MAX_BATCH + 1 })
+        );
+    }
+
+    #[test]
+    fn pair_lines() {
+        assert_eq!(parse_pair("4 7"), Ok((4, 7)));
+        assert_eq!(parse_pair(""), Err(ProtocolError::Empty));
+        assert!(matches!(parse_pair("4"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_pair("4 7 9"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_pair("4 x"), Err(ProtocolError::BadNumber(_))));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        assert_eq!(parse_query_response(&format_query_response(Some(12))), Ok(Some(12)));
+        assert_eq!(parse_query_response(&format_query_response(None)), Ok(None));
+        let batch = vec![Some(0), None, Some(7)];
+        assert_eq!(parse_batch_response(&format_batch_response(&batch), 3), Ok(batch));
+        assert_eq!(parse_batch_response(&format_batch_response(&[]), 0), Ok(vec![]));
+    }
+
+    #[test]
+    fn error_responses_surface_server_side_messages() {
+        let line = format_error("vertex 9 out of range");
+        assert_eq!(
+            parse_query_response(&line),
+            Err(ResponseError::Server("vertex 9 out of range".to_string()))
+        );
+        assert!(parse_batch_response(&line, 1).is_err());
+        assert!(parse_query_response("GARBAGE").is_err());
+        assert_eq!(
+            parse_batch_response("DISTS 1 2", 3),
+            Err(ResponseError::Malformed("expected 3 distances, got 2".to_string()))
+        );
+    }
+
+    #[test]
+    fn stats_line_is_parseable_key_values() {
+        let line = format_stats_response(&MetricsSnapshot::default(), &CacheStats::default());
+        let body = line.strip_prefix("STATS ").unwrap();
+        for kv in body.split_ascii_whitespace() {
+            let (k, v) = kv.split_once('=').expect("key=value");
+            assert!(!k.is_empty());
+            let _: u64 = v.parse().expect("numeric value");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property test: serving with the sharded LRU cache enabled returns
+//! exactly the distances cache-less serving returns, on arbitrary graphs
+//! and query streams — including repeated pairs (hits), both orientations
+//! of a pair (key normalisation), and capacities small enough to force
+//! evictions mid-stream.
+
+use hcl_core::HighwayCoverLabelling;
+use hcl_graph::CsrGraph;
+use hcl_server::{BatchExecutor, QueryService};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn graph_landmarks_queries() -> impl Strategy<Value = (CsrGraph, Vec<u32>, Vec<(u32, u32)>, usize)>
+{
+    (4usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        let landmark_sel = proptest::collection::vec(0..n as u32, 0..5);
+        // Repeats are likely with ids drawn from a small domain, so the hit
+        // path is exercised; tiny capacities force evictions.
+        let queries = proptest::collection::vec((0..n as u32, 0..n as u32), 1..120);
+        let capacity = 1usize..32;
+        (Just(n), edges, landmark_sel, queries, capacity).prop_map(
+            |(n, edges, landmark_sel, queries, capacity)| {
+                let g = CsrGraph::from_edges(n, &edges);
+                let mut landmarks = landmark_sel;
+                landmarks.sort_unstable();
+                landmarks.dedup();
+                (g, landmarks, queries, capacity)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_on_and_cache_off_serve_identical_distances(
+        (g, landmarks, queries, capacity) in graph_landmarks_queries()
+    ) {
+        let g = Arc::new(g);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let labelling = Arc::new(labelling);
+        let cached =
+            QueryService::from_parts(Arc::clone(&g), Arc::clone(&labelling), capacity);
+        let plain = QueryService::from_parts(Arc::clone(&g), labelling, 0);
+
+        for &(s, t) in &queries {
+            let a = cached.distance(s, t).unwrap();
+            let b = plain.distance(s, t).unwrap();
+            prop_assert_eq!(a, b, "d({}, {}) capacity {}", s, t, capacity);
+            // The reversed orientation hits the same normalised key and
+            // must agree too.
+            prop_assert_eq!(cached.distance(t, s).unwrap(), b, "d({}, {})", t, s);
+        }
+        // Everything went through the cache exactly once per lookup.
+        let stats = cached.cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * queries.len() as u64);
+        prop_assert!(stats.entries <= stats.capacity);
+    }
+
+    #[test]
+    fn batched_and_single_serving_agree_with_and_without_cache(
+        (g, landmarks, queries, capacity) in graph_landmarks_queries()
+    ) {
+        let g = Arc::new(g);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let labelling = Arc::new(labelling);
+        let cached = Arc::new(QueryService::from_parts(
+            Arc::clone(&g),
+            Arc::clone(&labelling),
+            capacity,
+        ));
+        let plain = Arc::new(QueryService::from_parts(Arc::clone(&g), labelling, 0));
+
+        let singles: Vec<Option<u32>> =
+            queries.iter().map(|&(s, t)| plain.distance(s, t).unwrap()).collect();
+        let via_cached_batch = BatchExecutor::new(Arc::clone(&cached), 3)
+            .execute(&queries)
+            .unwrap();
+        let via_plain_batch = BatchExecutor::new(Arc::clone(&plain), 3)
+            .execute(&queries)
+            .unwrap();
+        prop_assert_eq!(&via_cached_batch, &singles);
+        prop_assert_eq!(&via_plain_batch, &singles);
+    }
+}

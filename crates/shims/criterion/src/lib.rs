@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input), [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is a plain warm-up + timed-loop wall-clock mean — adequate
+//! for comparing methods and thread counts, not a statistical framework
+//! (see `crates/shims/README.md`). Knobs via environment:
+//!
+//! | variable | default | meaning |
+//! |----------|---------|---------|
+//! | `HCL_BENCH_WARMUP_MS` | `25` | warm-up window per benchmark |
+//! | `HCL_BENCH_MEASURE_MS` | `150` | measurement window per benchmark |
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default))
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 100, throughput: None }
+    }
+}
+
+/// Identifier for a parameterised benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work performed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work so results also print as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { min_iters: self.sample_size as u64, result: None };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.result);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { min_iters: self.sample_size as u64, result: None };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.result);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours print eagerly).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Measurement>) {
+        let Some(m) = result else {
+            println!("{}/{id}: no measurement (Bencher::iter never called)", self.name);
+            return;
+        };
+        let mean = m.total.as_secs_f64() / m.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * m.iters as f64 / m.total.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * m.iters as f64 / m.total.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: mean {} over {} iters{rate}", self.name, format_seconds(mean), m.iters);
+    }
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    min_iters: u64,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` after a warm-up window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup = env_ms("HCL_BENCH_WARMUP_MS", 25);
+        let measure = env_ms("HCL_BENCH_MEASURE_MS", 150);
+
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= warmup {
+                break;
+            }
+        }
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= measure && iters >= self.min_iters.min(10) {
+                break;
+            }
+            // Never let slow single iterations (index builds) run the full
+            // minimum count once the window is long exceeded.
+            if elapsed >= measure * 4 {
+                break;
+            }
+        }
+        self.result = Some(Measurement { total: start.elapsed(), iters });
+    }
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("HCL_BENCH_WARMUP_MS", "1");
+        std::env::set_var("HCL_BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 4).to_string(), "a/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(0.0000025), "2.500 µs");
+        assert_eq!(format_seconds(0.0000000025), "2.5 ns");
+    }
+}

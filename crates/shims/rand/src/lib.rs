@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over integer ranges, and [`Rng::random`] for
+//! `f64`/`u32`/`u64`/`bool`.
+//!
+//! The generator is xoshiro256++ seeded via splitmix64 — deterministic and
+//! high quality, but **not** stream-compatible with upstream `rand`: the
+//! same seed selects a stable graph here, not the graph upstream would
+//! generate. See `crates/shims/README.md`.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Seeding for deterministic generators (upstream: `rand::SeedableRng`,
+/// reduced to the one constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit output source (upstream: `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (upstream: `rand::Rng`), blanket-implemented
+/// for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample of `T` over its full domain (`[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    /// Panics on empty ranges.
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) => panic!("exclusive start bounds are not supported"),
+            Bound::Unbounded => T::MIN_VALUE,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => {
+                assert!(x.to_u64() > lo.to_u64(), "cannot sample from empty range");
+                T::from_u64(x.to_u64() - 1)
+            }
+            Bound::Unbounded => T::MAX_VALUE,
+        };
+        assert!(lo.to_u64() <= hi.to_u64(), "cannot sample from empty range");
+        let span = (hi.to_u64() - lo.to_u64()).wrapping_add(1);
+        if span == 0 {
+            // Full 64-bit domain.
+            return T::from_u64(self.next_u64());
+        }
+        // Widening-multiply range reduction (Lemire); the bias is < 2^-64
+        // per sample, irrelevant for test/benchmark workloads.
+        let r = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo.to_u64() + r)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable uniformly over their full domain by [`Rng::random`].
+pub trait StandardSample {
+    /// Maps 64 uniform bits to a uniform value.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl StandardSample for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+/// Unsigned integer types usable with [`Rng::random_range`].
+pub trait SampleUniform: Copy {
+    /// Smallest value of the type.
+    const MIN_VALUE: Self;
+    /// Largest value of the type.
+    const MAX_VALUE: Self;
+    /// Widens to `u64` (lossless for every implementor).
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; callers guarantee the value fits.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++), mirroring the
+    /// role of `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(3..7);
+            assert!((3..7).contains(&x));
+            let y: usize = rng.random_range(0..=4);
+            assert!(y <= 4);
+            seen_lo |= y == 0;
+            seen_hi |= y == 4;
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(seen_lo && seen_hi, "inclusive endpoints must be reachable");
+    }
+
+    #[test]
+    fn single_value_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(rng.random_range(5u32..6), 5);
+        assert_eq!(rng.random_range(5u32..=5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = rng.random_range(5u32..5);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+}

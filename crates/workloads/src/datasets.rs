@@ -64,9 +64,7 @@ impl DatasetSpec {
             NetworkType::Social | NetworkType::Computer => {
                 generate::barabasi_albert(n, self.density.max(1), self.seed)
             }
-            NetworkType::Web => {
-                generate::web_copying(n, self.density.max(1), 0.25, self.seed)
-            }
+            NetworkType::Web => generate::web_copying(n, self.density.max(1), 0.25, self.seed),
         };
         connectivity::largest_connected_component(&g).0
     }

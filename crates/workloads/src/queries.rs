@@ -52,10 +52,7 @@ impl DistanceDistribution {
     }
 
     /// Measures the distribution using any distance oracle.
-    pub fn measure_with(
-        oracle: &mut dyn DistanceOracle,
-        pairs: &[(VertexId, VertexId)],
-    ) -> Self {
+    pub fn measure_with(oracle: &mut dyn DistanceOracle, pairs: &[(VertexId, VertexId)]) -> Self {
         let mut dist = DistanceDistribution::default();
         for &(s, t) in pairs {
             dist.record(oracle.distance(s, t));

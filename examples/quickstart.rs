@@ -10,12 +10,7 @@ fn main() {
     // A synthetic social network: 50k vertices, preferential attachment.
     println!("generating a 50k-vertex scale-free network …");
     let g = hcl::graph::generate::barabasi_albert(50_000, 8, 42);
-    println!(
-        "  n = {}, m = {}, max degree = {}",
-        g.num_vertices(),
-        g.num_edges(),
-        g.max_degree()
-    );
+    println!("  n = {}, m = {}, max degree = {}", g.num_vertices(), g.num_edges(), g.max_degree());
 
     // Step 1: pick landmarks. The paper uses the 20 highest-degree vertices.
     let landmarks = LandmarkStrategy::TopDegree(20).select(&g);

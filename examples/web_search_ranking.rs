@@ -38,11 +38,7 @@ fn main() {
     let start = Instant::now();
     let mut ranked: Vec<(u32, u32)> = Vec::new(); // (min distance, page)
     for &page in &candidates {
-        let best = context
-            .iter()
-            .filter_map(|&c| oracle.query(page, c))
-            .min()
-            .unwrap_or(u32::MAX);
+        let best = context.iter().filter_map(|&c| oracle.query(page, c)).min().unwrap_or(u32::MAX);
         ranked.push((best, page));
     }
     ranked.sort_unstable();

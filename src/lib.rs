@@ -11,9 +11,10 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`graph`] | CSR graphs, generators, traversal, connectivity, I/O |
-//! | [`core`] | the highway cover labelling (HL / HL-P) and query framework |
+//! | [`core`] | the highway cover labelling (HL / HL-P) and query framework, plus the thread-safe [`SharedOracle`](core::SharedOracle) |
 //! | [`baselines`] | PLL (bit-parallel), FD, IS-Label, online searches |
 //! | [`workloads`] | the 12 synthetic dataset stand-ins and query workloads |
+//! | [`server`] | concurrent query serving: shared oracle pool, sharded LRU cache, order-preserving batch executor, TCP line protocol + client |
 //!
 //! ## Example
 //!
@@ -38,15 +39,19 @@
 pub use hcl_baselines as baselines;
 pub use hcl_core as core;
 pub use hcl_graph as graph;
+pub use hcl_server as server;
 pub use hcl_workloads as workloads;
 
 /// The types most applications need.
 pub mod prelude {
     pub use hcl_baselines::{
-        BfsOracle, BiBfsOracle, DijkstraOracle, FdConfig, FdIndex, FdOracle, IslConfig,
-        IslIndex, IslOracle, PllConfig, PllIndex,
+        BfsOracle, BiBfsOracle, DijkstraOracle, FdConfig, FdIndex, FdOracle, IslConfig, IslIndex,
+        IslOracle, PllConfig, PllIndex,
     };
     pub use hcl_core::landmarks::LandmarkStrategy;
-    pub use hcl_core::{BuildStats, Highway, HighwayCoverLabelling, HighwayLabels, HlOracle};
+    pub use hcl_core::{
+        BuildStats, Highway, HighwayCoverLabelling, HighwayLabels, HlOracle, SharedOracle,
+    };
     pub use hcl_graph::{CsrGraph, DistanceOracle, GraphBuilder, SearchSpace, VertexId};
+    pub use hcl_server::{BatchExecutor, QueryService};
 }

@@ -22,8 +22,7 @@ fn oracles_agree(g: &CsrGraph, queries: usize, seed: u64) {
     let (pll_plain, _) =
         PllIndex::build(g, PllConfig { num_bp_roots: 0, bp_neighbors: 0 }).unwrap();
     let mut pll0 = PllOracle::new(pll_plain);
-    let (pll_bp, _) =
-        PllIndex::build(g, PllConfig { num_bp_roots: 8, bp_neighbors: 64 }).unwrap();
+    let (pll_bp, _) = PllIndex::build(g, PllConfig { num_bp_roots: 8, bp_neighbors: 64 }).unwrap();
     let mut pll8 = PllOracle::new(pll_bp);
 
     let (isl_index, _) = IslIndex::build(g, IslConfig::default()).unwrap();

@@ -65,17 +65,11 @@ fn every_standin_dataset_generates_and_answers_queries() {
         let g = spec.generate(0.02);
         assert!(g.num_vertices() >= 16, "{}", spec.name);
         let landmarks = LandmarkStrategy::TopDegree(10).select(&g);
-        let (labelling, _) =
-            HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+        let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
         let mut oracle = HlOracle::new(&g, labelling);
         let mut reference = BiBfsOracle::new(&g);
         for &(s, t) in sample_pairs(g.num_vertices(), 60, 3).iter() {
-            assert_eq!(
-                oracle.distance(s, t),
-                reference.distance(s, t),
-                "{} {s}->{t}",
-                spec.name
-            );
+            assert_eq!(oracle.distance(s, t), reference.distance(s, t), "{} {s}->{t}", spec.name);
         }
     }
 }
