@@ -8,8 +8,11 @@
 //! hcl query graph.hclg index.hcl <s> <t> [<s> <t> ...]
 //! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
 //! hcl serve graph.hclg index.hcl [--port 7777] [--threads 0] [--cache 65536]
+//!           [--landmarks 20]
 //! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
-//! hcl client 127.0.0.1:7777 stats|ping|shutdown
+//! hcl client 127.0.0.1:7777 stats|ping|epoch|shutdown
+//! hcl client 127.0.0.1:7777 reload graph.hclg [index.hcl]
+//! hcl reload 127.0.0.1:7777 graph.hclg [index.hcl]
 //! ```
 //!
 //! Graphs use the binary container of `hcl_graph::io` (generate one with
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
         Some("random-queries") => cmd_random_queries(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("reload") => cmd_reload(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -59,9 +63,11 @@ USAGE:
   hcl query <graph file> <index file> <s> <t> [<s> <t> ...]
   hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
   hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
-            [--cache <entries>]
+            [--cache <entries>] [--landmarks <k>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
-  hcl client <addr> stats | ping | shutdown
+  hcl client <addr> stats | ping | epoch | shutdown
+  hcl client <addr> reload <graph file> [<index file>]
+  hcl reload <addr> <graph file> [<index file>]
 
 Graph files ending in .txt/.el are parsed as whitespace edge lists;
 anything else uses the binary container.
@@ -69,6 +75,12 @@ anything else uses the binary container.
 serve answers QUERY/BATCH/STATS requests over a newline-delimited TCP
 protocol until a client sends SHUTDOWN (--cache 0 disables the distance
 cache; --port 0 picks an ephemeral port, printed on startup).
+
+reload hot-swaps the serving index without dropping connections: the
+paths are read by the *server* process; in-flight queries finish on the
+old index, new queries see the new one. Without an index file the server
+rebuilds the labelling from the graph's top-degree landmarks (serve
+--landmarks sets how many).
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -76,12 +88,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
-    let loader = if path.ends_with(".txt") || path.ends_with(".el") {
-        hcl_graph::io::load_edge_list(path)
-    } else {
-        hcl_graph::io::load_binary(path)
-    };
-    loader.map_err(|e| format!("loading {path}: {e}"))
+    hcl_graph::io::load_auto(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -222,6 +229,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let port: u16 = parse_flag(args, "--port", 7777)?;
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let cache: usize = parse_flag(args, "--cache", 1 << 16)?;
+    let landmarks: usize = parse_flag(args, "--landmarks", 20)?;
 
     let g = Arc::new(load_graph(graph_path)?);
     let labelling =
@@ -236,7 +244,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let service =
         Arc::new(hcl_server::QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), cache));
-    let config = hcl_server::ServerConfig { batch_threads: threads, ..Default::default() };
+    let config = hcl_server::ServerConfig {
+        batch_threads: threads,
+        reload_landmarks: landmarks,
+        ..Default::default()
+    };
     let handle = hcl_server::Server::bind(service, (host.as_str(), port), config)
         .map_err(|e| format!("binding {host}:{port}: {e}"))?;
     println!(
@@ -290,6 +302,16 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             client.ping().map_err(|e| e.to_string())?;
             println!("PONG");
         }
+        "epoch" => {
+            let epoch = client.epoch().map_err(|e| e.to_string())?;
+            println!("epoch {epoch}");
+        }
+        "reload" => {
+            let graph = args.get(2).ok_or("client reload requires a graph file")?;
+            let epoch =
+                client.reload(graph, args.get(3).map(String::as_str)).map_err(|e| e.to_string())?;
+            println!("reloaded, now at epoch {epoch}");
+        }
         "shutdown" => {
             client.shutdown_server().map_err(|e| e.to_string())?;
             println!("server shutting down");
@@ -297,4 +319,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown client action {other:?}\n\n{USAGE}")),
     }
     Ok(())
+}
+
+fn cmd_reload(args: &[String]) -> Result<(), String> {
+    // `hcl reload <addr> …` is sugar for `hcl client <addr> reload …`.
+    if args.is_empty() {
+        return Err("reload requires a server address".to_string());
+    }
+    let mut forwarded = args.to_vec();
+    forwarded.insert(1, "reload".to_string());
+    cmd_client(&forwarded)
 }

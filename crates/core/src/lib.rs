@@ -41,6 +41,7 @@
 //! ```
 
 pub mod build;
+pub mod epoch;
 pub mod fixture;
 pub mod highway;
 pub mod io;
@@ -49,9 +50,12 @@ pub mod landmarks;
 pub mod parallel;
 pub mod query;
 pub mod shared;
+#[cfg(feature = "testing")]
+pub mod testing;
 pub mod weighted;
 
 pub use build::{BuildStats, HighwayCoverLabelling};
+pub use epoch::{EpochCell, OracleEpoch};
 pub use highway::Highway;
 pub use labels::{HighwayLabels, LabelEntry};
 pub use query::{HlOracle, QueryContext};

@@ -1,0 +1,62 @@
+//! BFS ground-truth helpers shared by the integration tests (enable the
+//! `testing` feature).
+//!
+//! Several test suites — the core concurrency hammer, the server loopback
+//! and reload tests, the workspace-level invariant checks — all need the
+//! same thing: single-threaded BFS distances to judge oracle answers
+//! against. This module is that one implementation; it is compiled only
+//! under the `testing` feature so it never ships in a normal build.
+
+use crate::build::HighwayCoverLabelling;
+use hcl_graph::{traversal, CsrGraph, VertexId, INF};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// BFS distances from `s`, as the oracle reports them: `None` for
+/// unreachable instead of the sentinel `INF`.
+pub fn bfs_truth(g: &CsrGraph, s: VertexId) -> Vec<Option<u32>> {
+    traversal::bfs_distances(g, s).into_iter().map(|d| (d != INF).then_some(d)).collect()
+}
+
+/// One BFS distance row per source, in source order (raw `INF` sentinel —
+/// the form the invariant tests index directly).
+pub fn bfs_rows(g: &CsrGraph, sources: &[VertexId]) -> Vec<Vec<u32>> {
+    sources.iter().map(|&s| traversal::bfs_distances(g, s)).collect()
+}
+
+/// All-pairs BFS distances (raw `INF` sentinel), for small graphs.
+pub fn all_pairs(g: &CsrGraph) -> Vec<Vec<u32>> {
+    let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    bfs_rows(g, &sources)
+}
+
+/// Ground-truth answers for an explicit query set: one BFS per distinct
+/// source, then a `(s, t) -> distance` map covering exactly `pairs`.
+pub fn truth_map(
+    g: &CsrGraph,
+    pairs: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> HashMap<(VertexId, VertexId), Option<u32>> {
+    let pairs: Vec<(VertexId, VertexId)> = pairs.into_iter().collect();
+    let mut rows: HashMap<VertexId, Vec<Option<u32>>> = HashMap::new();
+    let mut truth = HashMap::with_capacity(pairs.len());
+    for (s, t) in pairs {
+        let row = rows.entry(s).or_insert_with(|| bfs_truth(g, s));
+        truth.insert((s, t), row[t as usize]);
+    }
+    truth
+}
+
+/// A ready-made test index: a Barabási–Albert graph and the labelling
+/// built over its top-`k` degree landmarks. The standard fixture of the
+/// concurrency and serving tests.
+pub fn ba_fixture(
+    n: usize,
+    deg: usize,
+    seed: u64,
+    k: usize,
+) -> (Arc<CsrGraph>, Arc<HighwayCoverLabelling>) {
+    let g = Arc::new(hcl_graph::generate::barabasi_albert(n, deg, seed));
+    let landmarks = hcl_graph::order::top_degree(&g, k);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).expect("fixture build");
+    (g, Arc::new(labelling))
+}

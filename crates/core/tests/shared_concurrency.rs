@@ -2,14 +2,11 @@
 //! hammering one shared instance must all see exactly the distances a
 //! single-threaded BFS computes.
 
+use hcl_core::testing::bfs_rows;
 use hcl_core::{HighwayCoverLabelling, SharedOracle};
-use hcl_graph::{generate, traversal, INF};
+use hcl_graph::{generate, INF};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-
-fn ground_truth(g: &hcl_graph::CsrGraph, sources: &[u32]) -> Vec<Vec<u32>> {
-    sources.iter().map(|&s| traversal::bfs_distances(g, s)).collect()
-}
 
 #[test]
 fn eight_threads_hammering_one_oracle_match_bfs() {
@@ -26,7 +23,7 @@ fn eight_threads_hammering_one_oracle_match_bfs() {
     // thread derives its queries from these sources so each answer is
     // checkable.
     let sources: Vec<u32> = (0..n).step_by(97).collect();
-    let truth = ground_truth(&g, &sources);
+    let truth = bfs_rows(&g, &sources);
 
     let checked = AtomicUsize::new(0);
     std::thread::scope(|scope| {

@@ -115,6 +115,23 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
     read_binary(std::fs::File::open(path)?)
 }
 
+/// Loads a graph picking the format by extension: `.txt` / `.el` parse as
+/// text edge lists, anything else as the binary container. The convention
+/// every path-taking entry point shares (the `hcl` CLI, the server's
+/// `RELOAD` command).
+pub fn load_auto<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let is_text = path
+        .as_ref()
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("txt") || e.eq_ignore_ascii_case("el"));
+    if is_text {
+        load_edge_list(path)
+    } else {
+        load_binary(path)
+    }
+}
+
 pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
@@ -163,6 +180,20 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(Cursor::new(buf)).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn load_auto_picks_format_by_extension() {
+        let g = generate::barabasi_albert(40, 3, 5);
+        let dir = std::env::temp_dir();
+        let text = dir.join(format!("hcl-io-auto-{}.el", std::process::id()));
+        let binary = dir.join(format!("hcl-io-auto-{}.hclg", std::process::id()));
+        write_edge_list(&g, std::fs::File::create(&text).unwrap()).unwrap();
+        save_binary(&g, &binary).unwrap();
+        assert_eq!(load_auto(&text).unwrap(), g);
+        assert_eq!(load_auto(&binary).unwrap(), g);
+        let _ = std::fs::remove_file(&text);
+        let _ = std::fs::remove_file(&binary);
     }
 
     #[test]

@@ -11,16 +11,21 @@
 
 use crate::metrics::ServeMetrics;
 use crate::oracle_pool::{QueryError, QueryService};
-use hcl_core::QueryContext;
+use hcl_core::{OracleEpoch, QueryContext};
 use hcl_graph::VertexId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One submitted batch: the input pairs, the in-progress results, and the
-/// completion signal.
+/// One submitted batch: the input pairs, the index generation the whole
+/// batch is answered on, the in-progress results, and the completion
+/// signal.
 struct BatchJob {
     pairs: Vec<(VertexId, VertexId)>,
+    /// Pinned at submission: every chunk of this batch is validated and
+    /// computed against this one generation, so a mid-batch hot reload can
+    /// never mix epochs inside a response.
+    index: Arc<OracleEpoch>,
     results: Mutex<Vec<Option<u32>>>,
     /// Chunks not yet fully computed.
     remaining: AtomicUsize,
@@ -87,9 +92,11 @@ impl BatchExecutor {
     fn run_chunk(service: &QueryService, ctx: &mut QueryContext, chunk: &Chunk) {
         let job = &chunk.job;
         // Compute outside the results lock; one short splice per chunk.
+        // The job's pinned generation supplies graph, labelling, and cache
+        // epoch (the context self-resizes across graph sizes).
         let computed: Vec<Option<u32>> = job.pairs[chunk.start..chunk.end]
             .iter()
-            .map(|&(s, t)| service.cached_distance_with(ctx, s, t))
+            .map(|&(s, t)| service.cached_distance_with(&job.index, ctx, s, t))
             .collect();
         job.results.lock().expect("batch results poisoned")[chunk.start..chunk.end]
             .copy_from_slice(&computed);
@@ -100,12 +107,14 @@ impl BatchExecutor {
         }
     }
 
-    /// Answers `pairs` in input order, fanned across the worker pool.
-    /// Validates every pair up front; on error nothing is executed.
+    /// Answers `pairs` in input order, fanned across the worker pool. The
+    /// whole batch is validated and computed against the index generation
+    /// current at submission; on a validation error nothing is executed.
     /// Callable concurrently from any number of threads.
     pub fn execute(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<Option<u32>>, QueryError> {
+        let index = self.service.snapshot();
         for &(s, t) in pairs {
-            self.service.check_pair(s, t)?;
+            QueryService::check_pair_in(&index, s, t)?;
         }
         let metrics = self.service.metrics();
         ServeMetrics::bump(&metrics.batch_requests);
@@ -120,6 +129,7 @@ impl BatchExecutor {
         let num_chunks = pairs.len().div_ceil(chunk_size);
         let job = Arc::new(BatchJob {
             pairs: pairs.to_vec(),
+            index,
             results: Mutex::new(vec![None; pairs.len()]),
             remaining: AtomicUsize::new(num_chunks),
             done: (Mutex::new(false), Condvar::new()),
@@ -158,14 +168,11 @@ impl Drop for BatchExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcl_core::HighwayCoverLabelling;
-    use hcl_graph::generate;
+    use hcl_core::testing::ba_fixture;
 
     fn service(cache_capacity: usize) -> Arc<QueryService> {
-        let g = Arc::new(generate::barabasi_albert(500, 4, 33));
-        let landmarks = hcl_graph::order::top_degree(&g, 12);
-        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
-        Arc::new(QueryService::from_parts(g, Arc::new(labelling), cache_capacity))
+        let (g, labelling) = ba_fixture(500, 4, 33, 12);
+        Arc::new(QueryService::from_parts(g, labelling, cache_capacity))
     }
 
     fn pairs(count: usize, n: u32) -> Vec<(u32, u32)> {
@@ -176,7 +183,7 @@ mod tests {
     fn matches_sequential_in_order() {
         let service = service(0);
         let pairs = pairs(997, 500);
-        let expect = service.oracle().batch_distances(&pairs, 1);
+        let expect = service.snapshot().oracle().batch_distances(&pairs, 1);
         for threads in [1usize, 2, 4, 8] {
             let executor = BatchExecutor::new(Arc::clone(&service), threads);
             assert_eq!(executor.execute(&pairs).unwrap(), expect, "threads {threads}");
@@ -204,7 +211,7 @@ mod tests {
     fn concurrent_submitters_share_the_pool() {
         let service = service(1 << 12);
         let executor = Arc::new(BatchExecutor::new(Arc::clone(&service), 4));
-        let expect = service.oracle().batch_distances(&pairs(400, 500), 1);
+        let expect = service.snapshot().oracle().batch_distances(&pairs(400, 500), 1);
         std::thread::scope(|scope| {
             for _ in 0..6 {
                 let executor = Arc::clone(&executor);
@@ -219,6 +226,26 @@ mod tests {
         let snap = service.metrics_snapshot();
         assert_eq!(snap.batch_requests, 30);
         assert_eq!(snap.batch_queries, 30 * 400);
+    }
+
+    #[test]
+    fn batches_span_one_epoch_across_a_reload() {
+        use hcl_core::SharedOracle;
+
+        let service = service(1 << 10);
+        let executor = BatchExecutor::new(Arc::clone(&service), 2);
+        let pairs = pairs(300, 500);
+        let before = executor.execute(&pairs).unwrap();
+
+        // Swap to a different graph of the same size; whole batches flip.
+        let (g, labelling) = ba_fixture(500, 4, 99, 12);
+        let new_oracle = SharedOracle::new(g, labelling);
+        let expect_new = new_oracle.batch_distances(&pairs, 1);
+        assert_eq!(service.reload(new_oracle), 1);
+
+        let after = executor.execute(&pairs).unwrap();
+        assert_eq!(after, expect_new, "post-reload batches answer on the new index");
+        assert_ne!(after, before, "the two fixture graphs must differ on this stream");
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! large fraction of pairs), which is exactly the regime where a small LRU
 //! in front of a microsecond oracle pays for itself; the `serving`
 //! benchmark measures the cold/warm difference.
+//!
+//! # Epoch tagging
+//!
+//! Every entry records the index *epoch* it was computed under (see
+//! `hcl_core::epoch`). A lookup passes the caller's pinned epoch and only
+//! entries with the same tag hit; a mismatch is reported as a miss (and
+//! counted under [`CacheStats::stale`]). Hot reload clears the cache once
+//! per swap, but clearing alone cannot stop an in-flight old-epoch query
+//! from re-inserting its answer *after* the clear — the tag makes that
+//! harmless: the stale entry can never satisfy a new-epoch lookup.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +56,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Misses caused by an entry tagged with a different epoch (a reload
+    /// happened between the entry's computation and this lookup). A subset
+    /// of `misses`.
+    pub stale: u64,
     /// Entries displaced to make room.
     pub evictions: u64,
     /// Entries currently resident.
@@ -71,8 +85,20 @@ struct Shard {
 struct Entry {
     key: u64,
     value: u32,
+    /// Index epoch the value was computed under.
+    epoch: u64,
     prev: u32,
     next: u32,
+}
+
+/// Outcome of a shard lookup under a specific epoch.
+enum Found {
+    /// Resident with a matching epoch tag.
+    Hit(u32),
+    /// Resident, but computed under a different epoch.
+    Stale,
+    /// Not resident.
+    Miss,
 }
 
 impl Shard {
@@ -117,20 +143,28 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: u64) -> Option<u32> {
-        let slot = *self.map.get(&key)?;
+    fn get(&mut self, key: u64, epoch: u64) -> Found {
+        let Some(&slot) = self.map.get(&key) else { return Found::Miss };
+        if self.slab[slot as usize].epoch != epoch {
+            // A dead entry from another generation must not be promoted to
+            // MRU — left in place, it ages out like any other cold entry
+            // (or is overwritten when this key is re-inserted).
+            return Found::Stale;
+        }
         if self.head != slot {
             self.unlink(slot);
             self.link_front(slot);
         }
-        Some(self.slab[slot as usize].value)
+        Found::Hit(self.slab[slot as usize].value)
     }
 
     /// Inserts or refreshes `key`; returns `true` when an older entry was
     /// evicted to make room.
-    fn insert(&mut self, key: u64, value: u32) -> bool {
+    fn insert(&mut self, key: u64, value: u32, epoch: u64) -> bool {
         if let Some(&slot) = self.map.get(&key) {
-            self.slab[slot as usize].value = value;
+            let e = &mut self.slab[slot as usize];
+            e.value = value;
+            e.epoch = epoch;
             if self.head != slot {
                 self.unlink(slot);
                 self.link_front(slot);
@@ -139,7 +173,7 @@ impl Shard {
         }
         if self.map.len() < self.capacity {
             let slot = self.slab.len() as u32;
-            self.slab.push(Entry { key, value, prev: NIL, next: NIL });
+            self.slab.push(Entry { key, value, epoch, prev: NIL, next: NIL });
             self.map.insert(key, slot);
             self.link_front(slot);
             return false;
@@ -154,6 +188,7 @@ impl Shard {
             let e = &mut self.slab[slot as usize];
             e.key = key;
             e.value = value;
+            e.epoch = epoch;
         }
         self.map.insert(key, slot);
         self.link_front(slot);
@@ -168,6 +203,7 @@ pub struct ShardedCache {
     shard_mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale: AtomicU64,
     evictions: AtomicU64,
     capacity: usize,
 }
@@ -184,6 +220,7 @@ impl ShardedCache {
             shard_mask: shards as u64 - 1,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             capacity: per_shard * shards,
         }
@@ -204,36 +241,46 @@ impl ShardedCache {
         ((z ^ (z >> 31)) & self.shard_mask) as usize
     }
 
-    /// Looks up the distance for `(s, t)`. `None` = not cached;
+    /// Looks up the distance for `(s, t)` as computed under index `epoch`.
+    /// `None` = not cached (or cached under a different epoch);
     /// `Some(None)` = cached as unreachable; `Some(Some(d))` = cached
     /// distance.
-    pub fn get(&self, s: u32, t: u32) -> Option<Option<u32>> {
+    pub fn get(&self, s: u32, t: u32, epoch: u64) -> Option<Option<u32>> {
         let key = Self::key(s, t);
-        let found = self.shards[self.shard_of(key)].lock().expect("cache shard poisoned").get(key);
+        let found =
+            self.shards[self.shard_of(key)].lock().expect("cache shard poisoned").get(key, epoch);
         match found {
-            Some(UNREACHABLE) => {
+            Found::Stale => {
+                // An answer from another index generation must never be
+                // served — report a (stale) miss; the caller recomputes and
+                // re-inserts under its own epoch.
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Found::Hit(UNREACHABLE) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(None)
             }
-            Some(d) => {
+            Found::Hit(d) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Some(d))
             }
-            None => {
+            Found::Miss => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Records the answer for `(s, t)`.
-    pub fn insert(&self, s: u32, t: u32, distance: Option<u32>) {
+    /// Records the answer for `(s, t)` as computed under index `epoch`.
+    pub fn insert(&self, s: u32, t: u32, epoch: u64, distance: Option<u32>) {
         let key = Self::key(s, t);
         let value = distance.unwrap_or(UNREACHABLE);
         let evicted = self.shards[self.shard_of(key)]
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value);
+            .insert(key, value, epoch);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -254,8 +301,10 @@ impl ShardedCache {
         self.capacity
     }
 
-    /// Empties every shard (counters are preserved). Used to measure
-    /// cold-cache behaviour and by operators to invalidate after reload.
+    /// Empties every shard (counters are preserved). Called exactly once
+    /// per index swap by `QueryService::reload` (epoch tags keep racing
+    /// old-epoch re-inserts harmless), and by the benchmarks to measure
+    /// cold-cache behaviour.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
@@ -271,6 +320,7 @@ impl ShardedCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
             capacity: self.capacity,
@@ -290,12 +340,12 @@ mod tests {
     #[test]
     fn hit_after_insert_both_orders() {
         let cache = small(64, 4);
-        assert_eq!(cache.get(3, 9), None);
-        cache.insert(3, 9, Some(5));
-        assert_eq!(cache.get(3, 9), Some(Some(5)));
-        assert_eq!(cache.get(9, 3), Some(Some(5)), "keys are direction-normalised");
-        cache.insert(7, 2, None);
-        assert_eq!(cache.get(2, 7), Some(None), "unreachable is cached too");
+        assert_eq!(cache.get(3, 9, 0), None);
+        cache.insert(3, 9, 0, Some(5));
+        assert_eq!(cache.get(3, 9, 0), Some(Some(5)));
+        assert_eq!(cache.get(9, 3, 0), Some(Some(5)), "keys are direction-normalised");
+        cache.insert(7, 2, 0, None);
+        assert_eq!(cache.get(2, 7, 0), Some(None), "unreachable is cached too");
         let stats = cache.stats();
         assert_eq!(stats.hits, 3);
         assert_eq!(stats.misses, 1);
@@ -306,33 +356,33 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         // Single shard of capacity 2 so the eviction order is observable.
         let cache = small(2, 1);
-        cache.insert(0, 1, Some(1));
-        cache.insert(0, 2, Some(2));
-        assert_eq!(cache.get(0, 1), Some(Some(1))); // refresh (0,1)
-        cache.insert(0, 3, Some(3)); // evicts (0,2)
-        assert_eq!(cache.get(0, 2), None, "LRU entry evicted");
-        assert_eq!(cache.get(0, 1), Some(Some(1)), "refreshed entry kept");
-        assert_eq!(cache.get(0, 3), Some(Some(3)));
+        cache.insert(0, 1, 0, Some(1));
+        cache.insert(0, 2, 0, Some(2));
+        assert_eq!(cache.get(0, 1, 0), Some(Some(1))); // refresh (0,1)
+        cache.insert(0, 3, 0, Some(3)); // evicts (0,2)
+        assert_eq!(cache.get(0, 2, 0), None, "LRU entry evicted");
+        assert_eq!(cache.get(0, 1, 0), Some(Some(1)), "refreshed entry kept");
+        assert_eq!(cache.get(0, 3, 0), Some(Some(3)));
         assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
     fn update_refreshes_without_eviction() {
         let cache = small(2, 1);
-        cache.insert(0, 1, Some(1));
-        cache.insert(0, 2, Some(2));
-        cache.insert(0, 1, Some(10)); // update, not insert
+        cache.insert(0, 1, 0, Some(1));
+        cache.insert(0, 2, 0, Some(2));
+        cache.insert(0, 1, 0, Some(10)); // update, not insert
         assert_eq!(cache.stats().evictions, 0);
-        cache.insert(0, 3, Some(3)); // now (0,2) is LRU
-        assert_eq!(cache.get(0, 2), None);
-        assert_eq!(cache.get(0, 1), Some(Some(10)));
+        cache.insert(0, 3, 0, Some(3)); // now (0,2) is LRU
+        assert_eq!(cache.get(0, 2, 0), None);
+        assert_eq!(cache.get(0, 1, 0), Some(Some(10)));
     }
 
     #[test]
     fn capacity_is_respected_under_churn() {
         let cache = small(100, 8);
         for i in 0..10_000u32 {
-            cache.insert(i, i + 1, Some(i % 7));
+            cache.insert(i, i + 1, 0, Some(i % 7));
         }
         assert!(cache.len() <= cache.capacity());
         let stats = cache.stats();
@@ -343,17 +393,60 @@ mod tests {
     #[test]
     fn clear_empties_but_keeps_counters() {
         let cache = small(16, 2);
-        cache.insert(1, 2, Some(3));
-        assert_eq!(cache.get(1, 2), Some(Some(3)));
+        cache.insert(1, 2, 0, Some(3));
+        assert_eq!(cache.get(1, 2, 0), Some(Some(3)));
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.get(1, 2), None);
+        assert_eq!(cache.get(1, 2, 0), None);
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         // Usable after clear.
-        cache.insert(1, 2, Some(4));
-        assert_eq!(cache.get(1, 2), Some(Some(4)));
+        cache.insert(1, 2, 0, Some(4));
+        assert_eq!(cache.get(1, 2, 0), Some(Some(4)));
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_stale_miss_in_both_directions() {
+        let cache = small(16, 2);
+        cache.insert(1, 2, 0, Some(3));
+        // A new-epoch reader must not see the old answer…
+        assert_eq!(cache.get(1, 2, 1), None);
+        // …and an old-epoch reader must not see a newer one.
+        cache.insert(1, 2, 1, Some(9));
+        assert_eq!(cache.get(1, 2, 0), None);
+        assert_eq!(cache.get(1, 2, 1), Some(Some(9)));
+        let stats = cache.stats();
+        assert_eq!(stats.stale, 2);
+        assert_eq!(stats.misses, 2, "stale lookups count as misses");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn stale_probe_does_not_promote_the_dead_entry() {
+        // Single shard, capacity 2, observable eviction order.
+        let cache = small(2, 1);
+        cache.insert(0, 1, 0, Some(1)); // LRU after the next insert
+        cache.insert(0, 2, 0, Some(2));
+        // A new-epoch probe of the dead (0,1) must not refresh it…
+        assert_eq!(cache.get(0, 1, 1), None);
+        // …so the next insert still evicts (0,1), not (0,2).
+        cache.insert(0, 3, 0, Some(3));
+        assert_eq!(cache.get(0, 2, 0), Some(Some(2)), "live entry survived");
+        assert_eq!(cache.get(0, 1, 0), None, "dead entry was the one evicted");
+    }
+
+    #[test]
+    fn reinsert_after_clear_under_old_epoch_stays_invisible() {
+        // The mid-swap race: an in-flight old-epoch query re-inserts its
+        // answer after the reload already cleared the cache.
+        let cache = small(16, 2);
+        cache.insert(4, 5, 0, Some(7));
+        cache.clear(); // the swap's one clear
+        cache.insert(4, 5, 0, Some(7)); // straggling old-epoch writer
+        assert_eq!(cache.get(4, 5, 1), None, "stale re-insert must never hit epoch 1");
+        cache.insert(4, 5, 1, Some(2));
+        assert_eq!(cache.get(4, 5, 1), Some(Some(2)));
     }
 
     #[test]
@@ -374,12 +467,12 @@ mod tests {
                     for i in 0..5_000u32 {
                         let s = (i * 7 + thread) % 500;
                         let t = (i * 13 + 1) % 500;
-                        if let Some(hit) = cache.get(s, t) {
+                        if let Some(hit) = cache.get(s, t, 0) {
                             // Any hit must carry the value every writer
                             // stores for this pair.
                             assert_eq!(hit, Some(s.min(t) % 11));
                         }
-                        cache.insert(s, t, Some(s.min(t) % 11));
+                        cache.insert(s, t, 0, Some(s.min(t) % 11));
                     }
                 });
             }

@@ -104,6 +104,25 @@ impl Client {
         }
     }
 
+    /// The server's current index epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        self.send("EPOCH")?;
+        Ok(protocol::parse_epoch_response(&self.receive()?)?)
+    }
+
+    /// Asks the server to hot-swap its index from `graph` (and optionally a
+    /// prebuilt `index`) — **server-side** paths without spaces. Returns
+    /// the new epoch. Blocks until the server loaded and swapped (or
+    /// refused); other connections keep being served meanwhile.
+    pub fn reload(&mut self, graph: &str, index: Option<&str>) -> Result<u64, ClientError> {
+        let request = match index {
+            Some(index) => format!("RELOAD {graph} {index}"),
+            None => format!("RELOAD {graph}"),
+        };
+        self.send(&request)?;
+        Ok(protocol::parse_reload_response(&self.receive()?)?)
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send("PING")?;

@@ -6,10 +6,10 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`oracle_pool`] | [`QueryService`]: a [`SharedOracle`](hcl_core::SharedOracle) + optional cache + metrics, all `&self` |
-//! | [`cache`] | [`ShardedCache`]: mutex-striped LRU over normalised `(s, t)` keys with hit/miss/eviction counters |
-//! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order |
-//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `SHUTDOWN`), both codec directions |
+//! | [`oracle_pool`] | [`QueryService`]: an epoch-tagged hot-swappable [`SharedOracle`](hcl_core::SharedOracle) + optional cache + metrics, all `&self` |
+//! | [`cache`] | [`ShardedCache`]: mutex-striped LRU over normalised `(s, t)` keys, epoch-tagged entries, hit/miss/stale/eviction counters |
+//! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order, one epoch per batch |
+//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `SHUTDOWN`), both codec directions |
 //! | [`server`] | std-only TCP server with graceful shutdown + connection draining |
 //! | [`client`] | a blocking client for the protocol |
 //! | [`metrics`] | lock-free serving counters and snapshots |
@@ -49,6 +49,6 @@ pub use batch::BatchExecutor;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use oracle_pool::{QueryError, QueryService};
+pub use oracle_pool::{QueryError, QueryService, ReloadError};
 pub use protocol::{ProtocolError, Request, ResponseError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -17,8 +17,11 @@ pub struct ServeMetrics {
     pub connections: AtomicU64,
     /// Connections currently open.
     pub active_connections: AtomicU64,
-    /// Requests rejected with a protocol or range error.
+    /// Requests rejected with a protocol, range, or reload error.
     pub errors: AtomicU64,
+    /// Successful hot index reloads (the current epoch equals this count
+    /// while every reload succeeds).
+    pub reloads: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -47,6 +50,7 @@ impl ServeMetrics {
             connections: self.connections.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
         }
     }
 }
@@ -64,8 +68,10 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Connections currently open.
     pub active_connections: u64,
-    /// Requests rejected with a protocol or range error.
+    /// Requests rejected with a protocol, range, or reload error.
     pub errors: u64,
+    /// Successful hot index reloads.
+    pub reloads: u64,
 }
 
 impl MetricsSnapshot {

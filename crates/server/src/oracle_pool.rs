@@ -1,15 +1,28 @@
-//! The shared serving state: one [`SharedOracle`] (immutable index, graph,
-//! and pooled query contexts) fronted by an optional [`ShardedCache`] and
-//! a [`ServeMetrics`] block.
+//! The shared serving state: an epoch-tagged, hot-swappable
+//! [`SharedOracle`] (immutable index, graph, and pooled query contexts per
+//! generation) fronted by an optional [`ShardedCache`] and a
+//! [`ServeMetrics`] block.
 //!
 //! Everything here is `&self`: one `Arc<QueryService>` is handed to every
 //! connection handler and batch worker in the process. Range validation
 //! happens here so both the TCP layer and in-process callers get the same
 //! errors.
+//!
+//! # Hot reload
+//!
+//! The index lives behind an [`EpochCell`]. Each query pins one generation
+//! ([`QueryService::snapshot`]) and uses it for validation, the cache tag,
+//! and the computation, so a concurrent [`reload`](QueryService::reload)
+//! never tears a query: in-flight queries finish on the epoch they started
+//! on while new queries observe the new one. The cache is cleared exactly
+//! once per swap, and its entries are epoch-tagged so even a racing
+//! old-epoch re-insert after the clear can never satisfy a new-epoch
+//! lookup.
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use hcl_core::{HighwayCoverLabelling, QueryContext, SharedOracle};
+use hcl_core::landmarks::LandmarkStrategy;
+use hcl_core::{EpochCell, HighwayCoverLabelling, OracleEpoch, QueryContext, SharedOracle};
 use hcl_graph::{CsrGraph, VertexId};
 use std::sync::Arc;
 
@@ -37,10 +50,43 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// A reload request the service cannot honour. The previous index keeps
+/// serving untouched whenever a reload fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReloadError {
+    /// Reading the graph or index file failed (I/O or format).
+    Load(String),
+    /// The index was built over a graph of a different size.
+    Mismatch {
+        /// Vertices in the freshly loaded graph.
+        graph_vertices: usize,
+        /// Vertices the index file claims.
+        index_vertices: usize,
+    },
+    /// Building a labelling in-process from the graph failed.
+    Build(String),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Load(msg) => write!(f, "reload failed: {msg}"),
+            ReloadError::Mismatch { graph_vertices, index_vertices } => write!(
+                f,
+                "reload failed: index has {index_vertices} vertices but graph has \
+                 {graph_vertices} — wrong index for this graph?"
+            ),
+            ReloadError::Build(msg) => write!(f, "reload failed building labelling: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 /// Shared per-process serving state; see the module docs.
 #[derive(Debug)]
 pub struct QueryService {
-    oracle: SharedOracle,
+    index: EpochCell,
     cache: Option<ShardedCache>,
     metrics: ServeMetrics,
 }
@@ -52,7 +98,7 @@ impl QueryService {
         let cache = (cache_capacity > 0).then(|| {
             ShardedCache::new(CacheConfig { capacity: cache_capacity, ..Default::default() })
         });
-        QueryService { oracle, cache, metrics: ServeMetrics::default() }
+        QueryService { index: EpochCell::new(oracle), cache, metrics: ServeMetrics::default() }
     }
 
     /// Convenience constructor from the index halves.
@@ -64,9 +110,16 @@ impl QueryService {
         QueryService::new(SharedOracle::new(graph, labelling), cache_capacity)
     }
 
-    /// The underlying shared oracle.
-    pub fn oracle(&self) -> &SharedOracle {
-        &self.oracle
+    /// Pins the current index generation. Hold the returned `Arc` for the
+    /// whole of one logical operation (a query, a batch) so a concurrent
+    /// reload cannot tear it.
+    pub fn snapshot(&self) -> Arc<OracleEpoch> {
+        self.index.load()
+    }
+
+    /// The current index epoch (0 until the first reload).
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
     }
 
     /// The distance cache, when serving with one.
@@ -79,14 +132,21 @@ impl QueryService {
         &self.metrics
     }
 
-    /// Number of vertices queries may address.
+    /// Number of vertices queries may currently address.
     pub fn num_vertices(&self) -> usize {
-        self.oracle.num_vertices()
+        self.snapshot().num_vertices()
     }
 
-    /// Validates that both endpoints are in range.
+    /// Validates that both endpoints are in range for the current index.
+    /// Batch submission validates against one pinned snapshot instead —
+    /// see [`check_pair_in`](Self::check_pair_in).
     pub fn check_pair(&self, s: VertexId, t: VertexId) -> Result<(), QueryError> {
-        let n = self.num_vertices();
+        Self::check_pair_in(&self.snapshot(), s, t)
+    }
+
+    /// Validates both endpoints against one pinned index generation.
+    pub fn check_pair_in(index: &OracleEpoch, s: VertexId, t: VertexId) -> Result<(), QueryError> {
+        let n = index.num_vertices();
         for v in [s, t] {
             if v as usize >= n {
                 return Err(QueryError::VertexOutOfRange { vertex: v, n });
@@ -97,43 +157,96 @@ impl QueryService {
 
     /// Answers one query through the cache, using a pooled context only on
     /// a miss — a hit never touches the context pool. Counts towards the
-    /// `queries` metric.
+    /// `queries` metric. The whole query runs against one pinned index
+    /// generation.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Result<Option<u32>, QueryError> {
-        self.check_pair(s, t)?;
+        let snap = self.snapshot();
+        Self::check_pair_in(&snap, s, t)?;
         ServeMetrics::bump(&self.metrics.queries);
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(s, t) {
+            if let Some(hit) = cache.get(s, t, snap.epoch()) {
                 return Ok(hit);
             }
         }
-        let mut ctx = self.oracle.context_pool().checkout();
-        let d = self.oracle.distance_with(&mut ctx, s, t);
+        let oracle = snap.oracle();
+        let mut ctx = oracle.context_pool().checkout();
+        let d = oracle.distance_with(&mut ctx, s, t);
         if let Some(cache) = &self.cache {
-            cache.insert(s, t, d);
+            cache.insert(s, t, snap.epoch(), d);
         }
         Ok(d)
     }
 
-    /// Cache-through distance for callers that hold their own context
-    /// (batch workers). Endpoints must already be validated; does **not**
-    /// bump request metrics — the batch layer counts whole requests.
+    /// Cache-through distance for callers that hold their own context and
+    /// pinned snapshot (batch workers). Endpoints must already be validated
+    /// against `snap`; does **not** bump request metrics — the batch layer
+    /// counts whole requests.
     pub(crate) fn cached_distance_with(
         &self,
+        snap: &OracleEpoch,
         ctx: &mut QueryContext,
         s: VertexId,
         t: VertexId,
     ) -> Option<u32> {
-        debug_assert!(self.check_pair(s, t).is_ok());
+        debug_assert!(Self::check_pair_in(snap, s, t).is_ok());
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(s, t) {
+            if let Some(hit) = cache.get(s, t, snap.epoch()) {
                 return hit;
             }
-            let d = self.oracle.distance_with(ctx, s, t);
-            cache.insert(s, t, d);
+            let d = snap.oracle().distance_with(ctx, s, t);
+            cache.insert(s, t, snap.epoch(), d);
             d
         } else {
-            self.oracle.distance_with(ctx, s, t)
+            snap.oracle().distance_with(ctx, s, t)
         }
+    }
+
+    /// Swaps in a freshly built oracle as the next index generation and
+    /// clears the cache (exactly once per swap). In-flight queries finish
+    /// on the old generation; returns the new epoch.
+    pub fn reload(&self, oracle: SharedOracle) -> u64 {
+        let swapped = self.index.swap(oracle);
+        // Clearing after the swap bounds the stale window: entries inserted
+        // for the *new* epoch between these two lines are dropped (only a
+        // tiny warm-up loss), while old-epoch stragglers that sneak in
+        // after the clear are fenced off by their epoch tag.
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+        ServeMetrics::bump(&self.metrics.reloads);
+        swapped.epoch()
+    }
+
+    /// Loads a graph (and optionally a prebuilt index) from disk and swaps
+    /// it in via [`reload`](Self::reload). Without an index path the
+    /// labelling is built in-process over the graph's top-`landmarks`
+    /// degree vertices. On any error the current index keeps serving.
+    pub fn reload_from_paths(
+        &self,
+        graph_path: &str,
+        index_path: Option<&str>,
+        landmarks: usize,
+    ) -> Result<u64, ReloadError> {
+        let graph = hcl_graph::io::load_auto(graph_path)
+            .map_err(|e| ReloadError::Load(format!("{graph_path}: {e}")))?;
+        let graph = Arc::new(graph);
+        let labelling = match index_path {
+            Some(path) => hcl_core::io::load_labelling(path)
+                .map_err(|e| ReloadError::Load(format!("{path}: {e}")))?,
+            None => {
+                let landmarks = LandmarkStrategy::TopDegree(landmarks).select(&graph);
+                HighwayCoverLabelling::build_parallel(&graph, &landmarks, 0)
+                    .map_err(|e| ReloadError::Build(e.to_string()))?
+                    .0
+            }
+        };
+        if labelling.labels().num_vertices() != graph.num_vertices() {
+            return Err(ReloadError::Mismatch {
+                graph_vertices: graph.num_vertices(),
+                index_vertices: labelling.labels().num_vertices(),
+            });
+        }
+        Ok(self.reload(SharedOracle::new(graph, Arc::new(labelling))))
     }
 
     /// Cache statistics (zeroed when serving without a cache).
@@ -150,13 +263,15 @@ impl QueryService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcl_graph::generate;
+
+    fn oracle(n: usize, seed: u64, k: usize) -> SharedOracle {
+        let (g, labelling) = hcl_core::testing::ba_fixture(n, 4, seed, k);
+        SharedOracle::new(g, labelling)
+    }
 
     pub(crate) fn test_service(cache_capacity: usize) -> QueryService {
-        let g = Arc::new(generate::barabasi_albert(400, 4, 21));
-        let landmarks = hcl_graph::order::top_degree(&g, 10);
-        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
-        QueryService::from_parts(g, Arc::new(labelling), cache_capacity)
+        let (g, labelling) = hcl_core::testing::ba_fixture(400, 4, 21, 10);
+        QueryService::from_parts(g, labelling, cache_capacity)
     }
 
     #[test]
@@ -199,5 +314,57 @@ mod tests {
         let snap = service.metrics_snapshot();
         assert_eq!(snap.queries, 5);
         assert_eq!(snap.total_distances(), 5);
+    }
+
+    #[test]
+    fn reload_swaps_answers_and_clears_the_cache() {
+        let service = QueryService::new(oracle(300, 7, 8), 1 << 10);
+        assert_eq!(service.epoch(), 0);
+
+        // Warm the cache on the first index.
+        let queries: Vec<(u32, u32)> =
+            (0..100u32).map(|i| ((i * 3) % 300, (i * 11 + 1) % 300)).collect();
+        let before: Vec<_> =
+            queries.iter().map(|&(s, t)| service.distance(s, t).unwrap()).collect();
+        for (&(s, t), d) in queries.iter().zip(&before) {
+            assert_eq!(service.distance(s, t).unwrap(), *d, "warm hit");
+        }
+        assert!(service.cache_stats().hits >= 100);
+
+        // Swap in a different graph; every answer must now come from it.
+        let new_oracle = oracle(300, 8, 8);
+        let expected: Vec<_> = queries.iter().map(|&(s, t)| new_oracle.distance(s, t)).collect();
+        assert_eq!(service.reload(new_oracle), 1);
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(service.metrics_snapshot().reloads, 1);
+
+        let after: Vec<_> = queries.iter().map(|&(s, t)| service.distance(s, t).unwrap()).collect();
+        assert_eq!(after, expected, "post-reload answers come from the new index");
+        assert_ne!(after, before, "the fixture graphs must actually differ");
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_a_reload() {
+        let service = QueryService::new(oracle(200, 1, 6), 0);
+        let snap = service.snapshot();
+        let d = snap.oracle().distance(0, 199);
+        service.reload(oracle(100, 2, 4));
+        // The pinned generation still answers, on its own graph.
+        assert_eq!(snap.num_vertices(), 200);
+        assert_eq!(snap.oracle().distance(0, 199), d);
+        // New queries see the new, smaller index.
+        assert_eq!(service.num_vertices(), 100);
+        assert!(service.distance(0, 199).is_err(), "199 is out of range after the swap");
+    }
+
+    #[test]
+    fn failed_reload_from_paths_keeps_serving_the_old_index() {
+        let service = QueryService::new(oracle(150, 3, 6), 16);
+        let before = service.distance(0, 149).unwrap();
+        let err = service.reload_from_paths("/nonexistent/graph.hclg", None, 4).unwrap_err();
+        assert!(matches!(err, ReloadError::Load(_)), "{err:?}");
+        assert_eq!(service.epoch(), 0, "failed reload must not bump the epoch");
+        assert_eq!(service.metrics_snapshot().reloads, 0);
+        assert_eq!(service.distance(0, 149).unwrap(), before);
     }
 }

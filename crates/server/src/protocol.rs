@@ -7,6 +7,9 @@
 //!                           <- DISTS <d1> <d2> … <dk>   (INF for unreachable)
 //! -> STATS                  <- STATS key=value key=value …
 //! -> PING                   <- PONG
+//! -> EPOCH                  <- EPOCH <e>  (current index generation)
+//! -> RELOAD <graph> [<idx>] <- RELOADED <e>  (hot index swap; paths are
+//!                              server-side and must not contain spaces)
 //! -> SHUTDOWN               <- BYE       (server then drains and stops)
 //! ```
 //!
@@ -33,6 +36,16 @@ pub enum Request {
     Stats,
     /// `PING` — liveness probe.
     Ping,
+    /// `EPOCH` — current index generation.
+    Epoch,
+    /// `RELOAD graph [index]` — hot-swap the index from server-side files.
+    Reload {
+        /// Path to the graph file (server-side).
+        graph: String,
+        /// Path to a prebuilt index file; when absent the server rebuilds
+        /// the labelling from the graph.
+        index: Option<String>,
+    },
     /// `SHUTDOWN` — begin graceful shutdown.
     Shutdown,
 }
@@ -103,12 +116,22 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             }
             Request::Batch(k)
         }
-        "STATS" | "PING" | "SHUTDOWN" => {
+        "RELOAD" => {
+            let (Some(graph), index, None) = (tokens.next(), tokens.next(), tokens.next()) else {
+                return Err(ProtocolError::BadArity {
+                    command: "RELOAD",
+                    expected: "<graph> [<index>]",
+                });
+            };
+            Request::Reload { graph: graph.to_string(), index: index.map(str::to_string) }
+        }
+        "STATS" | "PING" | "EPOCH" | "SHUTDOWN" => {
             if tokens.next().is_some() {
                 return Err(ProtocolError::BadArity {
                     command: match command {
                         "STATS" => "STATS",
                         "PING" => "PING",
+                        "EPOCH" => "EPOCH",
                         _ => "SHUTDOWN",
                     },
                     expected: "no arguments",
@@ -117,6 +140,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             match command {
                 "STATS" => Request::Stats,
                 "PING" => Request::Ping,
+                "EPOCH" => Request::Epoch,
                 _ => Request::Shutdown,
             }
         }
@@ -161,23 +185,36 @@ pub fn format_batch_response(distances: &[Option<u32>]) -> String {
 }
 
 /// Renders the `STATS` response: one line of `key=value` pairs.
-pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats) -> String {
+pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats, epoch: u64) -> String {
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
-         active_connections={} errors={} cache_hits={} cache_misses={} cache_evictions={} \
-         cache_entries={} cache_capacity={}",
+         active_connections={} errors={} epoch={} reloads={} cache_hits={} cache_misses={} \
+         cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
         metrics.queries,
         metrics.batch_requests,
         metrics.batch_queries,
         metrics.connections,
         metrics.active_connections,
         metrics.errors,
+        epoch,
+        metrics.reloads,
         cache.hits,
         cache.misses,
+        cache.stale,
         cache.evictions,
         cache.entries,
         cache.capacity,
     )
+}
+
+/// Renders a successful `RELOAD` response: `RELOADED <epoch>`.
+pub fn format_reload_response(epoch: u64) -> String {
+    format!("RELOADED {epoch}")
+}
+
+/// Renders an `EPOCH` response: `EPOCH <epoch>`.
+pub fn format_epoch_response(epoch: u64) -> String {
+    format!("EPOCH {epoch}")
 }
 
 /// Renders an error response: `ERR <message>` (newlines squashed so the
@@ -228,6 +265,24 @@ pub fn parse_query_response(line: &str) -> Result<Option<u32>, ResponseError> {
     parse_distance_token(rest.trim())
 }
 
+fn parse_tagged_number(line: &str, prefix: &str) -> Result<u64, ResponseError> {
+    let line = split_err(line)?;
+    let rest =
+        line.strip_prefix(prefix).ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
+    rest.trim().parse().map_err(|_| ResponseError::Malformed(line.to_string()))
+}
+
+/// Client side: interprets a `RELOAD` response line, returning the new
+/// epoch.
+pub fn parse_reload_response(line: &str) -> Result<u64, ResponseError> {
+    parse_tagged_number(line, "RELOADED ")
+}
+
+/// Client side: interprets an `EPOCH` response line.
+pub fn parse_epoch_response(line: &str) -> Result<u64, ResponseError> {
+    parse_tagged_number(line, "EPOCH ")
+}
+
 /// Client side: interprets a `BATCH` response line, checking the count.
 pub fn parse_batch_response(
     line: &str,
@@ -258,6 +313,15 @@ mod tests {
         assert_eq!(parse_request("BATCH 128"), Ok(Request::Batch(128)));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("EPOCH"), Ok(Request::Epoch));
+        assert_eq!(
+            parse_request("RELOAD /tmp/g.hclg"),
+            Ok(Request::Reload { graph: "/tmp/g.hclg".to_string(), index: None })
+        );
+        assert_eq!(
+            parse_request("RELOAD g.hclg g.hcl"),
+            Ok(Request::Reload { graph: "g.hclg".to_string(), index: Some("g.hcl".to_string()) })
+        );
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
     }
 
@@ -272,6 +336,9 @@ mod tests {
         assert!(matches!(parse_request("QUERY -1 2"), Err(ProtocolError::BadNumber(_))));
         assert!(matches!(parse_request("BATCH"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("STATS now"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("EPOCH 3"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("RELOAD"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("RELOAD a b c"), Err(ProtocolError::BadArity { .. })));
         assert_eq!(
             parse_request(&format!("BATCH {}", MAX_BATCH + 1)),
             Err(ProtocolError::BatchTooLarge { requested: MAX_BATCH + 1 })
@@ -294,6 +361,10 @@ mod tests {
         let batch = vec![Some(0), None, Some(7)];
         assert_eq!(parse_batch_response(&format_batch_response(&batch), 3), Ok(batch));
         assert_eq!(parse_batch_response(&format_batch_response(&[]), 0), Ok(vec![]));
+        assert_eq!(parse_reload_response(&format_reload_response(3)), Ok(3));
+        assert_eq!(parse_epoch_response(&format_epoch_response(0)), Ok(0));
+        assert!(parse_reload_response("RELOADED x").is_err());
+        assert!(parse_epoch_response(&format_reload_response(1)).is_err());
     }
 
     #[test]
@@ -313,12 +384,15 @@ mod tests {
 
     #[test]
     fn stats_line_is_parseable_key_values() {
-        let line = format_stats_response(&MetricsSnapshot::default(), &CacheStats::default());
+        let line = format_stats_response(&MetricsSnapshot::default(), &CacheStats::default(), 4);
         let body = line.strip_prefix("STATS ").unwrap();
         for kv in body.split_ascii_whitespace() {
             let (k, v) = kv.split_once('=').expect("key=value");
             assert!(!k.is_empty());
             let _: u64 = v.parse().expect("numeric value");
         }
+        assert!(body.contains("epoch=4"));
+        assert!(body.contains("reloads=0"));
+        assert!(body.contains("cache_stale=0"));
     }
 }

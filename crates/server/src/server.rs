@@ -35,6 +35,9 @@ pub struct ServerConfig {
     /// client that stopped reading (the connection is closed on expiry),
     /// which in turn bounds shutdown draining.
     pub write_timeout: Duration,
+    /// Landmarks used when a `RELOAD` names only a graph file and the
+    /// labelling must be rebuilt in-process (top-degree selection).
+    pub reload_landmarks: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +47,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             drain_grace_polls: 40,
             write_timeout: Duration::from_secs(10),
+            reload_landmarks: 20,
         }
     }
 }
@@ -375,9 +379,32 @@ fn respond(
         Request::Stats => {
             let snapshot = shared.service.metrics_snapshot();
             let cache = shared.service.cache_stats();
-            (protocol::format_stats_response(&snapshot, &cache), ConnAction::Continue)
+            (
+                protocol::format_stats_response(&snapshot, &cache, shared.service.epoch()),
+                ConnAction::Continue,
+            )
         }
         Request::Ping => ("PONG".to_string(), ConnAction::Continue),
+        Request::Epoch => {
+            (protocol::format_epoch_response(shared.service.epoch()), ConnAction::Continue)
+        }
+        Request::Reload { graph, index } => {
+            // Loading/rebuilding happens on this handler's thread; every
+            // other connection keeps serving on the old epoch until the
+            // final swap, which takes the write lock only for a pointer
+            // exchange. On failure the old index keeps serving.
+            match shared.service.reload_from_paths(
+                &graph,
+                index.as_deref(),
+                shared.config.reload_landmarks,
+            ) {
+                Ok(epoch) => (protocol::format_reload_response(epoch), ConnAction::Continue),
+                Err(e) => {
+                    ServeMetrics::bump(&metrics.errors);
+                    (protocol::format_error(e), ConnAction::Continue)
+                }
+            }
+        }
         Request::Shutdown => ("BYE".to_string(), ConnAction::Shutdown),
     }
 }

@@ -1,9 +1,9 @@
 //! End-to-end loopback test: a real TCP server on an ephemeral port,
 //! hammered by concurrent client threads issuing mixed `QUERY`/`BATCH`
-//! traffic, with every returned distance checked against the offline
-//! [`HlOracle`] answer.
+//! traffic, with every returned distance checked against single-threaded
+//! BFS ground truth.
 
-use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_core::HighwayCoverLabelling;
 use hcl_graph::generate;
 use hcl_server::{Client, QueryService, Server, ServerConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,17 +31,13 @@ fn concurrent_clients_get_exact_distances() {
     let landmarks = hcl_graph::order::top_degree(&g, 16);
     let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
 
-    // Offline ground truth through the classic single-threaded oracle.
-    let mut offline = HlOracle::new(&g, labelling.clone());
-    let mut expected = std::collections::HashMap::new();
-    for thread in 0..CLIENT_THREADS {
-        for round in 0..ROUNDS_PER_THREAD {
-            for b in 0..=BATCH_SIZE {
-                let (s, t) = pair_for(thread, round * (BATCH_SIZE + 1) + b);
-                expected.insert((s, t), offline.query(s, t));
-            }
-        }
-    }
+    // Offline BFS ground truth for exactly the pairs the clients will ask.
+    let expected = hcl_core::testing::truth_map(
+        &g,
+        (0..CLIENT_THREADS).flat_map(|thread| {
+            (0..ROUNDS_PER_THREAD * (BATCH_SIZE + 1)).map(move |i| pair_for(thread, i))
+        }),
+    );
 
     let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 1 << 12));
     let config = ServerConfig { batch_threads: 4, ..Default::default() };
@@ -94,10 +90,8 @@ fn concurrent_clients_get_exact_distances() {
 
 #[test]
 fn stats_errors_and_graceful_shutdown_over_the_wire() {
-    let g = Arc::new(generate::barabasi_albert(300, 4, 5));
-    let landmarks = hcl_graph::order::top_degree(&g, 8);
-    let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 64));
+    let (g, labelling) = hcl_core::testing::ba_fixture(300, 4, 5, 8);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 64));
     let handle =
         Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = handle.local_addr();
@@ -124,6 +118,9 @@ fn stats_errors_and_graceful_shutdown_over_the_wire() {
     assert_eq!(get("errors"), 3);
     assert_eq!(get("active_connections"), 1);
     assert_eq!(get("cache_misses"), 1);
+    assert_eq!(get("epoch"), 0, "no reload has happened");
+    assert_eq!(get("reloads"), 0);
+    assert_eq!(get("cache_stale"), 0);
 
     // Graceful shutdown: BYE, then the port stops accepting.
     client.shutdown_server().unwrap();
@@ -137,10 +134,8 @@ fn stats_errors_and_graceful_shutdown_over_the_wire() {
 
 #[test]
 fn shutdown_drains_inflight_connections() {
-    let g = Arc::new(generate::barabasi_albert(200, 4, 9));
-    let landmarks = hcl_graph::order::top_degree(&g, 6);
-    let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 0));
+    let (g, labelling) = hcl_core::testing::ba_fixture(200, 4, 9, 6);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
     let handle =
         Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = handle.local_addr();
@@ -160,10 +155,8 @@ fn shutdown_drains_inflight_connections() {
 fn malformed_batch_body_does_not_desync_the_connection() {
     use std::io::{BufRead, BufReader, Write};
 
-    let g = Arc::new(generate::barabasi_albert(100, 3, 4));
-    let (labelling, _) =
-        HighwayCoverLabelling::build(&g, &hcl_graph::order::top_degree(&g, 4)).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 0));
+    let (g, labelling) = hcl_core::testing::ba_fixture(100, 3, 4, 4);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
     let handle =
         Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
 
@@ -197,10 +190,8 @@ fn malformed_batch_body_does_not_desync_the_connection() {
 fn oversized_request_line_closes_only_that_connection() {
     use std::io::{Read, Write};
 
-    let g = Arc::new(generate::barabasi_albert(100, 3, 4));
-    let (labelling, _) =
-        HighwayCoverLabelling::build(&g, &hcl_graph::order::top_degree(&g, 4)).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 0));
+    let (g, labelling) = hcl_core::testing::ba_fixture(100, 3, 4, 4);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
     let handle =
         Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
 
@@ -227,10 +218,8 @@ fn oversized_request_line_closes_only_that_connection() {
 /// address (the accept-loop poke substitutes loopback).
 #[test]
 fn shutdown_completes_on_wildcard_bind() {
-    let g = Arc::new(generate::barabasi_albert(50, 3, 4));
-    let (labelling, _) =
-        HighwayCoverLabelling::build(&g, &hcl_graph::order::top_degree(&g, 3)).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 0));
+    let (g, labelling) = hcl_core::testing::ba_fixture(50, 3, 4, 3);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
     let handle = Server::bind(service, "0.0.0.0:0", ServerConfig::default()).unwrap();
     assert!(handle.local_addr().ip().is_unspecified());
     let mut client = Client::connect(("127.0.0.1", handle.local_addr().port())).unwrap();
@@ -246,10 +235,8 @@ fn shutdown_completes_on_wildcard_bind() {
 fn oversized_batch_header_errors_and_closes() {
     use std::io::{BufRead, BufReader, Read, Write};
 
-    let g = Arc::new(generate::barabasi_albert(100, 3, 4));
-    let (labelling, _) =
-        HighwayCoverLabelling::build(&g, &hcl_graph::order::top_degree(&g, 4)).unwrap();
-    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 0));
+    let (g, labelling) = hcl_core::testing::ba_fixture(100, 3, 4, 4);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
     let handle =
         Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
 

@@ -6,7 +6,7 @@
 
 use hcl_core::HighwayCoverLabelling;
 use hcl_graph::CsrGraph;
-use hcl_server::{BatchExecutor, QueryService};
+use hcl_server::{BatchExecutor, CacheConfig, QueryService, ShardedCache};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -83,5 +83,58 @@ proptest! {
             .unwrap();
         prop_assert_eq!(&via_cached_batch, &singles);
         prop_assert_eq!(&via_plain_batch, &singles);
+    }
+
+    /// Epoch invalidation property: after a swap (`clear()` + epoch bump),
+    /// a lookup under the new epoch can never observe a value inserted
+    /// under the old one — not even when old-epoch writers race on after
+    /// the clear, as in-flight queries do during a hot reload. Old-epoch
+    /// values are encoded distinguishably (`3e + v`), so any leak across
+    /// the boundary is caught exactly.
+    #[test]
+    fn no_lookup_after_epoch_bump_sees_pre_swap_entries(
+        keys in proptest::collection::vec((0u32..30, 0u32..30), 1..80),
+        stragglers in proptest::collection::vec((0u32..30, 0u32..30), 0..40),
+        capacity in 1usize..64,
+        shards in 1usize..8,
+    ) {
+        let value_at = |epoch: u64, s: u32, t: u32| Some(epoch as u32 * 3 + (s + t) % 3);
+        let cache = ShardedCache::new(CacheConfig { capacity, shards });
+        for &(s, t) in &keys {
+            cache.insert(s, t, 0, value_at(0, s, t));
+        }
+
+        // The swap: epoch 0 -> 1, one clear.
+        cache.clear();
+        // In-flight old-epoch queries finish and write back after the clear.
+        for &(s, t) in &stragglers {
+            cache.insert(s, t, 0, value_at(0, s, t));
+        }
+
+        // Nothing has been computed under epoch 1 yet, so *every* lookup
+        // under it must miss, whatever the interleaving left resident.
+        for &(s, t) in keys.iter().chain(&stragglers) {
+            prop_assert_eq!(cache.get(s, t, 1), None, "stale value visible for ({}, {})", s, t);
+        }
+
+        // Mixed-epoch churn: epoch-1 values become visible to epoch-1
+        // readers, epoch-0 values never do.
+        for (i, &(s, t)) in keys.iter().enumerate() {
+            let epoch = (i % 2) as u64;
+            cache.insert(s, t, epoch, value_at(epoch, s, t));
+        }
+        for &(s, t) in &keys {
+            if let Some(hit) = cache.get(s, t, 1) {
+                prop_assert_eq!(hit, value_at(1, s, t), "epoch-1 read of ({}, {})", s, t);
+            }
+        }
+        // Deterministic stale exercise: a key outside the generated domain
+        // is inserted under epoch 0 and immediately read under epoch 1.
+        cache.insert(1_000, 1_001, 0, value_at(0, 1_000, 1_001));
+        prop_assert_eq!(cache.get(1_000, 1_001, 1), None);
+
+        let stats = cache.stats();
+        prop_assert!(stats.stale > 0, "stale rejection must have fired");
+        prop_assert!(stats.entries <= stats.capacity);
     }
 }

@@ -1,0 +1,192 @@
+//! Protocol robustness: randomized and adversarial byte streams against
+//! both the pure parser and a live server.
+//!
+//! Contract under test: whatever bytes arrive, the server either answers
+//! each (attempted) request with one well-formed response line or closes
+//! the connection — it never panics, never hangs, and never desyncs so far
+//! that a *fresh* connection stops working.
+
+use hcl_core::testing::ba_fixture;
+use hcl_server::{protocol, Client, QueryService, Server, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use proptest::TestRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One random request line. Deliberately weighted towards near-valid
+/// traffic (truncated commands, bad numbers, oversized headers, BATCH
+/// declarations whose bodies will be wrong) plus outright binary garbage.
+/// Never generates `SHUTDOWN` — the live-server harness must stay up.
+fn random_line(rng: &mut TestRng) -> String {
+    let a = rng.below(100_000);
+    let b = rng.below(100_000);
+    match rng.below(14) {
+        0 => format!("QUERY {a} {b}"),
+        1 => format!("QUERY {a}"),
+        2 => format!("QUERY {a} {b} {a}"),
+        3 => format!("QUERY {a} x{b}"),
+        4 => format!("BATCH {}", rng.below(4)),
+        5 => format!("BATCH {}", protocol::MAX_BATCH as u64 + 1 + a),
+        6 => "BATCH".to_string(),
+        7 => format!("{a} {b}"), // a stray pair line outside any batch
+        8 => "PING".to_string(),
+        9 => "STATS".to_string(),
+        10 => "EPOCH".to_string(),
+        11 => String::new(),
+        12 => "\u{7f}\u{1}garbage \u{2}\t###".to_string(),
+        _ => format!("QUERY {} {b}", "9".repeat(1 + rng.below(38) as usize)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The pure parser never panics on arbitrary near-protocol lines, and
+    /// classifies every line as exactly one of Ok / Err.
+    #[test]
+    fn parser_total_on_random_lines(kind in 0u64..1_000_000, salt in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("parser-fuzz-{kind}-{salt}"));
+        let line = random_line(&mut rng);
+        let _ = protocol::parse_request(&line);
+        let _ = protocol::parse_pair(&line);
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    let (g, labelling) = ba_fixture(200, 3, 17, 6);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 256));
+    Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+}
+
+/// Response lines the server is allowed to emit.
+fn is_well_formed_response(line: &str) -> bool {
+    line == "PONG"
+        || line == "BYE"
+        || line.starts_with("DIST ")
+        || line.starts_with("DISTS")
+        || line.starts_with("STATS ")
+        || line.starts_with("EPOCH ")
+        || line.starts_with("RELOADED ")
+        || line.starts_with("ERR ")
+}
+
+/// Fires `lines` at a fresh connection, closes the write half, and drains
+/// every response until the server closes. Panics on a malformed response
+/// line; returns how many responses arrived.
+fn exchange(addr: std::net::SocketAddr, lines: &[String]) -> usize {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // A write failure (EPIPE) means the server already closed on earlier
+    // garbage — legitimate; move on to draining what it said before that.
+    let _ = (|| -> std::io::Result<()> {
+        for line in lines {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        // EOF on the request stream: the server answers what it can and
+        // closes (a truncated BATCH body cannot park the connection).
+        writer.shutdown(Shutdown::Write)
+    })();
+    let mut responses = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim_end_matches(['\r', '\n']);
+                assert!(is_well_formed_response(line), "malformed response {line:?}");
+                responses += 1;
+            }
+            // A hang is a failure; a reset is just an unceremonious close.
+            Err(e) => {
+                assert!(
+                    !matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ),
+                    "server hung instead of answering or closing"
+                );
+                break;
+            }
+        }
+    }
+    assert!(responses <= lines.len(), "more responses than request lines");
+    responses
+}
+
+/// Random request streams (including truncated/oversized/interleaved
+/// `BATCH` bodies) never panic, hang, or wedge the server: every exchanged
+/// connection terminates cleanly and a fresh client still gets service.
+#[test]
+fn live_server_survives_random_request_streams() {
+    let handle = spawn_server();
+    let addr = handle.local_addr();
+    let mut rng = TestRng::from_name("wire-fuzz");
+    let mut total_responses = 0;
+    for _ in 0..40 {
+        let lines: Vec<String> = (0..1 + rng.below(12)).map(|_| random_line(&mut rng)).collect();
+        total_responses += exchange(addr, &lines);
+    }
+    assert!(total_responses > 0, "the fuzz stream never got a single response");
+
+    // The server took all that without losing the ability to serve.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.query(0, 199).unwrap().is_some() || client.query(0, 199).unwrap().is_none());
+    client.ping().unwrap();
+    handle.shutdown();
+}
+
+/// Adversarial deterministic streams around BATCH framing: declared bodies
+/// that contain other commands, bodies cut off by EOF, batches nested in
+/// batches. After each, the connection either answered in order or closed —
+/// and the next connection is always clean.
+#[test]
+fn interleaved_and_truncated_batch_bodies_cannot_desync() {
+    let handle = spawn_server();
+    let addr = handle.local_addr();
+
+    // A command hiding inside a declared body is consumed as (bad) pairs:
+    // one ERR for the batch, then the following PING answers as itself.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(b"BATCH 3\n1 2\nBATCH 2\n3 4\nPING\nQUERY 0 1\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR "), "batch with embedded command: {line:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "PONG", "framing resynchronised on the request after the body");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("DIST "), "{line:?}");
+    drop(reader);
+    drop(writer);
+
+    // Truncated bodies at every cut point: the connection must answer what
+    // it can and close on EOF — never hang waiting for the missing lines.
+    for body_lines in 0..3 {
+        let mut lines = vec!["BATCH 3".to_string()];
+        for i in 0..body_lines {
+            lines.push(format!("{i} {i}"));
+        }
+        let responses = exchange(addr, &lines);
+        assert!(responses <= 1, "a truncated batch gets at most one ERR");
+    }
+
+    // A batch declaring k = 0 is legal and must not consume what follows.
+    let responses = exchange(addr, &["BATCH 0".to_string(), "PING".to_string()]);
+    assert_eq!(responses, 2, "BATCH 0 answers immediately and PING still gets through");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    handle.shutdown();
+}

@@ -1,0 +1,222 @@
+//! Hot-reload integration tests: a live server swaps its index between two
+//! fixture graphs while client threads hammer it over established
+//! connections.
+//!
+//! The correctness contract under test:
+//!
+//! * no connection is dropped by a reload — every client keeps its one
+//!   TCP connection for the whole run;
+//! * every answered distance matches one of the two graphs' BFS ground
+//!   truths (never a mixture within one batch);
+//! * any query issued after the `RELOADED` acknowledgement matches the
+//!   *new* graph exactly — i.e. no stale cache hit ever crosses the epoch
+//!   boundary, even though the clients deliberately keep a hot set of
+//!   repeated pairs resident in the cache across the swap.
+
+use hcl_core::testing::{ba_fixture, truth_map};
+use hcl_core::HighwayCoverLabelling;
+use hcl_server::{Client, QueryService, Server, ServerConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const N: usize = 600;
+const CLIENT_THREADS: usize = 4;
+const BATCH_SIZE: usize = 6;
+/// Rounds every thread runs *after* the reload is acknowledged.
+const POST_RELOAD_ROUNDS: usize = 30;
+
+/// The deterministic query stream. Every thread cycles through the same
+/// 40 pairs (plus a per-thread offset pair), so the cache holds a hot set
+/// of repeated pairs across the swap — exactly the entries that would leak
+/// stale answers if epoch invalidation were broken.
+fn pair_for(thread: usize, i: usize) -> (u32, u32) {
+    let i = i % 40;
+    let s = ((i as u64 * 131 + thread as u64 * 7) % N as u64) as u32;
+    let t = ((i as u64 * 37 + 11) % N as u64) as u32;
+    (s, t)
+}
+
+fn all_pairs() -> Vec<(u32, u32)> {
+    (0..CLIENT_THREADS).flat_map(|th| (0..40).map(move |i| pair_for(th, i))).collect()
+}
+
+fn build(seed: u64) -> (Arc<hcl_graph::CsrGraph>, Arc<HighwayCoverLabelling>) {
+    ba_fixture(N, 4, seed, 12)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hcl-reload-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn reload_under_live_traffic_never_serves_stale_or_torn_answers() {
+    let (graph_a, labelling_a) = build(1001);
+    let (graph_b, labelling_b) = build(2002);
+
+    // Ground truth for the full stream on both generations.
+    let truth_a = truth_map(&graph_a, all_pairs());
+    let truth_b = truth_map(&graph_b, all_pairs());
+    assert!(
+        all_pairs().iter().any(|p| truth_a[p] != truth_b[p]),
+        "fixture graphs must disagree on the query stream, or the test proves nothing"
+    );
+
+    // Generation B goes to disk; the server starts on generation A.
+    let graph_path = temp_path("b.hclg");
+    let index_path = temp_path("b.hcl");
+    hcl_graph::io::save_binary(&graph_b, &graph_path).unwrap();
+    hcl_core::io::save_labelling(&labelling_b, &index_path).unwrap();
+
+    let service = Arc::new(QueryService::from_parts(graph_a, labelling_a, 1 << 12));
+    let config = ServerConfig { batch_threads: 2, ..Default::default() };
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    let reloaded = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let check = |got: Option<u32>,
+                 pair: (u32, u32),
+                 sent_after_reload: bool,
+                 truth_a: &HashMap<(u32, u32), Option<u32>>,
+                 truth_b: &HashMap<(u32, u32), Option<u32>>| {
+        let (a, b) = (truth_a[&pair], truth_b[&pair]);
+        if sent_after_reload {
+            assert_eq!(got, b, "post-reload d{pair:?} must come from the new graph (old: {a:?})");
+        } else {
+            assert!(got == a || got == b, "d{pair:?} = {got:?} matches neither epoch");
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for thread in 0..CLIENT_THREADS {
+            let (reloaded, served) = (&reloaded, &served);
+            let (truth_a, truth_b) = (&truth_a, &truth_b);
+            scope.spawn(move || {
+                // ONE connection for the whole test: queries succeeding
+                // after the swap prove the reload dropped nothing.
+                let mut client = Client::connect(addr).expect("connect");
+                let mut i = 0usize;
+                let mut post_rounds = 0usize;
+                while post_rounds < POST_RELOAD_ROUNDS {
+                    // Sampled before sending: if the ack was already seen,
+                    // the server swapped before these requests started.
+                    let after = reloaded.load(Ordering::SeqCst);
+                    if after {
+                        post_rounds += 1;
+                    }
+                    let q = pair_for(thread, i);
+                    let got = client.query(q.0, q.1).expect("query");
+                    check(got, q, after, truth_a, truth_b);
+
+                    let pairs: Vec<(u32, u32)> =
+                        (1..=BATCH_SIZE).map(|b| pair_for(thread, i + b)).collect();
+                    let got = client.batch(&pairs).expect("batch");
+                    if after {
+                        for (&p, &d) in pairs.iter().zip(&got) {
+                            check(d, p, true, truth_a, truth_b);
+                        }
+                    } else {
+                        // A batch racing the swap may be answered on either
+                        // generation — but on exactly ONE of them: the
+                        // whole response must be consistent with a single
+                        // epoch's truth, never a mixture.
+                        let matches = |truth: &HashMap<(u32, u32), Option<u32>>| {
+                            pairs.iter().zip(&got).all(|(&p, &d)| d == truth[&p])
+                        };
+                        assert!(
+                            matches(truth_a) || matches(truth_b),
+                            "torn batch (mixed epochs): {pairs:?} -> {got:?}"
+                        );
+                    }
+                    served.fetch_add(1 + BATCH_SIZE as u64, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // Let the clients warm the cache on epoch 0, then swap.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let mut admin = Client::connect(addr).expect("admin connect");
+        assert_eq!(admin.epoch().unwrap(), 0);
+        let epoch = admin
+            .reload(graph_path.to_str().unwrap(), Some(index_path.to_str().unwrap()))
+            .expect("reload");
+        assert_eq!(epoch, 1);
+        reloaded.store(true, Ordering::SeqCst);
+        assert_eq!(admin.epoch().unwrap(), 1);
+    });
+
+    // Traffic volume sanity: warm-up plus the mandated post-reload rounds.
+    let total = served.load(Ordering::Relaxed);
+    assert!(
+        total >= (CLIENT_THREADS * POST_RELOAD_ROUNDS * (1 + BATCH_SIZE)) as u64,
+        "only {total} distances served"
+    );
+
+    // Server-side accounting: one reload, epoch 1, and the hot set DID
+    // stay resident across the swap (hits before and after), making the
+    // stale-crossing assertions above meaningful.
+    let mut admin = Client::connect(addr).unwrap();
+    let stats = admin.stats().unwrap();
+    let get = |key: &str| -> u64 {
+        stats
+            .split_ascii_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("{key} missing from {stats}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(get("epoch"), 1);
+    assert_eq!(get("reloads"), 1);
+    assert!(get("cache_hits") > 0, "the repeated stream must produce cache hits");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&graph_path);
+    let _ = std::fs::remove_file(&index_path);
+}
+
+#[test]
+fn reload_from_graph_only_rebuilds_the_labelling_in_process() {
+    let (graph_a, labelling_a) = build(7);
+    let (graph_b, _) = build(8);
+    let truth_b = truth_map(&graph_b, all_pairs());
+
+    let graph_path = temp_path("rebuild.hclg");
+    hcl_graph::io::save_binary(&graph_b, &graph_path).unwrap();
+
+    let service = Arc::new(QueryService::from_parts(graph_a, labelling_a, 64));
+    let config = ServerConfig { reload_landmarks: 12, ..Default::default() };
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    // No index file: the server builds the labelling itself.
+    assert_eq!(client.reload(graph_path.to_str().unwrap(), None).unwrap(), 1);
+    for &(s, t) in all_pairs().iter().take(40) {
+        assert_eq!(client.query(s, t).unwrap(), truth_b[&(s, t)], "d({s}, {t})");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&graph_path);
+}
+
+#[test]
+fn failed_reload_keeps_the_connection_and_the_old_index() {
+    let (graph_a, labelling_a) = build(3);
+    let truth_a = truth_map(&graph_a, all_pairs());
+
+    let service = Arc::new(QueryService::from_parts(graph_a, labelling_a, 64));
+    let handle =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let err = client.reload("/definitely/not/a/file.hclg", None).unwrap_err();
+    assert!(err.to_string().contains("reload failed"), "{err}");
+    // Same connection still answers, on the unchanged epoch-0 index.
+    assert_eq!(client.epoch().unwrap(), 0);
+    let (s, t) = pair_for(0, 0);
+    assert_eq!(client.query(s, t).unwrap(), truth_a[&(s, t)]);
+
+    handle.shutdown();
+}

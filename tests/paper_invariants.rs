@@ -15,7 +15,8 @@
 
 use hcl::prelude::*;
 use hcl_baselines::{PllConfig, PllIndex};
-use hcl_graph::{traversal, INF};
+use hcl_core::testing::all_pairs as all_pairs_bfs;
+use hcl_graph::INF;
 use proptest::prelude::*;
 
 /// Random graph + landmark set strategy: up to 40 vertices, random edges,
@@ -34,10 +35,6 @@ fn graph_and_landmarks() -> impl Strategy<Value = (CsrGraph, Vec<u32>)> {
             landmarks.dedup();
             (g, landmarks)
         })
-}
-
-fn all_pairs_bfs(g: &CsrGraph) -> Vec<Vec<u32>> {
-    (0..g.num_vertices()).map(|v| traversal::bfs_distances(g, v as u32)).collect()
 }
 
 proptest! {
