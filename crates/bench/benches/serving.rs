@@ -1,9 +1,17 @@
-//! Serving-throughput benchmark: batched queries/second through the
-//! `hcl-server` [`BatchExecutor`] at 1/2/4/8 worker threads, with a cold
-//! cache (cleared before every pass), a warm cache (pre-warmed, all hits),
-//! and no cache at all. Queries share nothing but the read-only index, so
-//! the no-cache configuration should scale near-linearly with threads; the
-//! warm configuration measures pure cache + fan-out overhead.
+//! Serving-throughput benchmark, two layers:
+//!
+//! * **executor** — batched queries/second through the `hcl-server`
+//!   [`BatchExecutor`] at 1/2/4/8 worker threads, with a cold cache
+//!   (cleared before every pass), a warm cache (pre-warmed, all hits),
+//!   and no cache at all. Queries share nothing but the read-only index,
+//!   so the no-cache configuration should scale near-linearly with
+//!   threads; the warm configuration measures pure cache + fan-out
+//!   overhead.
+//! * **wire** — end-to-end round trips through the epoll reactor over a
+//!   real loopback TCP connection: one `BATCH` per pass versus the same
+//!   pairs as pipelined single `QUERY`s. The gap between the two is the
+//!   per-request framing + completion-queue overhead; the gap between
+//!   wire and executor is the whole transport.
 //!
 //! Note: on a single-core host every thread count reports the same rate —
 //! compare thread counts only where `nproc` exceeds the largest count.
@@ -11,12 +19,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hcl_core::HighwayCoverLabelling;
 use hcl_graph::generate;
-use hcl_server::{BatchExecutor, QueryService};
+use hcl_server::{BatchExecutor, Client, QueryService, Server, ServerConfig};
 use hcl_workloads::queries::sample_pairs;
 use std::hint::black_box;
 use std::sync::Arc;
 
 const QUERIES: usize = 4_096;
+/// Round trips per wire-level pass (smaller: each pass is full TCP I/O).
+const WIRE_QUERIES: usize = 1_024;
 
 fn bench_serving(c: &mut Criterion) {
     let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
@@ -57,5 +67,26 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+fn bench_wire(c: &mut Criterion) {
+    let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let pairs = sample_pairs(g.num_vertices(), WIRE_QUERIES, 11);
+
+    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 1 << 16));
+    let handle = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WIRE_QUERIES as u64));
+    group.bench_function("batch", |b| b.iter(|| black_box(client.batch(&pairs).unwrap())));
+    group.bench_function("pipelined-query", |b| {
+        b.iter(|| black_box(client.pipelined_queries(&pairs).unwrap()))
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serving, bench_wire);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! hcl query graph.hclg index.hcl <s> <t> [<s> <t> ...]
 //! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
 //! hcl serve graph.hclg index.hcl [--port 7777] [--threads 0] [--cache 65536]
-//!           [--landmarks 20]
+//!           [--landmarks 20] [--max-conns 1024] [--idle-timeout 600]
 //! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
 //! hcl client 127.0.0.1:7777 stats|ping|epoch|shutdown
 //! hcl client 127.0.0.1:7777 reload graph.hclg [index.hcl]
@@ -63,7 +63,8 @@ USAGE:
   hcl query <graph file> <index file> <s> <t> [<s> <t> ...]
   hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
   hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
-            [--cache <entries>] [--landmarks <k>]
+            [--cache <entries>] [--landmarks <k>] [--max-conns <n>]
+            [--idle-timeout <secs>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
   hcl client <addr> stats | ping | epoch | shutdown
   hcl client <addr> reload <graph file> [<index file>]
@@ -74,7 +75,10 @@ anything else uses the binary container.
 
 serve answers QUERY/BATCH/STATS requests over a newline-delimited TCP
 protocol until a client sends SHUTDOWN (--cache 0 disables the distance
-cache; --port 0 picks an ephemeral port, printed on startup).
+cache; --port 0 picks an ephemeral port, printed on startup). One epoll
+reactor thread drives every connection: --max-conns caps how many are
+open at once (overflow gets one ERR line and a close) and --idle-timeout
+closes connections quiet for that many seconds (0 disables).
 
 reload hot-swaps the serving index without dropping connections: the
 paths are read by the *server* process; in-flight queries finish on the
@@ -230,6 +234,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let cache: usize = parse_flag(args, "--cache", 1 << 16)?;
     let landmarks: usize = parse_flag(args, "--landmarks", 20)?;
+    let defaults = hcl_server::ServerConfig::default();
+    let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_connections)?;
+    let idle_secs: u64 = parse_flag(args, "--idle-timeout", defaults.idle_timeout.as_secs())?;
 
     let g = Arc::new(load_graph(graph_path)?);
     let labelling =
@@ -247,17 +254,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let config = hcl_server::ServerConfig {
         batch_threads: threads,
         reload_landmarks: landmarks,
+        max_connections: max_conns,
+        idle_timeout: std::time::Duration::from_secs(idle_secs),
         ..Default::default()
     };
     let handle = hcl_server::Server::bind(service, (host.as_str(), port), config)
         .map_err(|e| format!("binding {host}:{port}: {e}"))?;
     println!(
-        "serving {} ({} vertices, {} edges) on {} — cache {} entries, send SHUTDOWN to stop",
+        "serving {} ({} vertices, {} edges) on {} — cache {} entries, up to {} connections, \
+         send SHUTDOWN to stop",
         graph_path,
         g.num_vertices(),
         g.num_edges(),
         handle.local_addr(),
-        cache
+        cache,
+        max_conns
     );
     handle.join();
     println!("server stopped");

@@ -6,8 +6,15 @@
 //! where every connection may submit batches concurrently. The
 //! [`BatchExecutor`] keeps `threads` long-lived workers (each with its own
 //! [`QueryContext`]) pulling chunks from a shared channel, so concurrent
-//! batches from different connections interleave on the same pool and the
-//! per-request cost is a channel send plus a condvar wait.
+//! batches from different connections interleave on the same pool.
+//!
+//! Completion is asynchronous: [`submit`](BatchExecutor::submit) and
+//! [`submit_query`](BatchExecutor::submit_query) take a callback that runs
+//! on the worker finishing the last chunk — the reactor passes one that
+//! pushes the formatted response onto its completion queue and signals its
+//! eventfd, so no thread ever blocks on a batch. The blocking
+//! [`execute`](BatchExecutor::execute) (offline callers, benches) is a thin
+//! condvar wrapper over the same path.
 
 use crate::metrics::ServeMetrics;
 use crate::oracle_pool::{QueryError, QueryService};
@@ -17,9 +24,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Completion callback for an asynchronously submitted batch; receives the
+/// distances in input order. Runs on a worker thread.
+pub type BatchCallback = Box<dyn FnOnce(Vec<Option<u32>>) + Send + 'static>;
+
+/// Completion callback for a single asynchronously submitted query.
+pub type QueryCallback = Box<dyn FnOnce(Option<u32>) + Send + 'static>;
+
 /// One submitted batch: the input pairs, the index generation the whole
 /// batch is answered on, the in-progress results, and the completion
-/// signal.
+/// callback.
 struct BatchJob {
     pairs: Vec<(VertexId, VertexId)>,
     /// Pinned at submission: every chunk of this batch is validated and
@@ -29,7 +43,8 @@ struct BatchJob {
     results: Mutex<Vec<Option<u32>>>,
     /// Chunks not yet fully computed.
     remaining: AtomicUsize,
-    done: (Mutex<bool>, Condvar),
+    /// Taken exactly once, by the worker that completes the last chunk.
+    on_done: Mutex<Option<BatchCallback>>,
 }
 
 /// A contiguous slice of one job, claimed by a single worker.
@@ -101,56 +116,110 @@ impl BatchExecutor {
         job.results.lock().expect("batch results poisoned")[chunk.start..chunk.end]
             .copy_from_slice(&computed);
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let (lock, cvar) = &job.done;
-            *lock.lock().expect("batch signal poisoned") = true;
-            cvar.notify_all();
+            let results = std::mem::take(&mut *job.results.lock().expect("batch results poisoned"));
+            let on_done =
+                job.on_done.lock().expect("batch callback poisoned").take().expect("taken once");
+            on_done(results);
         }
     }
 
-    /// Answers `pairs` in input order, fanned across the worker pool. The
-    /// whole batch is validated and computed against the index generation
-    /// current at submission; on a validation error nothing is executed.
-    /// Callable concurrently from any number of threads.
-    pub fn execute(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<Option<u32>>, QueryError> {
+    /// Validates `pairs` against the index generation current at
+    /// submission and fans them across the worker pool; `on_done` runs —
+    /// with the distances in input order — on the worker that finishes the
+    /// last chunk (inline for an empty batch). On a validation error
+    /// nothing is executed, nothing is counted, and the callback is
+    /// dropped unused. Callable concurrently from any number of threads;
+    /// never blocks on the computation.
+    pub fn submit(
+        &self,
+        pairs: Vec<(VertexId, VertexId)>,
+        on_done: BatchCallback,
+    ) -> Result<(), QueryError> {
         let index = self.service.snapshot();
-        for &(s, t) in pairs {
+        for &(s, t) in &pairs {
             QueryService::check_pair_in(&index, s, t)?;
         }
         let metrics = self.service.metrics();
         ServeMetrics::bump(&metrics.batch_requests);
         ServeMetrics::add(&metrics.batch_queries, pairs.len() as u64);
         if pairs.is_empty() {
-            return Ok(Vec::new());
+            on_done(Vec::new());
+            return Ok(());
         }
+        self.enqueue(pairs, index, on_done);
+        Ok(())
+    }
 
+    /// Single-query analogue of [`submit`](Self::submit): validated up
+    /// front, counted in the `queries` metric, answered through the cache
+    /// on a pooled worker. Lets the reactor keep cache-miss queries (real
+    /// graph searches) off its event loop.
+    pub fn submit_query(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        on_done: QueryCallback,
+    ) -> Result<(), QueryError> {
+        let index = self.service.snapshot();
+        QueryService::check_pair_in(&index, s, t)?;
+        ServeMetrics::bump(&self.service.metrics().queries);
+        self.enqueue(
+            vec![(s, t)],
+            index,
+            Box::new(move |results| on_done(results.first().copied().flatten())),
+        );
+        Ok(())
+    }
+
+    /// Splits an already validated batch into chunks on the worker queue.
+    fn enqueue(
+        &self,
+        pairs: Vec<(VertexId, VertexId)>,
+        index: Arc<OracleEpoch>,
+        on_done: BatchCallback,
+    ) {
         // Over-split relative to the thread count so a slow chunk (cache
         // misses needing real searches) doesn't serialise the tail.
         let chunk_size = pairs.len().div_ceil(self.threads * 4).max(1);
         let num_chunks = pairs.len().div_ceil(chunk_size);
+        let len = pairs.len();
         let job = Arc::new(BatchJob {
-            pairs: pairs.to_vec(),
+            pairs,
             index,
-            results: Mutex::new(vec![None; pairs.len()]),
+            results: Mutex::new(vec![None; len]),
             remaining: AtomicUsize::new(num_chunks),
-            done: (Mutex::new(false), Condvar::new()),
+            on_done: Mutex::new(Some(on_done)),
         });
         let injector = self.injector.as_ref().expect("executor not shut down");
         for i in 0..num_chunks {
             let start = i * chunk_size;
-            let end = (start + chunk_size).min(pairs.len());
+            let end = (start + chunk_size).min(len);
             injector
                 .send(Chunk { job: Arc::clone(&job), start, end })
                 .expect("batch workers alive while executor exists");
         }
+    }
 
-        let (lock, cvar) = &job.done;
-        let mut finished = lock.lock().expect("batch signal poisoned");
-        while !*finished {
-            finished = cvar.wait(finished).expect("batch signal poisoned");
+    /// Blocking wrapper over [`submit`](Self::submit): answers `pairs` in
+    /// input order, waiting on a condvar for the pool to finish. For
+    /// offline callers and benches — the serving path never blocks.
+    pub fn execute(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<Option<u32>>, QueryError> {
+        type Cell = (Mutex<Option<Vec<Option<u32>>>>, Condvar);
+        let cell: Arc<Cell> = Arc::new((Mutex::new(None), Condvar::new()));
+        let signal = Arc::clone(&cell);
+        self.submit(
+            pairs.to_vec(),
+            Box::new(move |results| {
+                *signal.0.lock().expect("batch signal poisoned") = Some(results);
+                signal.1.notify_all();
+            }),
+        )?;
+        let (lock, cvar) = &*cell;
+        let mut slot = lock.lock().expect("batch signal poisoned");
+        while slot.is_none() {
+            slot = cvar.wait(slot).expect("batch signal poisoned");
         }
-        drop(finished);
-        let results = std::mem::take(&mut *job.results.lock().expect("batch results poisoned"));
-        Ok(results)
+        Ok(slot.take().expect("slot filled"))
     }
 }
 
@@ -246,6 +315,46 @@ mod tests {
         let after = executor.execute(&pairs).unwrap();
         assert_eq!(after, expect_new, "post-reload batches answer on the new index");
         assert_ne!(after, before, "the two fixture graphs must differ on this stream");
+    }
+
+    #[test]
+    fn async_submit_delivers_via_callback_and_matches_execute() {
+        use std::sync::mpsc;
+
+        let service = service(0);
+        let executor = BatchExecutor::new(Arc::clone(&service), 2);
+        let pairs = pairs(200, 500);
+        let expect = executor.execute(&pairs).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        executor.submit(pairs.clone(), Box::new(move |results| tx.send(results).unwrap())).unwrap();
+        let got = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        assert_eq!(got, expect);
+
+        // Validation failures surface synchronously; the callback is dropped.
+        let (tx, rx) = mpsc::channel::<Vec<Option<u32>>>();
+        let err = executor.submit(vec![(0, 999)], Box::new(move |r| tx.send(r).unwrap()));
+        assert!(err.is_err());
+        assert!(rx.recv().is_err(), "callback must never fire on a rejected batch");
+    }
+
+    #[test]
+    fn async_single_queries_count_in_the_query_metric() {
+        use std::sync::mpsc;
+
+        let service = service(64);
+        let executor = BatchExecutor::new(Arc::clone(&service), 2);
+        let offline = service.snapshot().oracle().batch_distances(&[(1, 42)], 1)[0];
+
+        let (tx, rx) = mpsc::channel();
+        executor.submit_query(1, 42, Box::new(move |d| tx.send(d).unwrap())).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap(), offline);
+
+        assert!(executor.submit_query(0, 500, Box::new(|_| panic!("must not run"))).is_err());
+
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.queries, 1, "one accepted single query");
+        assert_eq!(snap.batch_requests, 0, "single queries are not batches");
     }
 
     #[test]

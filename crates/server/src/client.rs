@@ -80,6 +80,24 @@ impl Client {
         Ok(protocol::parse_query_response(&self.receive()?)?)
     }
 
+    /// Pipelines one `QUERY` per pair — every request is written before
+    /// any response is read — and returns the distances in input order.
+    /// Exercises the server's response-ordering guarantee: responses
+    /// always come back in request order even when the underlying queries
+    /// complete out of order on the worker pool.
+    pub fn pipelined_queries(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<Option<u32>>, ClientError> {
+        let mut request = String::new();
+        for &(s, t) in pairs {
+            request.push_str(&format!("QUERY {s} {t}\n"));
+        }
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        pairs.iter().map(|_| Ok(protocol::parse_query_response(&self.receive()?)?)).collect()
+    }
+
     /// A batch of distances, in input order.
     pub fn batch(
         &mut self,

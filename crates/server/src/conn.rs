@@ -1,0 +1,308 @@
+//! Per-connection state for the reactor: a nonblocking socket, the
+//! incremental [`Decoder`], an ordered queue of response slots, and a
+//! write buffer with backpressure.
+//!
+//! # Response ordering
+//!
+//! Requests may be answered out of submission order (a `PING` resolves
+//! inline while the `QUERY` before it is still on a worker), so every
+//! request claims a *slot* in FIFO order. Inline responses fill their slot
+//! immediately; asynchronous ones ([`push_waiting`](Conn::push_waiting))
+//! fill it when the worker's completion arrives. Only the contiguous run
+//! of filled slots at the head is ever moved into the write buffer, so the
+//! wire order always equals the request order no matter how completions
+//! interleave.
+//!
+//! # Backpressure
+//!
+//! A client that sends requests faster than it reads responses grows the
+//! write buffer; past [`WRITE_HIGH_WATER`] the connection stops *reading*
+//! (its epoll interest drops `EPOLLIN`) until the buffer drains below
+//! [`WRITE_LOW_WATER`]. Unresolved requests are bounded the same way:
+//! past [`MAX_INFLIGHT`] queued slots reads pause until completions catch
+//! up — re-establishing, in bulk, the one-request-at-a-time bound the old
+//! thread-per-connection transport enforced implicitly. One fast or slow
+//! client therefore bounds its own memory and never stalls the reactor.
+
+use crate::protocol::Decoder;
+use crate::sys;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Stop reading once this many unsent response bytes are buffered…
+pub(crate) const WRITE_HIGH_WATER: usize = 256 * 1024;
+/// …and resume once the buffer drains below this.
+pub(crate) const WRITE_LOW_WATER: usize = 64 * 1024;
+/// Stop reading once this many response slots are queued unresolved, so a
+/// pipelining client cannot grow the slot queue and the worker channel
+/// without bound while its responses are still being computed.
+pub(crate) const MAX_INFLIGHT: usize = 128;
+
+/// One response slot, kept in request order.
+#[derive(Debug)]
+enum Slot {
+    /// Response line ready to go out (no trailing newline).
+    Ready(String),
+    /// Waiting for the completion tagged with this sequence number.
+    Waiting(u64),
+}
+
+/// State machine for one client connection; driven by the reactor.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub decoder: Decoder,
+    slots: VecDeque<Slot>,
+    next_seq: u64,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Reads paused by write-buffer backpressure.
+    reads_paused: bool,
+    /// No further requests will be read (peer EOF, corrupt framing,
+    /// server drain); close once the slots resolve and the buffer flushes.
+    pub draining: bool,
+    /// Last read or write progress (idle-timeout bookkeeping).
+    pub last_activity: Instant,
+    /// epoll interest bits currently registered for this socket.
+    pub registered: u32,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            decoder: Decoder::new(),
+            slots: VecDeque::new(),
+            next_seq: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            reads_paused: false,
+            draining: false,
+            last_activity: now,
+            registered: 0,
+        }
+    }
+
+    /// Queues an already-resolved response in request order.
+    pub fn push_ready(&mut self, line: String) {
+        self.slots.push_back(Slot::Ready(line));
+    }
+
+    /// Claims the next slot for an asynchronous response; the returned
+    /// sequence number keys the completion.
+    pub fn push_waiting(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(Slot::Waiting(seq));
+        seq
+    }
+
+    /// Resolves the slot claimed under `seq`. Unknown sequence numbers are
+    /// ignored (the slot was dropped by a force close).
+    pub fn complete(&mut self, seq: u64, line: String) {
+        if let Some(slot) =
+            self.slots.iter_mut().find(|s| matches!(s, Slot::Waiting(w) if *w == seq))
+        {
+            *slot = Slot::Ready(line);
+        }
+    }
+
+    /// Moves the contiguous ready run at the head into the write buffer.
+    pub fn promote_ready(&mut self) {
+        while matches!(self.slots.front(), Some(Slot::Ready(_))) {
+            let Some(Slot::Ready(line)) = self.slots.pop_front() else { unreachable!() };
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
+        }
+    }
+
+    /// Unsent response bytes.
+    pub fn write_pending(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Anything still owed to the client (unresolved slots or unsent
+    /// bytes)?
+    pub fn has_work(&self) -> bool {
+        !self.slots.is_empty() || self.write_pending() > 0
+    }
+
+    /// Nonblocking flush. Returns the bytes written; `Err` means the
+    /// connection is unusable and should be closed.
+    pub fn try_write(&mut self) -> io::Result<usize> {
+        let start = self.out_pos;
+        while self.out_pos < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let written = self.out_pos - start;
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > WRITE_HIGH_WATER {
+            // Reclaim the sent prefix so a long-lived slow reader doesn't
+            // pin peak-sized buffers.
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(written)
+    }
+
+    /// One nonblocking read into `scratch`. `Ok(None)` = would block.
+    pub fn try_read(&mut self, scratch: &mut [u8]) -> io::Result<Option<usize>> {
+        loop {
+            match (&self.stream).read(scratch) {
+                Ok(n) => return Ok(Some(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether any response is still being computed (a waiting slot) —
+    /// the server itself is the reason this connection shows no socket
+    /// progress, so e.g. the idle reaper must not count it as idle.
+    pub fn awaiting_completions(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Waiting(_)))
+    }
+
+    /// Applies the write-buffer and in-flight-slot hysteresis to the
+    /// read-pause flag.
+    pub fn update_backpressure(&mut self) {
+        let overloaded =
+            self.write_pending() >= WRITE_HIGH_WATER || self.slots.len() >= MAX_INFLIGHT;
+        let relaxed =
+            self.write_pending() <= WRITE_LOW_WATER && self.slots.len() < MAX_INFLIGHT / 2;
+        if !self.reads_paused && overloaded {
+            self.reads_paused = true;
+        } else if self.reads_paused && relaxed {
+            self.reads_paused = false;
+        }
+    }
+
+    /// Whether the reactor should read from this socket right now.
+    pub fn wants_read(&self) -> bool {
+        !self.draining && !self.reads_paused
+    }
+
+    /// The epoll interest set matching the current state.
+    pub fn desired_interest(&self) -> u32 {
+        let mut events = 0;
+        if self.wants_read() {
+            events |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.write_pending() > 0 {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected loopback pair (server side first).
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn out_of_order_completions_flush_in_request_order() {
+        let (server, client) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+
+        let first = conn.push_waiting();
+        conn.push_ready("MIDDLE".to_string());
+        let last = conn.push_waiting();
+
+        // Nothing can go out while the head slot is unresolved.
+        conn.promote_ready();
+        assert_eq!(conn.write_pending(), 0);
+        conn.complete(last, "LAST".to_string());
+        conn.promote_ready();
+        assert_eq!(conn.write_pending(), 0, "head still waiting");
+
+        conn.complete(first, "FIRST".to_string());
+        conn.promote_ready();
+        conn.try_write().unwrap();
+        assert!(!conn.has_work());
+
+        let mut got = String::new();
+        use std::io::Read;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut reader = std::io::BufReader::new(client);
+        for expect in ["FIRST", "MIDDLE", "LAST"] {
+            got.clear();
+            std::io::BufRead::read_line(&mut reader, &mut got).unwrap();
+            assert_eq!(got.trim_end(), expect);
+        }
+        let _ = reader.get_mut().read(&mut [0u8; 1]); // nothing else buffered
+    }
+
+    #[test]
+    fn completions_for_dropped_slots_are_ignored() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+        conn.complete(99, "STALE".to_string());
+        assert!(!conn.has_work());
+    }
+
+    #[test]
+    fn inflight_slot_cap_pauses_reads_until_completions_catch_up() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+        let seqs: Vec<u64> = (0..MAX_INFLIGHT).map(|_| conn.push_waiting()).collect();
+        conn.update_backpressure();
+        assert!(!conn.wants_read(), "at the in-flight cap: reads pause");
+        assert!(conn.awaiting_completions());
+
+        for seq in seqs {
+            conn.complete(seq, "DIST 1".to_string());
+        }
+        conn.promote_ready();
+        conn.try_write().unwrap();
+        conn.update_backpressure();
+        assert!(conn.wants_read(), "resolved and flushed: reads resume");
+        assert!(!conn.awaiting_completions());
+    }
+
+    #[test]
+    fn backpressure_pauses_reads_until_the_buffer_drains() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, Instant::now());
+        assert!(conn.wants_read());
+
+        conn.push_ready("x".repeat(WRITE_HIGH_WATER + 1024));
+        conn.promote_ready();
+        conn.update_backpressure();
+        assert!(!conn.wants_read(), "past high water: reads pause");
+        assert_ne!(conn.desired_interest() & sys::EPOLLOUT, 0);
+        assert_eq!(conn.desired_interest() & sys::EPOLLIN, 0);
+
+        // The peer never reads, so the kernel buffer fills; whatever was
+        // written, pending stays above the low-water mark here.
+        conn.try_write().unwrap();
+        conn.update_backpressure();
+        let _ = conn.wants_read(); // state is consistent either way
+
+        // Simulate a full drain.
+        conn.out.clear();
+        conn.out_pos = 0;
+        conn.update_backpressure();
+        assert!(conn.wants_read(), "below low water: reads resume");
+    }
+}

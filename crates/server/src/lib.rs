@@ -8,11 +8,18 @@
 //! |--------|----------|
 //! | [`oracle_pool`] | [`QueryService`]: an epoch-tagged hot-swappable [`SharedOracle`](hcl_core::SharedOracle) + optional cache + metrics, all `&self` |
 //! | [`cache`] | [`ShardedCache`]: mutex-striped LRU over normalised `(s, t)` keys, epoch-tagged entries, hit/miss/stale/eviction counters |
-//! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order, one epoch per batch |
-//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `SHUTDOWN`), both codec directions |
-//! | [`server`] | std-only TCP server with graceful shutdown + connection draining |
+//! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order, one epoch per batch, completion callbacks |
+//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `SHUTDOWN`), both codec directions, and the incremental [`Decoder`] |
+//! | [`server`] | std-only TCP server: single-threaded epoll reactor, nonblocking sockets, graceful eventfd-signalled shutdown |
 //! | [`client`] | a blocking client for the protocol |
 //! | [`metrics`] | lock-free serving counters and snapshots |
+//!
+//! Internally the server is an event loop (`reactor`) over per-connection
+//! state machines (`conn`) and a hand-rolled std-only epoll/eventfd
+//! binding (`sys`, Linux-only): connections are an fd plus buffers, not a
+//! thread, so open-connection count is bounded by fds — not by threads —
+//! and the serving thread count is fixed at one reactor plus the worker
+//! pool.
 //!
 //! # Quick start
 //!
@@ -40,15 +47,18 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+mod conn;
 pub mod metrics;
 pub mod oracle_pool;
 pub mod protocol;
+mod reactor;
 pub mod server;
+mod sys;
 
 pub use batch::BatchExecutor;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use oracle_pool::{QueryError, QueryService, ReloadError};
-pub use protocol::{ProtocolError, Request, ResponseError};
+pub use protocol::{Decoder, Frame, ProtocolError, Request, ResponseError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -17,6 +17,10 @@ pub struct ServeMetrics {
     pub connections: AtomicU64,
     /// Connections currently open.
     pub active_connections: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub rejected_connections: AtomicU64,
+    /// Connections closed by the server's idle timeout.
+    pub timed_out_connections: AtomicU64,
     /// Requests rejected with a protocol, range, or reload error.
     pub errors: AtomicU64,
     /// Successful hot index reloads (the current epoch equals this count
@@ -49,6 +53,8 @@ impl ServeMetrics {
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            timed_out_connections: self.timed_out_connections.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
         }
@@ -68,6 +74,10 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Connections currently open.
     pub active_connections: u64,
+    /// Connections refused because `max_connections` was reached.
+    pub rejected_connections: u64,
+    /// Connections closed by the server's idle timeout.
+    pub timed_out_connections: u64,
     /// Requests rejected with a protocol, range, or reload error.
     pub errors: u64,
     /// Successful hot index reloads.

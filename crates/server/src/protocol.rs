@@ -16,6 +16,12 @@
 //! Any malformed request line gets `ERR <message>` and the connection stays
 //! usable. Both codec directions live here so the server, the bundled
 //! client, and tests share one definition.
+//!
+//! Server-side parsing is *incremental*: the [`Decoder`] consumes whatever
+//! byte fragments the transport hands it — partial lines, many lines at
+//! once, `BATCH` bodies split anywhere — and yields complete [`Frame`]s. It
+//! never assumes a blocking `read_line` and it bounds memory against
+//! oversized-line attacks ([`MAX_LINE_BYTES`]).
 
 use crate::cache::CacheStats;
 use crate::metrics::MetricsSnapshot;
@@ -24,6 +30,12 @@ use hcl_graph::VertexId;
 /// Largest `k` a `BATCH` request may declare; guards the server against
 /// one line committing it to unbounded allocation.
 pub const MAX_BATCH: usize = 1 << 20;
+
+/// Longest request line the [`Decoder`] will buffer. The longest *valid*
+/// line (`RELOAD <path> <path>`) is far under this; anything near the cap
+/// is a client streaming garbage, and buffering it unboundedly would let
+/// one connection grow server memory without limit.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,6 +83,12 @@ pub enum ProtocolError {
         /// The declared batch size.
         requested: usize,
     },
+    /// A request line that exceeds the decoder's byte limit before any
+    /// newline arrives (only the [`Decoder`] produces this).
+    LineTooLong {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -84,6 +102,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::BadNumber(tok) => write!(f, "not a number: {tok:?}"),
             ProtocolError::BatchTooLarge { requested } => {
                 write!(f, "batch of {requested} exceeds the maximum of {MAX_BATCH}")
+            }
+            ProtocolError::LineTooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
             }
         }
     }
@@ -159,6 +180,290 @@ pub fn parse_pair(line: &str) -> Result<(VertexId, VertexId), ProtocolError> {
     }
 }
 
+/// One complete unit of work decoded from the byte stream. Unlike
+/// [`Request`], a batch frame carries its whole body — the [`Decoder`]
+/// swallows the `k` pair lines — so the transport layer never needs to
+/// know that `BATCH` spans multiple lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One exact distance request.
+    Query(VertexId, VertexId),
+    /// A fully collected batch body (possibly empty: `BATCH 0`).
+    Batch(Vec<(VertexId, VertexId)>),
+    /// Serving counters request.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Current index generation request.
+    Epoch,
+    /// Hot index swap request.
+    Reload {
+        /// Path to the graph file (server-side).
+        graph: String,
+        /// Optional path to a prebuilt index file.
+        index: Option<String>,
+    },
+    /// Graceful-shutdown request.
+    Shutdown,
+    /// A malformed request: answer one `ERR` line, keep the connection.
+    /// For a bad batch body this arrives only after the whole declared
+    /// body has been consumed, so the framing cannot desync.
+    Invalid(ProtocolError),
+    /// Unrecoverable framing (an unhonourable `BATCH` header whose
+    /// undelimited body may be in flight, an oversized line, a body
+    /// truncated by EOF): answer one `ERR` line, then close. The decoder
+    /// discards all further input.
+    Corrupt(ProtocolError),
+}
+
+/// State of a batch body being collected across fragments.
+#[derive(Debug)]
+struct PartialBatch {
+    expected: usize,
+    seen: usize,
+    pairs: Vec<(VertexId, VertexId)>,
+    /// First body error; the remaining declared lines are still consumed
+    /// so one `ERR` answers the whole batch and the next line after the
+    /// body is parsed as a request again.
+    error: Option<ProtocolError>,
+}
+
+/// Incremental, fragment-tolerant request decoder; see the module docs.
+///
+/// Feed arbitrary byte slices with [`feed`](Self::feed), then drain
+/// complete frames with [`next`](Self::next) until it returns `None`. At
+/// end of input call [`finish`](Self::finish) and drain once more: a
+/// trailing unterminated line still parses (matching `BufRead` semantics)
+/// and a batch truncated mid-body surfaces as [`Frame::Corrupt`].
+///
+/// Memory is bounded: a line may buffer at most the configured limit
+/// before [`Frame::Corrupt`] fires, and once a corrupt frame has been
+/// emitted all further input is discarded without buffering.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Prefix of `buf` already consumed as complete lines. Lines advance
+    /// this offset instead of shifting the buffer; [`feed`](Self::feed)
+    /// compacts once per fragment, so each byte is moved O(1) times no
+    /// matter how many lines one fragment contains.
+    start: usize,
+    /// Prefix of `buf` already scanned for a newline (avoids rescans;
+    /// always ≥ `start`).
+    scanned: usize,
+    batch: Option<PartialBatch>,
+    /// Set after a corrupt frame: discard everything from then on.
+    dead: bool,
+    eof: bool,
+    max_line: usize,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder::new()
+    }
+}
+
+impl Decoder {
+    /// A decoder with the standard [`MAX_LINE_BYTES`] line limit.
+    pub fn new() -> Decoder {
+        Decoder::with_max_line(MAX_LINE_BYTES)
+    }
+
+    /// A decoder with a custom line limit (tests).
+    pub fn with_max_line(max_line: usize) -> Decoder {
+        Decoder {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            batch: None,
+            dead: false,
+            eof: false,
+            max_line,
+        }
+    }
+
+    /// Appends a fragment of the byte stream. Input after a corrupt frame
+    /// is dropped, not buffered.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.dead {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Signals end of input: the next [`next_frame`](Self::next_frame)
+    /// calls flush a trailing unterminated line and report a truncated
+    /// batch body.
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Unconsumed bytes currently buffered (tests assert the memory bound
+    /// with this).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether a corrupt frame has been emitted (the connection should be
+    /// closed once its `ERR` is flushed).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Yields the next complete frame, or `None` until more input (or
+    /// [`finish`](Self::finish)) arrives. (Named to avoid colliding with
+    /// `Iterator::next` — a decoder is fed between drains, which iterator
+    /// adapters would hide.)
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        loop {
+            if self.dead {
+                return None;
+            }
+            match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let end = self.scanned + i;
+                    // The limit applies to terminated lines too, or the
+                    // verdict on an oversized line would depend on whether
+                    // its newline arrived in the same fragment.
+                    if end - self.start > self.max_line {
+                        self.poison();
+                        return Some(Frame::Corrupt(ProtocolError::LineTooLong {
+                            limit: self.max_line,
+                        }));
+                    }
+                    let line = trim_line(&self.buf[self.start..end]);
+                    self.start = end + 1;
+                    self.scanned = self.start;
+                    if let Some(frame) = self.consume_line(&line) {
+                        if matches!(frame, Frame::Corrupt(_)) {
+                            self.poison();
+                        }
+                        return Some(frame);
+                    }
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.buffered() > self.max_line {
+                        self.poison();
+                        return Some(Frame::Corrupt(ProtocolError::LineTooLong {
+                            limit: self.max_line,
+                        }));
+                    }
+                    if self.eof {
+                        return self.flush_eof();
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn poison(&mut self) {
+        self.dead = true;
+        self.batch = None;
+        self.buf = Vec::new();
+        self.start = 0;
+        self.scanned = 0;
+    }
+
+    /// EOF reached with no newline pending: parse the trailing line (if
+    /// any), then fail a batch left incomplete.
+    fn flush_eof(&mut self) -> Option<Frame> {
+        if self.buffered() > 0 {
+            let line = trim_line(&std::mem::take(&mut self.buf)[self.start..]);
+            self.start = 0;
+            self.scanned = 0;
+            if let Some(frame) = self.consume_line(&line) {
+                if matches!(frame, Frame::Corrupt(_)) {
+                    self.poison();
+                }
+                return Some(frame);
+            }
+        }
+        if self.batch.is_some() {
+            self.poison();
+            return Some(Frame::Corrupt(ProtocolError::BadArity {
+                command: "BATCH",
+                expected: "k pair lines",
+            }));
+        }
+        None
+    }
+
+    /// Routes one complete line through the request / batch-body state
+    /// machine. Returns a frame when the line completes one.
+    fn consume_line(&mut self, line: &str) -> Option<Frame> {
+        if let Some(batch) = &mut self.batch {
+            match parse_pair(line) {
+                Ok(pair) => {
+                    if batch.error.is_none() {
+                        batch.pairs.push(pair);
+                    }
+                }
+                Err(e) => {
+                    if batch.error.is_none() {
+                        batch.error = Some(e);
+                    }
+                }
+            }
+            batch.seen += 1;
+            if batch.seen == batch.expected {
+                let done = self.batch.take().expect("batch state present");
+                return Some(match done.error {
+                    Some(e) => Frame::Invalid(e),
+                    None => Frame::Batch(done.pairs),
+                });
+            }
+            return None;
+        }
+        match parse_request(line) {
+            Ok(Request::Batch(0)) => Some(Frame::Batch(Vec::new())),
+            Ok(Request::Batch(k)) => {
+                // Cap the preallocation: `k` is client-controlled.
+                let cap = k.min(4096);
+                self.batch = Some(PartialBatch {
+                    expected: k,
+                    seen: 0,
+                    pairs: Vec::with_capacity(cap),
+                    error: None,
+                });
+                None
+            }
+            Ok(Request::Query(s, t)) => Some(Frame::Query(s, t)),
+            Ok(Request::Stats) => Some(Frame::Stats),
+            Ok(Request::Ping) => Some(Frame::Ping),
+            Ok(Request::Epoch) => Some(Frame::Epoch),
+            Ok(Request::Reload { graph, index }) => Some(Frame::Reload { graph, index }),
+            Ok(Request::Shutdown) => Some(Frame::Shutdown),
+            Err(e) => {
+                // A rejected BATCH header (oversized or unparseable k) may
+                // have an undelimited body already in flight that cannot be
+                // skipped — unrecoverable framing, close after the ERR.
+                if line.trim_start().starts_with("BATCH") {
+                    Some(Frame::Corrupt(e))
+                } else {
+                    Some(Frame::Invalid(e))
+                }
+            }
+        }
+    }
+}
+
+/// Strips trailing `\r` / `\n` and decodes lossily, matching what the old
+/// blocking reader did with `read_until` output.
+fn trim_line(bytes: &[u8]) -> String {
+    let mut end = bytes.len();
+    while end > 0 && matches!(bytes[end - 1], b'\n' | b'\r') {
+        end -= 1;
+    }
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
 fn push_distance(out: &mut String, d: Option<u32>) {
     match d {
         Some(d) => out.push_str(&d.to_string()),
@@ -188,13 +493,16 @@ pub fn format_batch_response(distances: &[Option<u32>]) -> String {
 pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats, epoch: u64) -> String {
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
-         active_connections={} errors={} epoch={} reloads={} cache_hits={} cache_misses={} \
-         cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
+         active_connections={} rejected_connections={} timed_out_connections={} errors={} \
+         epoch={} reloads={} cache_hits={} cache_misses={} cache_stale={} cache_evictions={} \
+         cache_entries={} cache_capacity={}",
         metrics.queries,
         metrics.batch_requests,
         metrics.batch_queries,
         metrics.connections,
         metrics.active_connections,
+        metrics.rejected_connections,
+        metrics.timed_out_connections,
         metrics.errors,
         epoch,
         metrics.reloads,
@@ -382,6 +690,120 @@ mod tests {
         );
     }
 
+    /// Feeds `input` in one piece and drains every frame (plus EOF).
+    fn decode_all(input: &[u8]) -> Vec<Frame> {
+        let mut d = Decoder::new();
+        d.feed(input);
+        let mut frames = Vec::new();
+        while let Some(f) = d.next_frame() {
+            frames.push(f);
+        }
+        d.finish();
+        while let Some(f) = d.next_frame() {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_fragment_boundaries() {
+        let input = b"PING\nQUERY 3 9\nBATCH 2\n1 2\n3 4\nSTATS\n";
+        let expect =
+            vec![Frame::Ping, Frame::Query(3, 9), Frame::Batch(vec![(1, 2), (3, 4)]), Frame::Stats];
+        assert_eq!(decode_all(input), expect);
+
+        // Same stream, one byte at a time.
+        let mut d = Decoder::new();
+        let mut frames = Vec::new();
+        for &b in input.iter() {
+            d.feed(&[b]);
+            while let Some(f) = d.next_frame() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, expect);
+    }
+
+    #[test]
+    fn decoder_batch_zero_and_crlf() {
+        assert_eq!(decode_all(b"BATCH 0\r\nPING\r\n"), vec![Frame::Batch(vec![]), Frame::Ping]);
+    }
+
+    #[test]
+    fn decoder_bad_batch_body_consumes_whole_body_then_recovers() {
+        let frames = decode_all(b"BATCH 3\n1 2\nGARBAGE\n3 4\nPING\n");
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(frames[0], Frame::Invalid(ProtocolError::BadArity { .. })), "{frames:?}");
+        assert_eq!(frames[1], Frame::Ping);
+    }
+
+    #[test]
+    fn decoder_rejected_batch_header_is_corrupt_and_poisons() {
+        let mut d = Decoder::new();
+        d.feed(format!("BATCH {}\n0 1\nPING\n", MAX_BATCH + 1).as_bytes());
+        assert!(matches!(
+            d.next_frame(),
+            Some(Frame::Corrupt(ProtocolError::BatchTooLarge { .. }))
+        ));
+        assert!(d.is_dead());
+        assert_eq!(d.next_frame(), None, "everything after a corrupt frame is discarded");
+        d.feed(b"PING\n");
+        assert_eq!(d.buffered(), 0, "dead decoder must not buffer");
+        assert_eq!(d.next_frame(), None);
+    }
+
+    #[test]
+    fn decoder_truncated_batch_body_fails_cleanly_at_eof() {
+        for body_lines in 0..3 {
+            let mut input = b"BATCH 3\n".to_vec();
+            for i in 0..body_lines {
+                input.extend_from_slice(format!("{i} {i}\n").as_bytes());
+            }
+            let frames = decode_all(&input);
+            assert_eq!(frames.len(), 1, "body_lines={body_lines}: {frames:?}");
+            assert!(matches!(frames[0], Frame::Corrupt(ProtocolError::BadArity { .. })));
+        }
+    }
+
+    #[test]
+    fn decoder_trailing_unterminated_line_still_parses() {
+        assert_eq!(decode_all(b"PING\nQUERY 1 2"), vec![Frame::Ping, Frame::Query(1, 2)]);
+        // …including one that completes a batch body.
+        assert_eq!(decode_all(b"BATCH 2\n1 2\n3 4"), vec![Frame::Batch(vec![(1, 2), (3, 4)])]);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_lines_even_when_terminated_in_one_feed() {
+        // The verdict must not depend on TCP fragmentation: a too-long
+        // line whose newline arrives in the same fragment is equally
+        // corrupt.
+        let mut d = Decoder::with_max_line(32);
+        let mut input = b"PING\n".to_vec();
+        input.extend_from_slice(&[b'x'; 100]);
+        input.push(b'\n');
+        input.extend_from_slice(b"PING\n");
+        d.feed(&input);
+        assert_eq!(d.next_frame(), Some(Frame::Ping));
+        assert_eq!(d.next_frame(), Some(Frame::Corrupt(ProtocolError::LineTooLong { limit: 32 })));
+        assert!(d.is_dead());
+        assert_eq!(d.next_frame(), None, "poisoned: the trailing PING is discarded");
+    }
+
+    #[test]
+    fn decoder_oversized_line_bounds_memory_and_closes() {
+        let mut d = Decoder::with_max_line(64);
+        let mut corrupt = 0;
+        for _ in 0..1000 {
+            d.feed(&[b'x'; 16]);
+            while let Some(f) = d.next_frame() {
+                assert!(matches!(f, Frame::Corrupt(ProtocolError::LineTooLong { limit: 64 })));
+                corrupt += 1;
+            }
+            assert!(d.buffered() <= 64 + 16, "buffer grew past the limit: {}", d.buffered());
+        }
+        assert_eq!(corrupt, 1, "exactly one corrupt frame for the whole flood");
+    }
+
     #[test]
     fn stats_line_is_parseable_key_values() {
         let line = format_stats_response(&MetricsSnapshot::default(), &CacheStats::default(), 4);
@@ -394,5 +816,7 @@ mod tests {
         assert!(body.contains("epoch=4"));
         assert!(body.contains("reloads=0"));
         assert!(body.contains("cache_stale=0"));
+        assert!(body.contains("rejected_connections=0"));
+        assert!(body.contains("timed_out_connections=0"));
     }
 }

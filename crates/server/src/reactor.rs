@@ -1,0 +1,534 @@
+//! The single-threaded epoll reactor driving every connection.
+//!
+//! One thread owns the listener, every client socket, and an eventfd, all
+//! registered in one (level-triggered) epoll set. Sockets are nonblocking;
+//! the reactor reads fragments into the incremental
+//! [`Decoder`](crate::protocol::Decoder), turns frames into response slots
+//! on the connection, and hands computation to the [`BatchExecutor`]
+//! worker pool. Workers never touch a socket: they push the formatted
+//! response onto the [`CompletionQueue`] and signal the eventfd, and the
+//! reactor writes it out in request order on its next pass. Thread count
+//! is therefore fixed — one reactor plus the worker pool — regardless of
+//! how many connections are open.
+//!
+//! Timers (idle timeout, shutdown drain grace, accept backoff) are epoll
+//! timeouts computed from the nearest deadline; with no deadline pending
+//! the reactor blocks indefinitely. There is no polling interval and no
+//! self-connect wakeup: shutdown, like every other cross-thread signal, is
+//! one eventfd write.
+
+use crate::conn::Conn;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{self, Frame};
+use crate::server::Shared;
+use crate::sys::{self, Epoll, EpollEvent, EventFd};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// epoll token for the listener.
+const TOKEN_LISTENER: u64 = 0;
+/// epoll token for the completion-queue eventfd.
+const TOKEN_WAKE: u64 = 1;
+/// First connection id; ids are never reused, so a completion for a
+/// closed connection just misses the map.
+const FIRST_CONN_ID: u64 = 2;
+
+/// Reads the reactor performs per readiness event before letting other
+/// connections run (level-triggered epoll re-reports leftover data).
+const MAX_READS_PER_EVENT: usize = 16;
+/// Scratch read-buffer size.
+const READ_CHUNK: usize = 16 * 1024;
+/// How long the listener stays deregistered after a persistent accept
+/// failure (e.g. fd exhaustion under a connection flood) so the reactor
+/// doesn't busy-spin on a level-triggered error.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// One finished unit of asynchronous work, addressed to a response slot.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub seq: u64,
+    pub line: String,
+}
+
+/// The channel from worker/reload threads back into the reactor: a locked
+/// vector plus the eventfd that wakes the epoll wait. Also the shutdown
+/// wakeup (a bare [`wake`](Self::wake) with the flag already flipped).
+pub(crate) struct CompletionQueue {
+    items: Mutex<Vec<Completion>>,
+    wake: EventFd,
+}
+
+impl CompletionQueue {
+    pub fn new() -> io::Result<CompletionQueue> {
+        Ok(CompletionQueue { items: Mutex::new(Vec::new()), wake: EventFd::new()? })
+    }
+
+    /// Queues a completion and wakes the reactor.
+    pub fn push(&self, completion: Completion) {
+        self.items.lock().expect("completion queue poisoned").push(completion);
+        self.wake.signal();
+    }
+
+    /// Wakes the reactor without queueing anything (shutdown).
+    pub fn wake(&self) {
+        self.wake.signal();
+    }
+
+    fn drain_into(&self, out: &mut Vec<Completion>) {
+        out.append(&mut *self.items.lock().expect("completion queue poisoned"));
+    }
+
+    fn wake_fd(&self) -> std::os::fd::RawFd {
+        self.wake.raw()
+    }
+
+    fn clear_signal(&self) {
+        self.wake.drain();
+    }
+}
+
+/// The event loop; owned by the one reactor thread.
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    epoll: Epoll,
+    /// `None` once shutdown has begun (the port closes immediately) or
+    /// while accept errors are backing off.
+    listener: Option<TcpListener>,
+    /// Set while the listener is parked after a persistent accept error.
+    relisten_at: Option<Instant>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    /// Registers the listener and wake fd; the listener must already be
+    /// nonblocking.
+    pub fn new(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(shared.queue.wake_fd(), sys::EPOLLIN, TOKEN_WAKE)?;
+        Ok(Reactor {
+            shared,
+            epoll,
+            listener: Some(listener),
+            relisten_at: None,
+            conns: HashMap::new(),
+            next_id: FIRST_CONN_ID,
+            draining: false,
+            drain_deadline: None,
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    /// Runs until shutdown has begun and every connection has drained.
+    pub fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); 256];
+        let mut completions: Vec<Completion> = Vec::new();
+        loop {
+            let timeout = self.poll_timeout();
+            let fired = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let now = Instant::now();
+            for event in &events[..fired] {
+                // Copy out of the (packed) event before use.
+                let (token, bits) = (event.data, event.events);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(now),
+                    TOKEN_WAKE => self.shared.queue.clear_signal(),
+                    id => self.conn_event(id, bits, now),
+                }
+            }
+            self.shared.queue.drain_into(&mut completions);
+            for completion in completions.drain(..) {
+                self.apply_completion(completion, now);
+            }
+            if self.shared.shutting_down() && !self.draining {
+                self.begin_drain(now);
+            }
+            self.expire(now);
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Milliseconds until the nearest deadline, or −1 to block forever.
+    fn poll_timeout(&self) -> i32 {
+        let mut deadline: Option<Instant> = self.drain_deadline;
+        if let Some(at) = self.relisten_at {
+            deadline = Some(deadline.map_or(at, |d| d.min(at)));
+        }
+        let idle = self.shared.config.idle_timeout;
+        if !idle.is_zero() && !self.draining {
+            // Mirror the expire() filter: a connection awaiting its own
+            // in-flight work is exempt from the idle deadline, so its
+            // (possibly past) deadline must not drive the poll timeout.
+            let soonest = self
+                .conns
+                .values()
+                .filter(|c| !c.awaiting_completions())
+                .map(|c| c.last_activity + idle)
+                .min();
+            if let Some(soonest) = soonest {
+                deadline = Some(deadline.map_or(soonest, |d| d.min(soonest)));
+            }
+        }
+        match deadline {
+            // +1ms so the wakeup lands at-or-after the deadline, not a
+            // hair before it (which would spin once).
+            Some(at) => {
+                let ms = at.saturating_duration_since(Instant::now()).as_millis() as i64 + 1;
+                ms.min(i32::MAX as i64) as i32
+            }
+            None => -1,
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        let metrics = self.shared.service.metrics();
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.shared.config.max_connections {
+                        ServeMetrics::bump(&metrics.rejected_connections);
+                        // Best-effort courtesy line; the close is the
+                        // real signal.
+                        let _ = stream.set_nonblocking(true);
+                        use std::io::Write;
+                        let _ = (&stream).write(b"ERR server at connection capacity\n");
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let mut conn = Conn::new(stream, now);
+                    let interest = conn.desired_interest();
+                    if self.epoll.add(conn.stream.as_raw_fd(), interest, id).is_err() {
+                        continue;
+                    }
+                    conn.registered = interest;
+                    ServeMetrics::bump(&metrics.connections);
+                    ServeMetrics::bump(&metrics.active_connections);
+                    self.conns.insert(id, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Persistent accept failure: park the listener briefly
+                    // instead of spinning on a level-triggered error.
+                    let listener = self.listener.take().expect("listener present");
+                    let _ = self.epoll.delete(listener.as_raw_fd());
+                    self.listener = Some(listener);
+                    self.relisten_at = Some(now + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, id: u64, bits: u32, now: Instant) {
+        let Some(mut conn) = self.conns.remove(&id) else { return };
+        let mut alive = true;
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+            alive = self.read_and_decode(&mut conn, id, now);
+        }
+        if alive {
+            alive = self.settle(&mut conn, id, now);
+        }
+        if alive {
+            self.conns.insert(id, conn);
+        } else {
+            self.destroy(conn);
+        }
+    }
+
+    /// Reads available bytes, decodes frames, dispatches them. Returns
+    /// `false` when the connection is already unusable (read error).
+    fn read_and_decode(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
+        for _ in 0..MAX_READS_PER_EVENT {
+            if !conn.wants_read() {
+                break;
+            }
+            match conn.try_read(&mut self.scratch) {
+                Ok(Some(0)) => {
+                    // Peer EOF: what was received still gets answered
+                    // (including a trailing unterminated line), then the
+                    // connection drains and closes.
+                    conn.decoder.finish();
+                    conn.draining = true;
+                }
+                Ok(Some(n)) => {
+                    conn.last_activity = now;
+                    conn.decoder.feed(&self.scratch[..n]);
+                }
+                Ok(None) => break,
+                Err(_) => return false,
+            }
+            while let Some(frame) = conn.decoder.next_frame() {
+                self.handle_frame(conn, id, frame);
+                if conn.draining {
+                    break;
+                }
+            }
+            if conn.draining {
+                break;
+            }
+            conn.promote_ready();
+            conn.update_backpressure();
+        }
+        // A drain (EOF / SHUTDOWN / corrupt framing) may leave final
+        // frames decoded but unprocessed only when `draining` stopped the
+        // loop — the decoder is either dead or empty then, nothing is
+        // lost.
+        true
+    }
+
+    /// Dispatches one decoded frame: inline responses fill their slot now,
+    /// work goes to the executor (or a reload thread) with a completion
+    /// keyed to this connection.
+    fn handle_frame(&self, conn: &mut Conn, id: u64, frame: Frame) {
+        let shared = &self.shared;
+        let metrics = shared.service.metrics();
+        match frame {
+            Frame::Ping => conn.push_ready("PONG".to_string()),
+            Frame::Epoch => {
+                conn.push_ready(protocol::format_epoch_response(shared.service.epoch()));
+            }
+            Frame::Stats => {
+                let snapshot = shared.service.metrics_snapshot();
+                let cache = shared.service.cache_stats();
+                conn.push_ready(protocol::format_stats_response(
+                    &snapshot,
+                    &cache,
+                    shared.service.epoch(),
+                ));
+            }
+            Frame::Query(s, t) => {
+                let seq = conn.push_waiting();
+                let queue = Arc::clone(&shared.queue);
+                let submitted = shared.executor.submit_query(
+                    s,
+                    t,
+                    Box::new(move |d| {
+                        queue.push(Completion {
+                            conn: id,
+                            seq,
+                            line: protocol::format_query_response(d),
+                        });
+                    }),
+                );
+                if let Err(e) = submitted {
+                    ServeMetrics::bump(&metrics.errors);
+                    conn.complete(seq, protocol::format_error(e));
+                }
+            }
+            Frame::Batch(pairs) => {
+                let seq = conn.push_waiting();
+                let queue = Arc::clone(&shared.queue);
+                let submitted = shared.executor.submit(
+                    pairs,
+                    Box::new(move |distances| {
+                        queue.push(Completion {
+                            conn: id,
+                            seq,
+                            line: protocol::format_batch_response(&distances),
+                        });
+                    }),
+                );
+                if let Err(e) = submitted {
+                    ServeMetrics::bump(&metrics.errors);
+                    conn.complete(seq, protocol::format_error(e));
+                }
+            }
+            Frame::Reload { graph, index } => {
+                // Loading/rebuilding is far too slow for the reactor; a
+                // short-lived thread does it and completes like a worker.
+                // Every other connection keeps serving the old epoch until
+                // the final pointer swap. At most one reload runs at a
+                // time — the gate refuses the rest so a pipelined RELOAD
+                // flood cannot fan out into concurrent full-index builds.
+                let seq = conn.push_waiting();
+                if shared.reload_busy.swap(true, std::sync::atomic::Ordering::AcqRel) {
+                    ServeMetrics::bump(&metrics.errors);
+                    conn.complete(seq, protocol::format_error("reload already in progress"));
+                } else {
+                    let queue = Arc::clone(&shared.queue);
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || {
+                        // Clears the gate when the thread exits, even on a
+                        // panic inside the load/build.
+                        struct Gate(Arc<Shared>);
+                        impl Drop for Gate {
+                            fn drop(&mut self) {
+                                self.0
+                                    .reload_busy
+                                    .store(false, std::sync::atomic::Ordering::Release);
+                            }
+                        }
+                        let _gate = Gate(Arc::clone(&shared));
+                        let line = match shared.service.reload_from_paths(
+                            &graph,
+                            index.as_deref(),
+                            shared.config.reload_landmarks,
+                        ) {
+                            Ok(epoch) => protocol::format_reload_response(epoch),
+                            Err(e) => {
+                                ServeMetrics::bump(&shared.service.metrics().errors);
+                                protocol::format_error(e)
+                            }
+                        };
+                        queue.push(Completion { conn: id, seq, line });
+                    });
+                }
+            }
+            Frame::Shutdown => {
+                conn.push_ready("BYE".to_string());
+                conn.draining = true;
+                shared.begin_shutdown();
+            }
+            Frame::Invalid(e) => {
+                ServeMetrics::bump(&metrics.errors);
+                conn.push_ready(protocol::format_error(e));
+            }
+            Frame::Corrupt(e) => {
+                ServeMetrics::bump(&metrics.errors);
+                conn.push_ready(protocol::format_error(e));
+                conn.draining = true;
+            }
+        }
+    }
+
+    /// Promotes/flushes responses and re-syncs epoll interest. Returns
+    /// `false` when the connection should be closed.
+    fn settle(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
+        conn.promote_ready();
+        if conn.write_pending() > 0 {
+            match conn.try_write() {
+                Ok(written) => {
+                    if written > 0 {
+                        conn.last_activity = now;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        conn.update_backpressure();
+        if conn.draining && !conn.has_work() {
+            return false;
+        }
+        let want = conn.desired_interest();
+        if want != conn.registered && self.epoll.modify(conn.stream.as_raw_fd(), want, id).is_err()
+        {
+            return false;
+        }
+        conn.registered = want;
+        true
+    }
+
+    fn apply_completion(&mut self, completion: Completion, now: Instant) {
+        let Some(mut conn) = self.conns.remove(&completion.conn) else {
+            return; // connection closed while the work was in flight
+        };
+        let id = completion.conn;
+        conn.complete(completion.seq, completion.line);
+        if self.settle(&mut conn, id, now) {
+            self.conns.insert(id, conn);
+        } else {
+            self.destroy(conn);
+        }
+    }
+
+    /// Stops accepting, closes the port, and puts every connection into
+    /// draining: outstanding requests finish, buffers flush, then each
+    /// socket closes. `drain_grace` bounds how long a stuck client can
+    /// hold this up.
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline = Some(now + self.shared.config.drain_grace);
+        self.relisten_at = None;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(mut conn) = self.conns.remove(&id) else { continue };
+            conn.draining = true;
+            if self.settle(&mut conn, id, now) {
+                self.conns.insert(id, conn);
+            } else {
+                self.destroy(conn);
+            }
+        }
+    }
+
+    /// Fires timer-driven transitions: accept-backoff expiry, idle
+    /// timeouts, and the shutdown drain deadline.
+    fn expire(&mut self, now: Instant) {
+        if let Some(at) = self.relisten_at {
+            if now >= at && !self.draining {
+                self.relisten_at = None;
+                if let Some(listener) = &self.listener {
+                    let _ = self.epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER);
+                }
+            }
+        }
+        if self.draining {
+            if self.drain_deadline.is_some_and(|at| now >= at) {
+                // Grace expired: force-close whatever is left.
+                for (_, conn) in std::mem::take(&mut self.conns) {
+                    self.destroy(conn);
+                }
+            }
+            return;
+        }
+        let idle = self.shared.config.idle_timeout;
+        if idle.is_zero() {
+            return;
+        }
+        // A connection waiting on its own in-flight work (e.g. a slow
+        // RELOAD rebuild) shows no socket progress through no fault of the
+        // client — only reap when nothing is pending server-side.
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                now.saturating_duration_since(c.last_activity) >= idle && !c.awaiting_completions()
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some(conn) = self.conns.remove(&id) {
+                ServeMetrics::bump(&self.shared.service.metrics().timed_out_connections);
+                self.destroy(conn);
+            }
+        }
+    }
+
+    /// Deregisters and drops a connection (the close happens on drop).
+    fn destroy(&mut self, conn: Conn) {
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        ServeMetrics::drop_one(&self.shared.service.metrics().active_connections);
+        drop(conn);
+    }
+}
+
+/// Wires a [`Reactor`] onto a (nonblocking) listener and runs it on the
+/// one serving thread. Registration happens before the spawn so setup
+/// errors surface from `Server::bind`.
+pub(crate) fn spawn(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    let reactor = Reactor::new(shared, listener)?;
+    Ok(std::thread::spawn(move || reactor.run()))
+}

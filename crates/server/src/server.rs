@@ -1,20 +1,22 @@
-//! The std-only TCP server: one accept loop, one handler thread per
-//! connection, all sharing a [`QueryService`] and one [`BatchExecutor`].
+//! The std-only TCP server: one epoll [`reactor`](crate::reactor) thread
+//! drives every connection over nonblocking sockets, while query
+//! execution runs on the shared [`BatchExecutor`] worker pool and comes
+//! back through a completion queue. Thread count is fixed — reactor plus
+//! workers — independent of how many connections are open.
 //!
-//! Shutdown is cooperative: a shutdown flag plus connection draining.
-//! Sockets carry a short read timeout so handlers observe the flag between
-//! requests, finish the request in flight, and close; the accept loop is
-//! woken by a loopback "poke" connection, stops accepting, and joins every
-//! handler before [`ServerHandle::join`] returns. Shutdown can come from a
-//! client (`SHUTDOWN`), from [`ServerHandle::shutdown`], or from dropping
-//! the handle.
+//! Shutdown is cooperative and poll-free: a shutdown flag plus one
+//! eventfd write wake the reactor out of its epoll wait (no self-connect
+//! "poke", no read-timeout polling). The reactor then closes the listening
+//! port, lets every connection finish its in-flight requests and flush its
+//! responses (bounded by [`ServerConfig::drain_grace`]), and exits.
+//! Shutdown can come from a client (`SHUTDOWN`), from
+//! [`ServerHandle::shutdown`], or from dropping the handle.
 
 use crate::batch::BatchExecutor;
-use crate::metrics::ServeMetrics;
 use crate::oracle_pool::QueryService;
-use crate::protocol::{self, ProtocolError, Request};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::reactor::{self, CompletionQueue};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -25,16 +27,16 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Worker threads in the shared batch executor (0 = all cores).
     pub batch_threads: usize,
-    /// Socket read timeout; the latency with which idle handlers notice
-    /// shutdown.
-    pub poll_interval: Duration,
-    /// How many poll intervals an in-flight request body may still take
-    /// once shutdown has begun, before the connection is dropped.
-    pub drain_grace_polls: u32,
-    /// Socket write timeout. Bounds how long a handler can block on a
-    /// client that stopped reading (the connection is closed on expiry),
-    /// which in turn bounds shutdown draining.
-    pub write_timeout: Duration,
+    /// Most connections the reactor will hold open at once; connections
+    /// beyond this are answered with one `ERR` line and closed
+    /// immediately (counted in `rejected_connections`).
+    pub max_connections: usize,
+    /// Close connections with no read/write progress for this long
+    /// (counted in `timed_out_connections`). Zero disables the timeout.
+    pub idle_timeout: Duration,
+    /// Once shutdown begins, how long connections may take to finish
+    /// in-flight requests and flush responses before being force-closed.
+    pub drain_grace: Duration,
     /// Landmarks used when a `RELOAD` names only a graph file and the
     /// labelling must be rebuilt in-process (top-degree selection).
     pub reload_landmarks: usize,
@@ -44,41 +46,40 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             batch_threads: 0,
-            poll_interval: Duration::from_millis(50),
-            drain_grace_polls: 40,
-            write_timeout: Duration::from_secs(10),
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(600),
+            drain_grace: Duration::from_secs(5),
             reload_landmarks: 20,
         }
     }
 }
 
-/// State shared by the accept loop and every connection handler.
-struct Shared {
-    service: Arc<QueryService>,
-    executor: BatchExecutor,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    config: ServerConfig,
+/// State shared by the reactor, the worker pool, and the handle.
+pub(crate) struct Shared {
+    pub service: Arc<QueryService>,
+    pub executor: BatchExecutor,
+    pub shutdown: AtomicBool,
+    pub local_addr: SocketAddr,
+    pub config: ServerConfig,
+    /// Worker → reactor completions; its eventfd is also the shutdown
+    /// wakeup.
+    pub queue: Arc<CompletionQueue>,
+    /// Gate serialising `RELOAD`s: loads/rebuilds are whole-graph work, so
+    /// at most one runs at a time and the rest are refused with an `ERR`
+    /// (a pipelined flood of RELOAD lines must not fan out into unbounded
+    /// concurrent index builds).
+    pub reload_busy: AtomicBool,
 }
 
 impl Shared {
-    /// Flips the shutdown flag and wakes the blocking accept call.
-    fn begin_shutdown(&self) {
+    /// Flips the shutdown flag and wakes the reactor's epoll wait.
+    pub fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // Poke the listener. A wildcard bind address (0.0.0.0 / ::) is
-            // not connectable on every platform — substitute loopback.
-            let mut poke = self.local_addr;
-            if poke.ip().is_unspecified() {
-                poke.set_ip(match poke.ip() {
-                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-                });
-            }
-            let _ = TcpStream::connect_timeout(&poke, self.config.poll_interval);
+            self.queue.wake();
         }
     }
 
-    fn shutting_down(&self) -> bool {
+    pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -88,15 +89,17 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service`. Returns immediately; serving happens on background
-    /// threads owned by the returned handle.
+    /// `service`. Returns immediately; serving happens on the reactor
+    /// thread owned by the returned handle.
     pub fn bind(
         service: Arc<QueryService>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let queue = Arc::new(CompletionQueue::new()?);
         let executor = BatchExecutor::new(Arc::clone(&service), config.batch_threads);
         let shared = Arc::new(Shared {
             service,
@@ -104,19 +107,18 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             config,
+            queue,
+            reload_busy: AtomicBool::new(false),
         });
-
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
-
-        Ok(ServerHandle { shared, accept_thread: Mutex::new(Some(accept_thread)) })
+        let reactor_thread = reactor::spawn(Arc::clone(&shared), listener)?;
+        Ok(ServerHandle { shared, reactor_thread: Mutex::new(Some(reactor_thread)) })
     }
 }
 
-/// Owns the serving threads; dropping it shuts the server down.
+/// Owns the reactor thread; dropping it shuts the server down.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    reactor_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServerHandle {
@@ -145,7 +147,7 @@ impl ServerHandle {
     /// Blocks until the server stops (via [`shutdown`](Self::shutdown) or a
     /// client `SHUTDOWN` request).
     pub fn join(&self) {
-        let handle = self.accept_thread.lock().expect("accept handle poisoned").take();
+        let handle = self.reactor_thread.lock().expect("reactor handle poisoned").take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -156,255 +158,5 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shared.begin_shutdown();
         self.join();
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutting_down() {
-                    // The poke connection, or a client racing shutdown.
-                    break;
-                }
-                let metrics = shared.service.metrics();
-                ServeMetrics::bump(&metrics.connections);
-                ServeMetrics::bump(&metrics.active_connections);
-                let conn_shared = Arc::clone(&shared);
-                handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(&conn_shared, stream);
-                    ServeMetrics::drop_one(&conn_shared.service.metrics().active_connections);
-                }));
-                // Opportunistically reap finished handlers so a long-lived
-                // server doesn't accumulate joinable threads.
-                handlers.retain(|h| !h.is_finished());
-            }
-            Err(_) if shared.shutting_down() => break,
-            Err(_) => {
-                // Persistent accept failures (e.g. fd exhaustion under a
-                // connection flood) must not busy-spin the accept thread.
-                std::thread::sleep(shared.config.poll_interval);
-            }
-        }
-    }
-    // Drain: every handler finishes its in-flight request and exits.
-    for handler in handlers {
-        let _ = handler.join();
-    }
-}
-
-/// Outcome of reading one line under the poll/shutdown regime.
-enum LineRead {
-    Line(String),
-    /// EOF, shutdown-initiated close, drain grace expired, or a line beyond
-    /// [`MAX_LINE_BYTES`].
-    Closed,
-}
-
-/// Longest request line the server will buffer. The longest *valid* line
-/// (`QUERY <u32> <u32>`) is under 32 bytes; anything near this cap is a
-/// client streaming garbage, and buffering it unboundedly would let one
-/// connection grow server memory without limit.
-const MAX_LINE_BYTES: usize = 8 * 1024;
-
-/// Reads one `\n`-terminated line, tolerating read timeouts. `relaxed`
-/// allows waiting (grace-limited) during shutdown — used for request bodies
-/// so an in-flight `BATCH` can complete; request boundaries close
-/// immediately once shutdown begins and no partial line is pending.
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    acc: &mut Vec<u8>,
-    shared: &Shared,
-    relaxed: bool,
-) -> io::Result<LineRead> {
-    let mut shutdown_polls = 0u32;
-    loop {
-        match reader.read_until(b'\n', acc) {
-            Ok(0) => {
-                // EOF. A trailing unterminated line still counts.
-                if acc.is_empty() {
-                    return Ok(LineRead::Closed);
-                }
-                return Ok(LineRead::Line(take_line(acc)));
-            }
-            Ok(_) if acc.len() > MAX_LINE_BYTES => return Ok(LineRead::Closed),
-            Ok(_) if acc.last() == Some(&b'\n') => return Ok(LineRead::Line(take_line(acc))),
-            Ok(_) => continue, // mid-line; keep accumulating
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if shared.shutting_down() {
-                    let graceful = relaxed || !acc.is_empty();
-                    shutdown_polls += 1;
-                    if !graceful || shutdown_polls > shared.config.drain_grace_polls {
-                        return Ok(LineRead::Closed);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn take_line(acc: &mut Vec<u8>) -> String {
-    while matches!(acc.last(), Some(b'\n') | Some(b'\r')) {
-        acc.pop();
-    }
-    let line = String::from_utf8_lossy(acc).into_owned();
-    acc.clear();
-    line
-}
-
-/// What the connection loop should do after sending a response.
-enum ConnAction {
-    /// Keep serving requests on this connection.
-    Continue,
-    /// Close this connection (unrecoverable framing, e.g. a `BATCH` header
-    /// the server cannot honour while an undelimited body may be in
-    /// flight).
-    Close,
-    /// Begin server-wide graceful shutdown.
-    Shutdown,
-}
-
-fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(shared.config.poll_interval))?;
-    // Bound writes so a client that stops reading cannot pin this handler
-    // (and thereby shutdown draining) forever.
-    stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut acc = Vec::new();
-
-    loop {
-        let line = match read_line(&mut reader, &mut acc, shared, false)? {
-            LineRead::Line(line) => line,
-            LineRead::Closed => return Ok(()),
-        };
-        let (response, action) = respond(shared, &mut reader, &mut acc, &line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        match action {
-            ConnAction::Continue => {}
-            ConnAction::Close => return Ok(()),
-            ConnAction::Shutdown => {
-                shared.begin_shutdown();
-                return Ok(());
-            }
-        }
-        if shared.shutting_down() {
-            // Drain: the request in flight was answered; now close.
-            return Ok(());
-        }
-    }
-}
-
-/// Produces the response line for one request plus what to do with the
-/// connection afterwards.
-fn respond(
-    shared: &Shared,
-    reader: &mut BufReader<TcpStream>,
-    acc: &mut Vec<u8>,
-    line: &str,
-) -> (String, ConnAction) {
-    let metrics = shared.service.metrics();
-    let request = match protocol::parse_request(line) {
-        Ok(request) => request,
-        Err(e) => {
-            ServeMetrics::bump(&metrics.errors);
-            // A rejected BATCH header (oversized k, unparseable k) may have
-            // an undelimited body already in flight that the server cannot
-            // skip — close so the request/response framing cannot desync.
-            let action = if line.trim_start().starts_with("BATCH") {
-                ConnAction::Close
-            } else {
-                ConnAction::Continue
-            };
-            return (protocol::format_error(e), action);
-        }
-    };
-    match request {
-        Request::Query(s, t) => match shared.service.distance(s, t) {
-            Ok(d) => (protocol::format_query_response(d), ConnAction::Continue),
-            Err(e) => {
-                ServeMetrics::bump(&metrics.errors);
-                (protocol::format_error(e), ConnAction::Continue)
-            }
-        },
-        Request::Batch(k) => {
-            let mut pairs = Vec::with_capacity(k);
-            for i in 0..k {
-                let pair_line = match read_line(reader, acc, shared, true) {
-                    Ok(LineRead::Line(line)) => line,
-                    Ok(LineRead::Closed) | Err(_) => {
-                        ServeMetrics::bump(&metrics.errors);
-                        return (
-                            protocol::format_error(ProtocolError::BadArity {
-                                command: "BATCH",
-                                expected: "k pair lines",
-                            }),
-                            ConnAction::Close,
-                        );
-                    }
-                };
-                match protocol::parse_pair(&pair_line) {
-                    Ok(pair) => pairs.push(pair),
-                    Err(e) => {
-                        ServeMetrics::bump(&metrics.errors);
-                        // Consume the rest of the declared body so the next
-                        // response still lines up with the next request
-                        // (one ERR answers the whole batch).
-                        for _ in i + 1..k {
-                            match read_line(reader, acc, shared, true) {
-                                Ok(LineRead::Line(_)) => {}
-                                Ok(LineRead::Closed) | Err(_) => break,
-                            }
-                        }
-                        return (protocol::format_error(e), ConnAction::Continue);
-                    }
-                }
-            }
-            match shared.executor.execute(&pairs) {
-                Ok(distances) => {
-                    (protocol::format_batch_response(&distances), ConnAction::Continue)
-                }
-                Err(e) => {
-                    ServeMetrics::bump(&metrics.errors);
-                    (protocol::format_error(e), ConnAction::Continue)
-                }
-            }
-        }
-        Request::Stats => {
-            let snapshot = shared.service.metrics_snapshot();
-            let cache = shared.service.cache_stats();
-            (
-                protocol::format_stats_response(&snapshot, &cache, shared.service.epoch()),
-                ConnAction::Continue,
-            )
-        }
-        Request::Ping => ("PONG".to_string(), ConnAction::Continue),
-        Request::Epoch => {
-            (protocol::format_epoch_response(shared.service.epoch()), ConnAction::Continue)
-        }
-        Request::Reload { graph, index } => {
-            // Loading/rebuilding happens on this handler's thread; every
-            // other connection keeps serving on the old epoch until the
-            // final swap, which takes the write lock only for a pointer
-            // exchange. On failure the old index keeps serving.
-            match shared.service.reload_from_paths(
-                &graph,
-                index.as_deref(),
-                shared.config.reload_landmarks,
-            ) {
-                Ok(epoch) => (protocol::format_reload_response(epoch), ConnAction::Continue),
-                Err(e) => {
-                    ServeMetrics::bump(&metrics.errors);
-                    (protocol::format_error(e), ConnAction::Continue)
-                }
-            }
-        }
-        Request::Shutdown => ("BYE".to_string(), ConnAction::Shutdown),
     }
 }

@@ -1,0 +1,281 @@
+//! Fragmentation-equivalence tests for the incremental [`Decoder`]: the
+//! frames it yields must not depend on how the byte stream is cut up.
+//!
+//! A reference interpreter re-implements the *whole-line* semantics the
+//! old blocking transport had (`read_until` lines, batch bodies consumed
+//! even when malformed, truncation at EOF fails the batch, a rejected
+//! `BATCH` header poisons the stream) directly on top of `parse_request` /
+//! `parse_pair`. Every generated stream is decoded four ways — one shot,
+//! one byte at a time, random splits, and adversarially around newline
+//! boundaries — and all four must equal the reference.
+
+use hcl_server::protocol::{self, Decoder, Frame};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Strips trailing newline bytes the way the blocking reader did.
+fn trim(bytes: &[u8]) -> String {
+    let mut end = bytes.len();
+    while end > 0 && matches!(bytes[end - 1], b'\n' | b'\r') {
+        end -= 1;
+    }
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
+/// Whole-line reference semantics (independent of the decoder's
+/// incremental state machine).
+fn reference_frames(input: &[u8]) -> Vec<Frame> {
+    let mut lines: Vec<String> = Vec::new();
+    let mut start = 0;
+    for (i, &b) in input.iter().enumerate() {
+        if b == b'\n' {
+            lines.push(trim(&input[start..=i]));
+            start = i + 1;
+        }
+    }
+    if start < input.len() {
+        lines.push(trim(&input[start..])); // trailing unterminated line
+    }
+
+    let mut frames = Vec::new();
+    let mut iter = lines.into_iter();
+    while let Some(line) = iter.next() {
+        match protocol::parse_request(&line) {
+            Ok(protocol::Request::Batch(k)) => {
+                let mut pairs = Vec::new();
+                let mut first_err = None;
+                let mut got = 0;
+                while got < k {
+                    match iter.next() {
+                        Some(body) => {
+                            got += 1;
+                            match protocol::parse_pair(&body) {
+                                Ok(p) => {
+                                    if first_err.is_none() {
+                                        pairs.push(p);
+                                    }
+                                }
+                                Err(e) => {
+                                    if first_err.is_none() {
+                                        first_err = Some(e);
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // Body truncated by end of input.
+                            frames.push(Frame::Corrupt(protocol::ProtocolError::BadArity {
+                                command: "BATCH",
+                                expected: "k pair lines",
+                            }));
+                            return frames;
+                        }
+                    }
+                }
+                frames.push(match first_err {
+                    Some(e) => Frame::Invalid(e),
+                    None => Frame::Batch(pairs),
+                });
+            }
+            Ok(protocol::Request::Query(s, t)) => frames.push(Frame::Query(s, t)),
+            Ok(protocol::Request::Stats) => frames.push(Frame::Stats),
+            Ok(protocol::Request::Ping) => frames.push(Frame::Ping),
+            Ok(protocol::Request::Epoch) => frames.push(Frame::Epoch),
+            Ok(protocol::Request::Reload { graph, index }) => {
+                frames.push(Frame::Reload { graph, index });
+            }
+            Ok(protocol::Request::Shutdown) => frames.push(Frame::Shutdown),
+            Err(e) => {
+                if line.trim_start().starts_with("BATCH") {
+                    // Unhonourable header: the undelimited body cannot be
+                    // skipped; everything after is discarded.
+                    frames.push(Frame::Corrupt(e));
+                    return frames;
+                }
+                frames.push(Frame::Invalid(e));
+            }
+        }
+    }
+    frames
+}
+
+/// Decodes `input` delivered as the given fragments (plus EOF).
+fn decode_fragmented(input: &[u8], cuts: &[usize]) -> Vec<Frame> {
+    let mut decoder = Decoder::new();
+    let mut frames = Vec::new();
+    let mut start = 0;
+    for &cut in cuts {
+        decoder.feed(&input[start..cut]);
+        while let Some(f) = decoder.next_frame() {
+            frames.push(f);
+        }
+        start = cut;
+    }
+    decoder.feed(&input[start..]);
+    while let Some(f) = decoder.next_frame() {
+        frames.push(f);
+    }
+    decoder.finish();
+    while let Some(f) = decoder.next_frame() {
+        frames.push(f);
+    }
+    frames
+}
+
+/// One random request stream: weighted towards near-valid traffic, with
+/// complete, malformed, and (possibly) truncated `BATCH` bodies, plus
+/// binary garbage and an optional unterminated final line.
+fn random_stream(rng: &mut TestRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    let commands = 1 + rng.below(10);
+    for c in 0..commands {
+        let a = rng.below(100_000);
+        let b = rng.below(100_000);
+        match rng.below(13) {
+            0 => out.extend_from_slice(format!("QUERY {a} {b}\n").as_bytes()),
+            1 => out.extend_from_slice(format!("QUERY {a}\n").as_bytes()),
+            2 => out.extend_from_slice(format!("QUERY {a} x{b}\n").as_bytes()),
+            3 => out.extend_from_slice(b"PING\n"),
+            4 => out.extend_from_slice(b"STATS\n"),
+            5 => out.extend_from_slice(b"EPOCH\n"),
+            6 => out.extend_from_slice(b"SHUTDOWN\n"),
+            7 => out.extend_from_slice(format!("RELOAD /tmp/g{a}.hclg\n").as_bytes()),
+            8 => out.extend_from_slice(b"\n"),
+            9 => out.extend_from_slice(b"\x7f\x01garbage \x02\t###\n"),
+            10 => out.extend_from_slice(format!("{a} {b}\n").as_bytes()),
+            11 => {
+                // Bad header: unparseable or oversized k.
+                if rng.below(2) == 0 {
+                    out.extend_from_slice(b"BATCH\n");
+                } else {
+                    out.extend_from_slice(
+                        format!("BATCH {}\n", protocol::MAX_BATCH as u64 + 1 + a).as_bytes(),
+                    );
+                }
+            }
+            _ => {
+                let k = rng.below(5) as usize;
+                out.extend_from_slice(format!("BATCH {k}\n").as_bytes());
+                // Last command may truncate its body; earlier ones are
+                // complete (possibly with malformed pairs inside).
+                let body = if c + 1 == commands { rng.below(k as u64 + 1) as usize } else { k };
+                for i in 0..body {
+                    match rng.below(5) {
+                        0 => out.extend_from_slice(format!("{i} oops\n").as_bytes()),
+                        1 => out.extend_from_slice(b"PING\n"), // command hiding in a body
+                        _ => out.extend_from_slice(format!("{i} {}\n", i * 3).as_bytes()),
+                    }
+                }
+            }
+        }
+    }
+    // Sometimes leave the final line unterminated.
+    if out.ends_with(b"\n") && rng.below(3) == 0 {
+        out.pop();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 128 } else { 512 }
+    ))]
+
+    /// 1-byte-at-a-time, random-split, and adversarially-fragmented input
+    /// all decode to exactly the whole-line reference frames.
+    #[test]
+    fn fragmentation_never_changes_the_frames(case in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_name(&format!("decoder-frag-{case}"));
+        let input = random_stream(&mut rng);
+        let expect = reference_frames(&input);
+
+        // One shot.
+        prop_assert_eq!(&decode_fragmented(&input, &[]), &expect, "one-shot");
+
+        // One byte at a time.
+        let bytes: Vec<usize> = (1..input.len()).collect();
+        prop_assert_eq!(&decode_fragmented(&input, &bytes), &expect, "1-byte");
+
+        // Random splits.
+        let mut cuts = Vec::new();
+        let mut at = 0;
+        while at + 1 < input.len() {
+            at += 1 + rng.below(16) as usize;
+            if at < input.len() {
+                cuts.push(at);
+            }
+        }
+        prop_assert_eq!(&decode_fragmented(&input, &cuts), &expect, "random splits");
+
+        // Adversarial: a cut immediately before and after every newline,
+        // so frames always straddle a fragment boundary.
+        let mut cuts = Vec::new();
+        for (i, &b) in input.iter().enumerate() {
+            if b == b'\n' {
+                if i > 0 {
+                    cuts.push(i);
+                }
+                if i + 1 < input.len() {
+                    cuts.push(i + 1);
+                }
+            }
+        }
+        cuts.dedup();
+        prop_assert_eq!(&decode_fragmented(&input, &cuts), &expect, "newline-adversarial");
+    }
+}
+
+/// Oversized-line limit, wire level: a line past [`protocol::MAX_LINE_BYTES`]
+/// gets one clean `ERR` and a close, with server-side memory bounded the
+/// whole time — the decoder never buffers past the limit.
+#[test]
+fn oversized_line_gets_one_err_and_a_close_with_bounded_memory() {
+    use hcl_core::testing::ba_fixture;
+    use hcl_server::{Client, QueryService, Server, ServerConfig};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    // Decoder level: the buffer cannot outgrow the limit by more than one
+    // fragment, no matter how much garbage is poured in.
+    let mut decoder = Decoder::new();
+    let mut corrupt = Vec::new();
+    let chunk = [b'y'; 4096];
+    for _ in 0..(4 * protocol::MAX_LINE_BYTES / chunk.len()) {
+        decoder.feed(&chunk);
+        while let Some(f) = decoder.next_frame() {
+            corrupt.push(f);
+        }
+        assert!(
+            decoder.buffered() <= protocol::MAX_LINE_BYTES + chunk.len(),
+            "decoder buffered {} bytes",
+            decoder.buffered()
+        );
+    }
+    assert_eq!(
+        corrupt,
+        vec![Frame::Corrupt(protocol::ProtocolError::LineTooLong {
+            limit: protocol::MAX_LINE_BYTES
+        })]
+    );
+
+    // Wire level: one ERR line, then EOF; other connections unaffected.
+    let (g, labelling) = ba_fixture(100, 3, 4, 4);
+    let service = Arc::new(QueryService::from_parts(g, labelling, 0));
+    let handle =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut bad = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    bad.write_all(&vec![b'z'; protocol::MAX_LINE_BYTES * 4]).unwrap();
+    bad.flush().unwrap();
+    bad.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut response = String::new();
+    // A read error (reset) counts as closed too.
+    if bad.read_to_string(&mut response).is_ok() {
+        assert!(response.starts_with("ERR "), "got {response:?}");
+        assert_eq!(response.matches('\n').count(), 1, "exactly one response line");
+    }
+
+    let mut good = Client::connect(handle.local_addr()).unwrap();
+    good.ping().unwrap();
+    handle.shutdown();
+}

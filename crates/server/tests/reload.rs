@@ -201,6 +201,61 @@ fn reload_from_graph_only_rebuilds_the_labelling_in_process() {
     let _ = std::fs::remove_file(&graph_path);
 }
 
+/// Reloads are serialised: a pipelined flood of RELOAD lines must not fan
+/// out into concurrent full-index builds. The first wins; each of the
+/// rest is either refused with `ERR reload already in progress` (the
+/// previous one was still running) or succeeds (it had finished) — and
+/// the connection keeps answering afterwards either way.
+#[test]
+fn pipelined_reloads_are_serialised_not_fanned_out() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (graph_a, labelling_a) = build(5);
+    let (graph_b, _) = build(6);
+    let graph_path = temp_path("serialise.hclg");
+    hcl_graph::io::save_binary(&graph_b, &graph_path).unwrap();
+
+    let service = Arc::new(QueryService::from_parts(graph_a, labelling_a, 0));
+    let config = ServerConfig { reload_landmarks: 8, ..Default::default() };
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+
+    let stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    const RELOADS: usize = 8;
+    let mut request = String::new();
+    for _ in 0..RELOADS {
+        request.push_str(&format!("RELOAD {}\n", graph_path.to_str().unwrap()));
+    }
+    request.push_str("PING\n");
+    writer.write_all(request.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut line = String::new();
+    let mut succeeded = 0u64;
+    for i in 0..RELOADS {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.starts_with("RELOADED ") {
+            succeeded += 1;
+        } else {
+            assert!(line.contains("already in progress"), "reload {i}: {line:?}");
+        }
+    }
+    assert!(succeeded >= 1, "the first reload must run");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "PONG", "connection survives the refused reloads");
+
+    // Server-side accounting agrees: epoch advanced once per success.
+    let mut admin = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(admin.epoch().unwrap(), succeeded);
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&graph_path);
+}
+
 #[test]
 fn failed_reload_keeps_the_connection_and_the_old_index() {
     let (graph_a, labelling_a) = build(3);
