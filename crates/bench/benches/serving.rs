@@ -1,5 +1,9 @@
-//! Serving-throughput benchmark, two layers:
+//! Serving-throughput benchmark, three layers:
 //!
+//! * **oracle** — raw sequential queries/second through
+//!   `SharedOracle::distance_with` with one caller-held context: the query
+//!   fast path alone (label merge + bounded search on the precomputed
+//!   sparsified CSR), no executor, cache, or transport.
 //! * **executor** — batched queries/second through the `hcl-server`
 //!   [`BatchExecutor`] at 1/2/4/8 worker threads, with a cold cache
 //!   (cleared before every pass), a warm cache (pre-warmed, all hits),
@@ -27,6 +31,27 @@ use std::sync::Arc;
 const QUERIES: usize = 4_096;
 /// Round trips per wire-level pass (smaller: each pass is full TCP I/O).
 const WIRE_QUERIES: usize = 1_024;
+
+fn bench_oracle(c: &mut Criterion) {
+    let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let oracle = hcl_core::SharedOracle::new(Arc::clone(&g), Arc::new(labelling));
+    let pairs = sample_pairs(g.num_vertices(), QUERIES, 7);
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.bench_function("sequential", |b| {
+        let mut ctx = oracle.context_pool().checkout();
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(oracle.distance_with(&mut ctx, s, t));
+            }
+        })
+    });
+    group.finish();
+}
 
 fn bench_serving(c: &mut Criterion) {
     let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
@@ -88,5 +113,5 @@ fn bench_wire(c: &mut Criterion) {
     handle.shutdown();
 }
 
-criterion_group!(benches, bench_serving, bench_wire);
+criterion_group!(benches, bench_oracle, bench_serving, bench_wire);
 criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Query-hot-path benchmark: emits `BENCH_query.json`, the committed
+//! perf-trajectory artefact (one JSON object per PR touching the query
+//! path; CI regenerates it as a build artifact on every run).
+//!
+//! Measures, on a fixed Barabási–Albert instance:
+//!
+//! * **queries/sec, sequential** — `SharedOracle::distance_with` with one
+//!   caller-held context: label merge + bounded search on the precomputed
+//!   sparsified CSR, nothing else;
+//! * **queries/sec, batched** — `SharedOracle::batch_distances` through
+//!   the pooled fan-out (equal to sequential on a single-core host);
+//! * **upper-bound-exact rate** — fraction of query pairs whose label
+//!   upper bound is already the exact distance (the paper's Figure 9
+//!   coverage metric; these queries never run a search);
+//! * sizes — labelling bytes, sparsified-view bytes/edges, graph bytes.
+//!
+//! Usage: `bench_query [--quick] [--out <path>]`. `--quick` shrinks the
+//! instance for CI; without `--out` the JSON goes to stdout only.
+
+use hcl_core::{HighwayCoverLabelling, QueryContext, SharedOracle};
+use hcl_graph::generate;
+use hcl_workloads::queries::sample_pairs;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    vertices: usize,
+    degree: usize,
+    landmarks: usize,
+    queries: usize,
+    /// Repeat the query set until at least this much wall time has been
+    /// measured, so quick mode still reports a stable rate.
+    min_seconds: f64,
+}
+
+const FULL: Config =
+    Config { vertices: 100_000, degree: 8, landmarks: 20, queries: 16_384, min_seconds: 2.0 };
+const QUICK: Config =
+    Config { vertices: 20_000, degree: 8, landmarks: 20, queries: 4_096, min_seconds: 0.5 };
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out requires a path").clone());
+    let cfg = if quick { QUICK } else { FULL };
+
+    let g = Arc::new(generate::barabasi_albert(cfg.vertices, cfg.degree, 42));
+    let landmark_set = hcl_graph::order::top_degree(&g, cfg.landmarks);
+    let build_start = Instant::now();
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmark_set, 0).unwrap();
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let oracle = SharedOracle::new(Arc::clone(&g), Arc::new(labelling));
+    let pairs = sample_pairs(g.num_vertices(), cfg.queries, 7);
+
+    // Upper-bound-exact rate over the same workload.
+    let mut ctx = QueryContext::new(g.num_vertices());
+    let labelling = oracle.labelling();
+    let mut exact = 0usize;
+    let mut answered = 0usize;
+    for &(s, t) in &pairs {
+        let bound = labelling.upper_bound_with(&mut ctx, s, t);
+        if let Some(d) = oracle.distance_with(&mut ctx, s, t) {
+            answered += 1;
+            if bound == d {
+                exact += 1;
+            }
+        }
+    }
+    let ub_exact_rate = exact as f64 / answered.max(1) as f64;
+
+    // Sequential queries/sec (warm: the loop above touched everything).
+    let mut passes = 0u32;
+    let seq_start = Instant::now();
+    loop {
+        for &(s, t) in &pairs {
+            black_box(oracle.distance_with(&mut ctx, s, t));
+        }
+        passes += 1;
+        if seq_start.elapsed().as_secs_f64() >= cfg.min_seconds {
+            break;
+        }
+    }
+    let seq_qps = (passes as f64 * pairs.len() as f64) / seq_start.elapsed().as_secs_f64();
+
+    // Batched queries/sec through the pooled fan-out (all cores).
+    let mut batch_passes = 0u32;
+    let batch_start = Instant::now();
+    loop {
+        black_box(oracle.batch_distances(&pairs, 0));
+        batch_passes += 1;
+        if batch_start.elapsed().as_secs_f64() >= cfg.min_seconds {
+            break;
+        }
+    }
+    let batch_qps =
+        (batch_passes as f64 * pairs.len() as f64) / batch_start.elapsed().as_secs_f64();
+
+    let view = oracle.sparse_view();
+    let json = format!(
+        "{{\n  \"bench\": \"query\",\n  \"mode\": \"{}\",\n  \"vertices\": {},\n  \
+         \"edges\": {},\n  \"landmarks\": {},\n  \"queries\": {},\n  \
+         \"build_seconds\": {:.3},\n  \"queries_per_sec_sequential\": {:.0},\n  \
+         \"queries_per_sec_batched\": {:.0},\n  \"upper_bound_exact_rate\": {:.4},\n  \
+         \"index_bytes\": {},\n  \"sparse_view_bytes\": {},\n  \"sparse_view_edges\": {},\n  \
+         \"graph_bytes\": {}\n}}",
+        if quick { "quick" } else { "full" },
+        g.num_vertices(),
+        g.num_edges(),
+        cfg.landmarks,
+        pairs.len(),
+        build_secs,
+        seq_qps,
+        batch_qps,
+        ub_exact_rate,
+        labelling.index_bytes(),
+        view.memory_bytes(),
+        view.num_edges(),
+        g.memory_bytes(),
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("writing BENCH_query.json");
+        eprintln!("wrote {path}");
+    }
+}

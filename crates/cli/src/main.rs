@@ -251,6 +251,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let service =
         Arc::new(hcl_server::QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), cache));
+    let sizes = service.index_sizes();
+    println!(
+        "query fast path: sparsified view {} edges ({}), index {}",
+        sizes.sparse_edges,
+        hcl_graph::stats::format_bytes(sizes.sparse_bytes),
+        hcl_graph::stats::format_bytes(sizes.index_bytes),
+    );
     let config = hcl_server::ServerConfig {
         batch_threads: threads,
         reload_landmarks: landmarks,

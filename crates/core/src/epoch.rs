@@ -12,12 +12,17 @@
 //!
 //! Queries pin a generation by cloning the `Arc` once up front and using it
 //! for *everything* — range validation, the graph, the labelling, the
-//! context pool. In-flight queries therefore finish on the epoch they
-//! started on, while new queries observe the new one; the old generation is
-//! freed when its last in-flight query drops its `Arc`. Consumers that
-//! cache answers must tag them with [`OracleEpoch::epoch`] so answers
-//! computed against one generation can never be served under another
-//! (`hcl-server`'s sharded cache does exactly that).
+//! precomputed sparsified view the searches traverse, and the context pool.
+//! The [`SparseView`](crate::SparseView) is owned by the generation's
+//! [`SharedOracle`] (built in its constructor), so a swap replaces view and
+//! labelling in the same pointer store — a query can never observe a new
+//! labelling with an old view or vice versa. In-flight queries therefore
+//! finish on the epoch they started on, while new queries observe the new
+//! one; the old generation is freed when its last in-flight query drops its
+//! `Arc`. Consumers that cache answers must tag them with
+//! [`OracleEpoch::epoch`] so answers computed against one generation can
+//! never be served under another (`hcl-server`'s sharded cache does exactly
+//! that).
 
 use crate::shared::SharedOracle;
 use std::sync::{Arc, RwLock};
@@ -127,9 +132,14 @@ mod tests {
                 scope.spawn(move || {
                     for _ in 0..300 {
                         let snap = cell.load();
-                        // Epoch and oracle travel together: the size always
-                        // matches the generation's tag.
+                        // Epoch, oracle, and sparse view travel together:
+                        // the sizes always match the generation's tag.
                         assert_eq!(snap.num_vertices(), sizes[snap.epoch() as usize]);
+                        assert_eq!(
+                            snap.oracle().sparse_view().num_vertices(),
+                            snap.num_vertices(),
+                            "view must belong to the pinned generation"
+                        );
                         assert!(snap.oracle().distance(0, 1).is_some());
                     }
                 });

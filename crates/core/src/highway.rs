@@ -77,6 +77,16 @@ impl Highway {
         self.dist[rank_a as usize * self.landmarks.len() + rank_b as usize]
     }
 
+    /// The distance-matrix row of `rank`: `row(a)[b as usize]` equals
+    /// [`distance(a, b)`](Self::distance). Hoisting the row out of an inner
+    /// loop replaces a multiply-and-index per pair with a plain slice index.
+    #[inline]
+    pub fn row(&self, rank: u32) -> &[u32] {
+        let r = self.landmarks.len();
+        let start = rank as usize * r;
+        &self.dist[start..start + r]
+    }
+
     /// Records a discovered landmark-to-landmark distance (kept if smaller
     /// than the current value; the matrix stays symmetric).
     pub(crate) fn record(&mut self, rank_a: u32, rank_b: u32, d: u32) {
@@ -156,6 +166,21 @@ mod tests {
         assert!(!h.is_landmark(9));
         assert_eq!(h.landmark(1), 2);
         assert_eq!(h.landmarks(), &[7, 2, 5]);
+    }
+
+    #[test]
+    fn row_matches_distance() {
+        let mut h = Highway::new(6, &[0, 2, 4]);
+        h.record(0, 1, 2);
+        h.record(1, 2, 3);
+        h.close();
+        for a in 0..3u32 {
+            let row = h.row(a);
+            assert_eq!(row.len(), 3);
+            for b in 0..3u32 {
+                assert_eq!(row[b as usize], h.distance(a, b), "({a},{b})");
+            }
+        }
     }
 
     #[test]

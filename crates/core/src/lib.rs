@@ -20,7 +20,9 @@
 //! `d⊤ = min δL(ri, s) + δH(ri, rj) + δL(rj, t)` (Equation 4, with the
 //! Lemma 5.1 optimisation), which is exact whenever some shortest path
 //! crosses a landmark, then closes the gap with a distance-bounded
-//! bidirectional BFS on the sparsified graph `G[V∖R]` (Algorithm 2).
+//! bidirectional BFS on the sparsified graph `G[V∖R]` (Algorithm 2). The
+//! oracle front-ends precompute `G[V∖R]` once as a [`sparse::SparseView`],
+//! so the search traverses a plain CSR with no per-edge landmark filtering.
 //!
 //! # Quick start
 //!
@@ -50,6 +52,7 @@ pub mod landmarks;
 pub mod parallel;
 pub mod query;
 pub mod shared;
+pub mod sparse;
 #[cfg(feature = "testing")]
 pub mod testing;
 pub mod weighted;
@@ -60,6 +63,7 @@ pub use highway::Highway;
 pub use labels::{HighwayLabels, LabelEntry};
 pub use query::{HlOracle, QueryContext};
 pub use shared::{ContextPool, PooledContext, SharedOracle};
+pub use sparse::SparseView;
 pub use weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
 
 /// Errors produced while constructing a highway cover labelling.

@@ -124,8 +124,19 @@ impl HighwayCoverLabelling {
                 ctx.only_s.extend(ls[i..].iter().map(|e| (e.landmark as u32, e.dist as u32)));
                 ctx.only_t.extend(lt[j..].iter().map(|e| (e.landmark as u32, e.dist as u32)));
                 for &(ra, da) in &ctx.only_s {
+                    // Distinct landmarks are at distance >= 1, so no pair in
+                    // this row can beat `best` once `da + 1 >= best`.
+                    if da.saturating_add(1) >= best {
+                        continue;
+                    }
+                    let row = h.row(ra);
                     for &(rb, db) in &ctx.only_t {
-                        let via = h.distance(ra, rb);
+                        // Best-so-far pruning: skip the matrix lookup when
+                        // even the minimum possible via-distance (1) loses.
+                        if da + db + 1 >= best {
+                            continue;
+                        }
+                        let via = row[rb as usize];
                         if via == INF {
                             continue;
                         }
@@ -188,40 +199,108 @@ impl HighwayCoverLabelling {
         }
     }
 
+    /// Exact distance via the fast path: identical semantics to
+    /// [`distance_with`](Self::distance_with), but the bounded search runs
+    /// on the precomputed sparsified CSR of
+    /// [`SparseView`](crate::SparseView) — zero skip-predicate and
+    /// rank-lookup calls per edge. `view` must have been built from the
+    /// graph the labelling was built from.
+    pub fn distance_sparse(
+        &self,
+        view: &crate::SparseView,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        let h = self.highway();
+        let landmark_endpoint = h.is_landmark(s) || h.is_landmark(t);
+        let bound = self.upper_bound_with(ctx, s, t);
+        if landmark_endpoint {
+            // Corollary 3.8 / the highway matrix make the bound exact;
+            // landmark endpoints are isolated in the view, so the search
+            // must not run.
+            return if bound == INF { None } else { Some(bound) };
+        }
+        let d = ctx.space.bounded_bibfs_sparse(view.graph(), s, t, bound);
+        if d == INF {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
     /// Answers a batch of queries across `num_threads` worker threads
-    /// (0 = all cores), each with its own [`QueryContext`]. Results are in
-    /// input order; throughput scales with cores because queries share
-    /// nothing but the read-only labelling and graph.
+    /// (0 = all cores). Results are in input order; throughput scales with
+    /// cores because queries share nothing but the read-only labelling and
+    /// graph. Worker contexts come from a [`ContextPool`] — callers that
+    /// batch repeatedly should use
+    /// [`SharedOracle::batch_distances`](crate::SharedOracle), whose
+    /// persistent pool reuses the contexts (and their O(n) mark arrays)
+    /// across calls.
     pub fn batch_distances(
         &self,
         graph: &CsrGraph,
         pairs: &[(VertexId, VertexId)],
         num_threads: usize,
     ) -> Vec<Option<u32>> {
-        let threads = if num_threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            num_threads
-        };
-        let threads = threads.min(pairs.len().max(1));
-        if threads <= 1 {
-            let mut ctx = QueryContext::new(graph.num_vertices());
-            return pairs.iter().map(|&(s, t)| self.distance_with(graph, &mut ctx, s, t)).collect();
-        }
-        let mut results: Vec<Option<u32>> = vec![None; pairs.len()];
-        let chunk = pairs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    let mut ctx = QueryContext::new(graph.num_vertices());
-                    for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = self.distance_with(graph, &mut ctx, s, t);
-                    }
-                });
-            }
-        });
-        results
+        let pool = crate::ContextPool::new(graph.num_vertices());
+        self.batch_distances_pooled(graph, &pool, pairs, num_threads)
     }
+
+    /// [`batch_distances`](Self::batch_distances) with caller-owned context
+    /// storage: each worker checks one [`QueryContext`] out of `pool` and
+    /// returns it when the batch completes, so a long-lived pool amortises
+    /// the per-context allocations away entirely.
+    pub fn batch_distances_pooled(
+        &self,
+        graph: &CsrGraph,
+        pool: &crate::ContextPool,
+        pairs: &[(VertexId, VertexId)],
+        num_threads: usize,
+    ) -> Vec<Option<u32>> {
+        batch_over(pool, pairs, num_threads, |ctx, s, t| self.distance_with(graph, ctx, s, t))
+    }
+}
+
+/// Fans `pairs` across `num_threads` scoped workers (0 = all cores),
+/// preserving input order. Each worker holds one pooled context for its
+/// whole chunk; contexts return to `pool` as workers finish.
+pub(crate) fn batch_over<F>(
+    pool: &crate::ContextPool,
+    pairs: &[(VertexId, VertexId)],
+    num_threads: usize,
+    query: F,
+) -> Vec<Option<u32>>
+where
+    F: Fn(&mut QueryContext, VertexId, VertexId) -> Option<u32> + Sync,
+{
+    let threads = if num_threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        num_threads
+    };
+    let threads = threads.min(pairs.len().max(1));
+    if threads <= 1 {
+        let mut ctx = pool.checkout();
+        return pairs.iter().map(|&(s, t)| query(&mut ctx, s, t)).collect();
+    }
+    let mut results: Vec<Option<u32>> = vec![None; pairs.len()];
+    let chunk = pairs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let mut ctx = pool.checkout();
+            let query = &query;
+            scope.spawn(move || {
+                for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = query(&mut ctx, s, t);
+                }
+            });
+        }
+    });
+    results
 }
 
 /// A ready-to-query exact distance oracle: a [`HighwayCoverLabelling`]
@@ -272,9 +351,10 @@ impl<'g> HlOracle<'g> {
         self.shared.labelling().upper_bound_with(&mut self.ctx, s, t)
     }
 
-    /// Exact distance via the full framework (upper bound + bounded search).
+    /// Exact distance via the full framework (upper bound + bounded search
+    /// on the shared oracle's precomputed [`SparseView`](crate::SparseView)).
     pub fn query(&mut self, s: VertexId, t: VertexId) -> Option<u32> {
-        self.shared.labelling().distance_with(self.shared.graph(), &mut self.ctx, s, t)
+        self.shared.labelling().distance_sparse(self.shared.sparse_view(), &mut self.ctx, s, t)
     }
 
     /// Whether the pair `(s, t)` is *covered* by the landmarks: some

@@ -37,6 +37,7 @@
 
 use crate::build::HighwayCoverLabelling;
 use crate::query::QueryContext;
+use crate::sparse::SparseView;
 use hcl_graph::{CsrGraph, VertexId};
 use std::borrow::Borrow;
 use std::ops::{Deref, DerefMut};
@@ -134,6 +135,11 @@ impl Drop for PooledContext<'_> {
 pub struct SharedOracle<G: Borrow<CsrGraph> = Arc<CsrGraph>> {
     graph: G,
     labelling: Arc<HighwayCoverLabelling>,
+    /// The precomputed sparsified graph `G[V∖R]` every bounded search
+    /// traverses. Built once at construction, so it always corresponds to
+    /// exactly this graph + labelling pair and swaps atomically with them
+    /// under hot reload.
+    sparse: Arc<SparseView>,
     pool: ContextPool,
 }
 
@@ -149,13 +155,19 @@ impl<G: Borrow<CsrGraph>> SharedOracle<G> {
     /// `Borrow<CsrGraph>`).
     pub fn with_graph(graph: G, labelling: impl Into<Arc<HighwayCoverLabelling>>) -> Self {
         let labelling = labelling.into();
+        let sparse = Arc::new(SparseView::build(graph.borrow(), labelling.highway()));
         let pool = ContextPool::new(graph.borrow().num_vertices());
-        SharedOracle { graph, labelling, pool }
+        SharedOracle { graph, labelling, sparse, pool }
     }
 
     /// The graph the labelling was built from.
     pub fn graph(&self) -> &CsrGraph {
         self.graph.borrow()
+    }
+
+    /// The precomputed sparsified graph `G[V∖R]` the query path traverses.
+    pub fn sparse_view(&self) -> &SparseView {
+        &self.sparse
     }
 
     /// The underlying labelling.
@@ -181,16 +193,17 @@ impl<G: Borrow<CsrGraph>> SharedOracle<G> {
 
     /// Exact distance between `s` and `t` (`None` when disconnected),
     /// using a pooled context. Callable concurrently from any number of
-    /// threads.
+    /// threads. The bounded search runs on the precomputed [`SparseView`]
+    /// — no skip predicate, no rank lookups.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u32> {
         let mut ctx = self.pool.checkout();
-        self.labelling.distance_with(self.graph(), &mut ctx, s, t)
+        self.labelling.distance_sparse(&self.sparse, &mut ctx, s, t)
     }
 
     /// Exact distance using a caller-held context (the zero-overhead path
-    /// for worker loops).
+    /// for worker loops). Runs on the [`SparseView`].
     pub fn distance_with(&self, ctx: &mut QueryContext, s: VertexId, t: VertexId) -> Option<u32> {
-        self.labelling.distance_with(self.graph(), ctx, s, t)
+        self.labelling.distance_sparse(&self.sparse, ctx, s, t)
     }
 
     /// The query upper bound `d⊤(s, t)` (Equation 4), using a pooled
@@ -201,14 +214,19 @@ impl<G: Borrow<CsrGraph>> SharedOracle<G> {
     }
 
     /// Answers a batch across `num_threads` scoped worker threads
-    /// (0 = all cores), preserving input order. See
-    /// [`HighwayCoverLabelling::batch_distances`].
+    /// (0 = all cores), preserving input order. Each worker queries the
+    /// [`SparseView`] with a context checked out of this oracle's
+    /// persistent pool, so repeated batches allocate no per-call contexts.
     pub fn batch_distances(
         &self,
         pairs: &[(VertexId, VertexId)],
         num_threads: usize,
     ) -> Vec<Option<u32>> {
-        self.labelling.batch_distances(self.graph(), pairs, num_threads)
+        // Capture only the Sync halves (graph storage `G` need not be).
+        let (labelling, sparse) = (&*self.labelling, &*self.sparse);
+        crate::query::batch_over(&self.pool, pairs, num_threads, |ctx, s, t| {
+            labelling.distance_sparse(sparse, ctx, s, t)
+        })
     }
 
     /// Recovers the labelling, cloning only if other `Arc` handles exist.
@@ -218,11 +236,13 @@ impl<G: Borrow<CsrGraph>> SharedOracle<G> {
 }
 
 impl<G: Borrow<CsrGraph> + Clone> Clone for SharedOracle<G> {
-    /// Clones the handle (shared labelling, fresh context pool).
+    /// Clones the handle (shared labelling and sparse view, fresh context
+    /// pool).
     fn clone(&self) -> Self {
         SharedOracle {
             graph: self.graph.clone(),
             labelling: Arc::clone(&self.labelling),
+            sparse: Arc::clone(&self.sparse),
             pool: ContextPool::new(self.graph.borrow().num_vertices()),
         }
     }

@@ -1,0 +1,111 @@
+//! The precomputed sparsified graph `G[V∖R]` the query fast path traverses.
+//!
+//! Every bounded bidirectional search of the querying framework (§4,
+//! Algorithm 2) conceptually runs on the landmark-free subgraph `G[V∖R]`
+//! (Lemma 4.5). Filtering landmarks on the fly with a per-edge skip
+//! predicate is correct but expensive on exactly the graphs the method
+//! targets: landmarks are top-degree hubs, so the unfiltered search both
+//! scans the largest adjacency lists in the graph and pays a branchy rank
+//! lookup on every neighbour examination. A [`SparseView`] materialises
+//! `G[V∖R]` **once** — at index build/load time — in the *original* vertex
+//! id space (landmarks simply become isolated), so queries traverse it
+//! directly: no skip predicate, no rank lookups, no id translation, and
+//! smaller frontiers because hub adjacencies are gone.
+//!
+//! The view is derived state: it is a function of the graph and the
+//! landmark set, rebuilt whenever either changes.
+//! [`SharedOracle`](crate::SharedOracle) owns one per index generation, so
+//! a hot reload swaps the view atomically with the labelling.
+
+use crate::highway::Highway;
+use hcl_graph::CsrGraph;
+
+/// A compacted CSR of the sparsified graph `G[V∖R]`, ids unchanged.
+///
+/// Memory cost: one extra CSR of at most `2m` 32-bit adjacency entries plus
+/// the `n + 1` offset array — never larger than the input graph (equal only
+/// in the degenerate no-landmark case), and in practice much smaller on
+/// power-law graphs because the removed landmark rows are the largest ones.
+/// [`memory_bytes`](SparseView::memory_bytes) reports the exact figure
+/// (surfaced by the server's `STATS`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseView {
+    graph: CsrGraph,
+    /// Edges of the original graph dropped because an endpoint is a
+    /// landmark.
+    removed_edges: usize,
+}
+
+impl SparseView {
+    /// Materialises `G[V∖R]` for `graph` under `highway`'s landmark set.
+    /// One `O(n + m)` pass; no re-sorting.
+    pub fn build(graph: &CsrGraph, highway: &Highway) -> Self {
+        let sparse = graph.without_vertices(highway.landmarks());
+        SparseView { removed_edges: graph.num_edges() - sparse.num_edges(), graph: sparse }
+    }
+
+    /// The sparsified graph, in the original vertex id space.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Vertices in the view (equal to the source graph's count; landmarks
+    /// are isolated, not renumbered).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Edges surviving sparsification.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Edges of the source graph dropped (incident to a landmark).
+    #[inline]
+    pub fn removed_edges(&self) -> usize {
+        self.removed_edges
+    }
+
+    /// Bytes of the materialised view (adjacency + offsets).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::HighwayCoverLabelling;
+    use hcl_graph::generate;
+
+    #[test]
+    fn view_isolates_landmarks_and_keeps_ids() {
+        let g = generate::barabasi_albert(200, 4, 3);
+        let landmarks = hcl_graph::order::top_degree(&g, 8);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let view = SparseView::build(&g, hcl.highway());
+        assert_eq!(view.num_vertices(), g.num_vertices());
+        assert_eq!(view.num_edges() + view.removed_edges(), g.num_edges());
+        for &r in &landmarks {
+            assert_eq!(view.graph().degree(r), 0, "landmark {r} must be isolated");
+        }
+        for v in g.vertices().filter(|v| !hcl.highway().is_landmark(*v)) {
+            let expect: Vec<u32> =
+                g.neighbors(v).iter().copied().filter(|&w| !hcl.highway().is_landmark(w)).collect();
+            assert_eq!(view.graph().neighbors(v), expect.as_slice(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_landmark_set_view_is_the_graph() {
+        let g = generate::cycle(12);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &[]).unwrap();
+        let view = SparseView::build(&g, hcl.highway());
+        assert_eq!(view.graph(), &g);
+        assert_eq!(view.removed_edges(), 0);
+        assert!(view.memory_bytes() > 0);
+    }
+}

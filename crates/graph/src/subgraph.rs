@@ -1,14 +1,53 @@
 //! Induced subgraphs and vertex relabelling.
 //!
-//! The querying framework conceptually runs on the sparsified graph
-//! `G[V∖R]` (§4.1). The searches never materialise it — they skip landmarks
-//! on the fly — but materialisation is useful for analysis, tests and
-//! downstream tooling, so [`induced_subgraph`] provides it. [`relabel`]
-//! renumbers vertices by any permutation (e.g. degree order, which improves
-//! BFS cache locality on power-law graphs).
+//! The querying framework runs on the sparsified graph `G[V∖R]` (§4.1).
+//! Two materialisations are provided:
+//!
+//! * [`CsrGraph::without_vertices`] keeps the original vertex-id space and
+//!   simply drops every edge incident to a removed vertex — the form the
+//!   query fast path traverses, since queries address original ids;
+//! * [`induced_subgraph`] / [`remove_vertices`] compact the ids, which is
+//!   what analysis and downstream tooling usually want.
+//!
+//! [`relabel`] renumbers vertices by any permutation (e.g. degree order,
+//! which improves BFS cache locality on power-law graphs).
 
 use crate::csr::{CsrGraph, GraphBuilder};
 use crate::VertexId;
+
+impl CsrGraph {
+    /// The graph with every edge incident to a vertex in `removed` dropped,
+    /// keeping the vertex count and ids unchanged (removed vertices become
+    /// isolated). This is the sparsified graph `G[V∖R]` in a form that
+    /// needs no id translation: searches run on it directly with original
+    /// vertex ids and no per-edge skip predicate.
+    ///
+    /// Built in one `O(n + m)` pass over the CSR (no re-sort): each kept
+    /// vertex's adjacency is the original sorted list with removed
+    /// neighbours filtered out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removed vertex id is out of range.
+    pub fn without_vertices(&self, removed: &[VertexId]) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut is_removed = vec![false; n];
+        for &v in removed {
+            is_removed[v as usize] = true;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut adj = Vec::with_capacity(self.num_edges() * 2);
+        for v in self.vertices() {
+            if !is_removed[v as usize] {
+                adj.extend(self.neighbors(v).iter().copied().filter(|&w| !is_removed[w as usize]));
+            }
+            offsets.push(adj.len());
+        }
+        adj.shrink_to_fit();
+        CsrGraph::from_parts(offsets, adj)
+    }
+}
 
 /// Extracts the subgraph induced by `keep` (vertices for which
 /// `keep(v)` is true), compacting vertex ids. Returns `(subgraph,
@@ -108,6 +147,42 @@ mod tests {
                 assert_eq!(filtered, truth[t_new as usize]);
             }
         }
+    }
+
+    #[test]
+    fn without_vertices_keeps_ids_and_isolates_removed() {
+        // Triangle 0-1-2 plus pendant 3 on 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let sparse = g.without_vertices(&[2]);
+        assert_eq!(sparse.num_vertices(), 4, "id space unchanged");
+        assert_eq!(sparse.num_edges(), 1);
+        assert_eq!(sparse.neighbors(0), &[1]);
+        assert_eq!(sparse.neighbors(2), &[] as &[VertexId]);
+        assert_eq!(sparse.neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn without_vertices_matches_compacted_subgraph() {
+        let g = generate::barabasi_albert(120, 4, 17);
+        let removed = [0u32, 3, 7, 40];
+        let sparse = g.without_vertices(&removed);
+        let (compact, old_ids) = remove_vertices(&g, &removed);
+        assert_eq!(sparse.num_edges(), compact.num_edges());
+        for (new, &old) in old_ids.iter().enumerate() {
+            assert_eq!(sparse.degree(old), compact.degree(new as u32), "vertex {old}");
+        }
+        // Distances agree under the id mapping.
+        let d_sparse = traversal::bfs_distances(&sparse, old_ids[0]);
+        let d_compact = traversal::bfs_distances(&compact, 0);
+        for (new, &old) in old_ids.iter().enumerate() {
+            assert_eq!(d_sparse[old as usize], d_compact[new], "vertex {old}");
+        }
+    }
+
+    #[test]
+    fn without_vertices_empty_removal_is_identity() {
+        let g = generate::erdos_renyi(40, 80, 2);
+        assert_eq!(g.without_vertices(&[]), g);
     }
 
     #[test]

@@ -258,6 +258,118 @@ impl SearchSpace {
             }
         }
     }
+
+    /// Distance-bounded bidirectional BFS with **no** vertex filter — the
+    /// query fast path. The caller passes the sparsified graph `G[V∖R]`
+    /// already materialised (see `CsrGraph::without_vertices`), so the inner
+    /// loop examines each neighbour with zero skip-predicate or rank-lookup
+    /// calls. Returns `min(d_g(s, t), bound)` exactly like
+    /// [`bounded_bibfs`](Self::bounded_bibfs) with a never-skip filter.
+    ///
+    /// Two additional constant-factor refinements over the reference:
+    ///
+    /// * the side to expand is chosen by pending frontier *edge* weight
+    ///   (sum of frontier degrees — the cost actually about to be paid)
+    ///   rather than settled-vertex count;
+    /// * the cutoff uses the tight bidirectional lower bound: once the
+    ///   marked balls are disjoint, any undiscovered path has length
+    ///   `>= d_fwd + d_rev + 1`, so the search stops one level earlier
+    ///   than the `d_fwd + d_rev >= bound` test.
+    pub fn bounded_bibfs_sparse(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        bound: u32,
+    ) -> u32 {
+        self.ensure(g.num_vertices());
+        if s == t {
+            return 0;
+        }
+        if bound == 0 {
+            return 0;
+        }
+        let epoch = self.next_epoch();
+
+        self.frontier.clear();
+        self.frontier.push(s);
+        self.mark_fwd[s as usize] = epoch;
+        self.dist_fwd[s as usize] = 0;
+
+        self.frontier_other.clear();
+        self.frontier_other.push(t);
+        self.mark_rev[t as usize] = epoch;
+        self.dist_rev[t as usize] = 0;
+
+        let mut d_fwd = 0u32;
+        let mut d_rev = 0u32;
+        // Edges about to be scanned if the side expands: the sum of its
+        // frontier degrees in the sparsified graph.
+        let mut edges_fwd = g.degree(s) as u64;
+        let mut edges_rev = g.degree(t) as u64;
+
+        loop {
+            if self.frontier.is_empty() || self.frontier_other.is_empty() {
+                // One side exhausted its component without meeting the
+                // other: d_g(s, t) = INF, so the bound is the answer.
+                return bound;
+            }
+            // The marked balls are disjoint (every new mark checks the
+            // other side first), so d_g(s, t) >= d_fwd + d_rev + 1; once
+            // that reaches the bound the bound is the answer.
+            if d_fwd.saturating_add(d_rev).saturating_add(1) >= bound {
+                return bound;
+            }
+
+            let forward = edges_fwd <= edges_rev;
+            let (frontier, mark_same, dist_same, mark_other, dist_other, d_same) = if forward {
+                (
+                    &mut self.frontier,
+                    &mut self.mark_fwd,
+                    &mut self.dist_fwd,
+                    &self.mark_rev,
+                    &self.dist_rev,
+                    &mut d_fwd,
+                )
+            } else {
+                (
+                    &mut self.frontier_other,
+                    &mut self.mark_rev,
+                    &mut self.dist_rev,
+                    &self.mark_fwd,
+                    &self.dist_fwd,
+                    &mut d_rev,
+                )
+            };
+
+            self.next.clear();
+            let mut next_edges = 0u64;
+            for &u in frontier.iter() {
+                for &v in g.neighbors(u) {
+                    let vi = v as usize;
+                    if mark_other[vi] == epoch {
+                        // The searches met; as in the reference, the
+                        // disjoint-ball invariant makes this exact.
+                        let met = (*d_same + 1).saturating_add(dist_other[vi]);
+                        return met.min(bound);
+                    }
+                    if mark_same[vi] != epoch {
+                        mark_same[vi] = epoch;
+                        dist_same[vi] = *d_same + 1;
+                        next_edges += g.degree(v) as u64;
+                        self.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(frontier, &mut self.next);
+            *d_same += 1;
+            if forward {
+                edges_fwd = next_edges;
+            } else {
+                edges_rev = next_edges;
+            }
+        }
+    }
 }
 
 /// Dijkstra distances from `src` on a weighted graph (`INF` = unreachable).
@@ -426,6 +538,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sparse_search_matches_skip_closure_reference() {
+        for seed in 0..5u64 {
+            let g = generate::erdos_renyi(60, 110, seed);
+            let removed: Vec<VertexId> = vec![0, 1, 2];
+            let sparse = g.without_vertices(&removed);
+            let mut reference = SearchSpace::new(g.num_vertices());
+            let mut fast = SearchSpace::new(g.num_vertices());
+            for s in [3u32, 10, 59] {
+                for t in 3..g.num_vertices() as VertexId {
+                    if s == t {
+                        continue;
+                    }
+                    for bound in [0u32, 1, 2, 3, 5, 100, INF] {
+                        let want = reference.bounded_bibfs(&g, s, t, bound, |v| v < 3);
+                        let got = fast.bounded_bibfs_sparse(&sparse, s, t, bound);
+                        assert_eq!(got, want, "seed={seed} s={s} t={t} bound={bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_search_basics() {
+        let g = path_graph(10);
+        let mut space = SearchSpace::new(10);
+        assert_eq!(space.bounded_bibfs_sparse(&g, 3, 3, 5), 0);
+        assert_eq!(space.bounded_bibfs_sparse(&g, 0, 9, 4), 4);
+        assert_eq!(space.bounded_bibfs_sparse(&g, 0, 9, 9), 9);
+        assert_eq!(space.bounded_bibfs_sparse(&g, 0, 9, INF), 9);
+        // Disconnected under removal: bound comes back.
+        let cut = g.without_vertices(&[5]);
+        assert_eq!(space.bounded_bibfs_sparse(&cut, 0, 9, 7), 7);
+        assert_eq!(space.bounded_bibfs_sparse(&cut, 0, 9, INF), INF);
     }
 
     #[test]

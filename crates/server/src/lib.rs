@@ -59,6 +59,6 @@ pub use batch::BatchExecutor;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use oracle_pool::{QueryError, QueryService, ReloadError};
+pub use oracle_pool::{IndexSizes, QueryError, QueryService, ReloadError};
 pub use protocol::{Decoder, Frame, ProtocolError, Request, ResponseError};
 pub use server::{Server, ServerConfig, ServerHandle};

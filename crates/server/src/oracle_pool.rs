@@ -83,6 +83,17 @@ impl std::fmt::Display for ReloadError {
 
 impl std::error::Error for ReloadError {}
 
+/// Byte sizes of one index generation, as reported by `STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexSizes {
+    /// Queryable index: label entries + offsets + highway matrix.
+    pub index_bytes: usize,
+    /// The precomputed sparsified CSR `G[V∖R]` the searches traverse.
+    pub sparse_bytes: usize,
+    /// Edges surviving sparsification.
+    pub sparse_edges: usize,
+}
+
 /// Shared per-process serving state; see the module docs.
 #[derive(Debug)]
 pub struct QueryService {
@@ -247,6 +258,19 @@ impl QueryService {
             });
         }
         Ok(self.reload(SharedOracle::new(graph, Arc::new(labelling))))
+    }
+
+    /// Sizes of the currently serving index generation (labelling bytes
+    /// plus the sparsified-view CSR the query path traverses).
+    pub fn index_sizes(&self) -> IndexSizes {
+        let snap = self.snapshot();
+        let oracle = snap.oracle();
+        let view = oracle.sparse_view();
+        IndexSizes {
+            index_bytes: oracle.labelling().index_bytes(),
+            sparse_bytes: view.memory_bytes(),
+            sparse_edges: view.num_edges(),
+        }
     }
 
     /// Cache statistics (zeroed when serving without a cache).

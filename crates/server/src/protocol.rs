@@ -25,6 +25,7 @@
 
 use crate::cache::CacheStats;
 use crate::metrics::MetricsSnapshot;
+use crate::oracle_pool::IndexSizes;
 use hcl_graph::VertexId;
 
 /// Largest `k` a `BATCH` request may declare; guards the server against
@@ -490,12 +491,19 @@ pub fn format_batch_response(distances: &[Option<u32>]) -> String {
 }
 
 /// Renders the `STATS` response: one line of `key=value` pairs.
-pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats, epoch: u64) -> String {
+/// `sizes` describes the index generation currently serving (labelling
+/// bytes plus the sparsified-view CSR the query path traverses).
+pub fn format_stats_response(
+    metrics: &MetricsSnapshot,
+    cache: &CacheStats,
+    epoch: u64,
+    sizes: &IndexSizes,
+) -> String {
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
-         epoch={} reloads={} cache_hits={} cache_misses={} cache_stale={} cache_evictions={} \
-         cache_entries={} cache_capacity={}",
+         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} cache_hits={} \
+         cache_misses={} cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
         metrics.queries,
         metrics.batch_requests,
         metrics.batch_queries,
@@ -506,6 +514,9 @@ pub fn format_stats_response(metrics: &MetricsSnapshot, cache: &CacheStats, epoc
         metrics.errors,
         epoch,
         metrics.reloads,
+        sizes.index_bytes,
+        sizes.sparse_bytes,
+        sizes.sparse_edges,
         cache.hits,
         cache.misses,
         cache.stale,
@@ -806,7 +817,9 @@ mod tests {
 
     #[test]
     fn stats_line_is_parseable_key_values() {
-        let line = format_stats_response(&MetricsSnapshot::default(), &CacheStats::default(), 4);
+        let sizes = IndexSizes { index_bytes: 1024, sparse_bytes: 2048, sparse_edges: 96 };
+        let line =
+            format_stats_response(&MetricsSnapshot::default(), &CacheStats::default(), 4, &sizes);
         let body = line.strip_prefix("STATS ").unwrap();
         for kv in body.split_ascii_whitespace() {
             let (k, v) = kv.split_once('=').expect("key=value");
@@ -815,6 +828,9 @@ mod tests {
         }
         assert!(body.contains("epoch=4"));
         assert!(body.contains("reloads=0"));
+        assert!(body.contains("index_bytes=1024"));
+        assert!(body.contains("sparse_bytes=2048"));
+        assert!(body.contains("sparse_edges=96"));
         assert!(body.contains("cache_stale=0"));
         assert!(body.contains("rejected_connections=0"));
         assert!(body.contains("timed_out_connections=0"));

@@ -307,10 +307,12 @@ impl Reactor {
             Frame::Stats => {
                 let snapshot = shared.service.metrics_snapshot();
                 let cache = shared.service.cache_stats();
+                let sizes = shared.service.index_sizes();
                 conn.push_ready(protocol::format_stats_response(
                     &snapshot,
                     &cache,
                     shared.service.epoch(),
+                    &sizes,
                 ));
             }
             Frame::Query(s, t) => {

@@ -177,6 +177,66 @@ fn reload_under_live_traffic_never_serves_stale_or_torn_answers() {
     let _ = std::fs::remove_file(&index_path);
 }
 
+/// The sparsified view must swap atomically with the labelling: under a
+/// storm of concurrent queries and reloads between *different-sized*
+/// graphs, every pinned snapshot's view matches its own generation (same
+/// vertex count, every landmark of that generation isolated in it), and
+/// every answer — all computed by searching the view — matches one of the
+/// two graphs' ground truths.
+#[test]
+fn sparse_view_swaps_atomically_with_the_labelling_under_live_traffic() {
+    let (g_a, l_a) = ba_fixture(N, 4, 1001, 12);
+    let (g_b, l_b) = ba_fixture(N / 2, 4, 1002, 8);
+    let truth_a = truth_map(&g_a, (0..N as u32 / 2).map(|i| (i, (i * 7 + 1) % (N as u32 / 2))));
+    let truth_b = truth_map(&g_b, (0..N as u32 / 2).map(|i| (i, (i * 7 + 1) % (N as u32 / 2))));
+
+    let service = Arc::new(QueryService::from_parts(Arc::clone(&g_a), Arc::clone(&l_a), 1 << 10));
+    let stop = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for th in 0..CLIENT_THREADS {
+            let service = Arc::clone(&service);
+            let (stop, checked) = (&stop, &checked);
+            let (truth_a, truth_b) = (&truth_a, &truth_b);
+            scope.spawn(move || {
+                let mut i = th as u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.snapshot();
+                    let oracle = snap.oracle();
+                    let view = oracle.sparse_view();
+                    // The view belongs to exactly this generation…
+                    assert_eq!(view.num_vertices(), snap.num_vertices(), "torn view/graph pair");
+                    for &r in oracle.labelling().highway().landmarks() {
+                        assert_eq!(view.graph().degree(r), 0, "landmark {r} not isolated");
+                    }
+                    // …and answers computed through it are exact for
+                    // whichever graph this generation serves.
+                    let half = N as u32 / 2;
+                    let (s, t) = (i % half, ((i % half) * 7 + 1) % half);
+                    let got = oracle.distance(s, t);
+                    let want = if snap.num_vertices() == N { truth_a } else { truth_b };
+                    assert_eq!(got, want[&(s, t)], "epoch {} {s}->{t}", snap.epoch());
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    i = i.wrapping_add(1);
+                }
+            });
+        }
+        for round in 0..12 {
+            let (g, l) = if round % 2 == 0 {
+                (Arc::clone(&g_b), Arc::clone(&l_b))
+            } else {
+                (Arc::clone(&g_a), Arc::clone(&l_a))
+            };
+            service.reload(hcl_core::SharedOracle::new(g, l));
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(service.epoch(), 12);
+    assert!(checked.load(Ordering::Relaxed) > 0, "query threads must have run");
+}
+
 #[test]
 fn reload_from_graph_only_rebuilds_the_labelling_in_process() {
     let (graph_a, labelling_a) = build(7);
