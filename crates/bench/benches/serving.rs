@@ -16,6 +16,11 @@
 //!   pairs as pipelined single `QUERY`s. The gap between the two is the
 //!   per-request framing + completion-queue overhead; the gap between
 //!   wire and executor is the whole transport.
+//! * **router** — the same wire workload through a 2-shard `hcl-router`
+//!   deployment (range partition, shard servers + router all on
+//!   loopback) next to a direct single-server baseline on the same
+//!   pairs. The gap is the router overhead: one extra hop, batch
+//!   splitting, and cross-shard scatter-gather.
 //!
 //! Note: on a single-core host every thread count reports the same rate —
 //! compare thread counts only where `nproc` exceeds the largest count.
@@ -113,5 +118,57 @@ fn bench_wire(c: &mut Criterion) {
     handle.shutdown();
 }
 
-criterion_group!(benches, bench_oracle, bench_serving, bench_wire);
+fn bench_router(c: &mut Criterion) {
+    let g = Arc::new(generate::barabasi_albert(20_000, 8, 42));
+    let landmarks = hcl_graph::order::top_degree(&g, 20);
+    let (labelling, _) = HighwayCoverLabelling::build_parallel(&g, &landmarks, 0).unwrap();
+    let labelling = Arc::new(labelling);
+    let pairs = sample_pairs(g.num_vertices(), WIRE_QUERIES, 11);
+
+    // Direct baseline: one server over the whole graph.
+    let direct = Server::bind(
+        Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::clone(&labelling), 0)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut direct_client = Client::connect(direct.local_addr()).unwrap();
+
+    // 2-shard deployment behind a router, same index replicated.
+    let map = hcl_core::PartitionMap::range(g.num_vertices(), 2, &landmarks);
+    let shards: Vec<_> = (0..2)
+        .map(|shard| {
+            let shard_graph = Arc::new(map.shard_graph(&g, shard));
+            let service =
+                Arc::new(QueryService::from_parts(shard_graph, Arc::clone(&labelling), 0));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = shards.iter().map(|s| s.local_addr()).collect();
+    let router =
+        hcl_router::Router::bind(map, &addrs, "127.0.0.1:0", hcl_router::RouterConfig::default())
+            .unwrap();
+    let mut routed_client = Client::connect(router.local_addr()).unwrap();
+
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WIRE_QUERIES as u64));
+    group.bench_function("direct-batch", |b| {
+        b.iter(|| black_box(direct_client.batch(&pairs).unwrap()))
+    });
+    group.bench_function("routed-batch", |b| {
+        b.iter(|| black_box(routed_client.batch(&pairs).unwrap()))
+    });
+    group.bench_function("routed-pipelined-query", |b| {
+        b.iter(|| black_box(routed_client.pipelined_queries(&pairs).unwrap()))
+    });
+    group.finish();
+    router.shutdown();
+    for shard in &shards {
+        shard.shutdown();
+    }
+    direct.shutdown();
+}
+
+criterion_group!(benches, bench_oracle, bench_serving, bench_wire, bench_router);
 criterion_main!(benches);

@@ -15,7 +15,10 @@
 //! * sizes — labelling bytes, sparsified-view bytes/edges, graph bytes.
 //!
 //! Usage: `bench_query [--quick] [--out <path>]`. `--quick` shrinks the
-//! instance for CI; without `--out` the JSON goes to stdout only.
+//! instance for CI; without `--out` the JSON goes to stdout only. Every
+//! record carries its provenance — `git_rev`, `nproc`, and `mode` — so
+//! numbers from different machines or configurations are never compared
+//! blindly.
 
 use hcl_core::{HighwayCoverLabelling, QueryContext, SharedOracle};
 use hcl_graph::generate;
@@ -101,13 +104,16 @@ fn main() {
 
     let view = oracle.sparse_view();
     let json = format!(
-        "{{\n  \"bench\": \"query\",\n  \"mode\": \"{}\",\n  \"vertices\": {},\n  \
+        "{{\n  \"bench\": \"query\",\n  \"mode\": \"{}\",\n  \"git_rev\": \"{}\",\n  \
+         \"nproc\": {},\n  \"vertices\": {},\n  \
          \"edges\": {},\n  \"landmarks\": {},\n  \"queries\": {},\n  \
          \"build_seconds\": {:.3},\n  \"queries_per_sec_sequential\": {:.0},\n  \
          \"queries_per_sec_batched\": {:.0},\n  \"upper_bound_exact_rate\": {:.4},\n  \
          \"index_bytes\": {},\n  \"sparse_view_bytes\": {},\n  \"sparse_view_edges\": {},\n  \
          \"graph_bytes\": {}\n}}",
         if quick { "quick" } else { "full" },
+        git_rev(),
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
         g.num_vertices(),
         g.num_edges(),
         cfg.landmarks,
@@ -126,4 +132,17 @@ fn main() {
         std::fs::write(&path, format!("{json}\n")).expect("writing BENCH_query.json");
         eprintln!("wrote {path}");
     }
+}
+
+/// The commit the numbers were measured at (`unknown` outside a git
+/// checkout), so trajectory entries are comparable across PRs.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }

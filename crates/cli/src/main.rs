@@ -35,6 +35,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("random-queries") => cmd_random_queries(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("reload") => cmd_reload(&args[1..]),
         Some("help") | None => {
@@ -65,6 +67,10 @@ USAGE:
   hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
             [--cache <entries>] [--landmarks <k>] [--max-conns <n>]
             [--idle-timeout <secs>]
+  hcl partition <graph file> --shards <n> --out-dir <dir> [--strategy hash|range]
+            [--landmarks <k>] [--threads <t>]
+  hcl route --partition <file> --shards <addr>,<addr>,... [--host <h>] [--port <p>]
+            [--max-conns <n>] [--idle-timeout <secs>] [--window <n>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
   hcl client <addr> stats | ping | epoch | shutdown
   hcl client <addr> reload <graph file> [<index file>]
@@ -85,6 +91,14 @@ paths are read by the *server* process; in-flight queries finish on the
 old index, new queries see the new one. Without an index file the server
 rebuilds the labelling from the graph's top-degree landmarks (serve
 --landmarks sets how many).
+
+partition splits a graph into a sharded deployment directory: one graph
+file per shard (G[Vi + R], original id space), the shared global index,
+and the partition map. Each shard is then an ordinary
+`hcl serve <dir>/shardI.hclg <dir>/index.hcl`; route puts the router in
+front (one address per shard, in shard order) and speaks the same
+protocol to clients, so `hcl client` works unchanged. RELOAD through the
+router takes the deployment directory. See docs/PROTOCOL.md.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -279,6 +293,92 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     handle.join();
     println!("server stopped");
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("partition requires a graph file")?;
+    let out_dir = flag(args, "--out-dir").ok_or("partition requires --out-dir <dir>")?;
+    let shards: u32 = parse_flag(args, "--shards", 2)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let k: usize = parse_flag(args, "--landmarks", 20)?;
+    let threads: usize = parse_flag(args, "--threads", 0)?;
+    let strategy = flag(args, "--strategy").unwrap_or_else(|| "range".to_string());
+
+    let g = load_graph(path)?;
+    let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
+    let map = match strategy.as_str() {
+        "hash" => hcl_core::PartitionMap::hash(g.num_vertices(), shards, &landmarks),
+        "range" => hcl_core::PartitionMap::range(g.num_vertices(), shards, &landmarks),
+        other => return Err(format!("unknown strategy {other:?} (hash or range)")),
+    };
+    let (labelling, stats) = HighwayCoverLabelling::build_parallel(&g, &landmarks, threads)
+        .map_err(|e| format!("building labelling: {e}"))?;
+    println!("built global labelling: {} entries in {:?}", stats.labels_added, stats.duration);
+
+    let summary = hcl_core::partition::write_deployment(&out_dir, &g, &labelling, &map)
+        .map_err(|e| format!("writing deployment to {out_dir}: {e}"))?;
+    for (shard, (vertices, edges)) in
+        summary.shard_vertices.iter().zip(&summary.shard_edges).enumerate()
+    {
+        println!(
+            "shard{shard}: {vertices} owned vertices, {edges} edges -> {out_dir}/{}",
+            hcl_core::partition::shard_graph_filename(shard as u32)
+        );
+    }
+    println!(
+        "cut edges (in no shard): {} of {} ({:.2}%)",
+        summary.cut_edges,
+        g.num_edges(),
+        100.0 * summary.cut_edges as f64 / g.num_edges().max(1) as f64
+    );
+    if summary.exact {
+        println!("partition respects G[V\\R] components: every routed query is exact");
+    } else {
+        println!(
+            "warning: partition cuts G[V\\R] components — cross-shard queries whose \
+             shortest paths avoid landmarks degrade to upper bounds (see docs/PROTOCOL.md)"
+        );
+    }
+    println!(
+        "deployment ready: hcl serve {out_dir}/shardI.hclg {out_dir}/index.hcl per shard, \
+         then hcl route --partition {out_dir}/{} --shards <addr>,...",
+        hcl_core::partition::PARTITION_FILENAME
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let map_path = flag(args, "--partition").ok_or("route requires --partition <file>")?;
+    let shards_arg = flag(args, "--shards").ok_or("route requires --shards <addr>,<addr>,...")?;
+    let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = parse_flag(args, "--port", 7700)?;
+    let defaults = hcl_router::RouterConfig::default();
+    let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_connections)?;
+    let idle_secs: u64 = parse_flag(args, "--idle-timeout", defaults.idle_timeout.as_secs())?;
+    let window: usize = parse_flag(args, "--window", defaults.shard_window)?;
+
+    let map = hcl_core::PartitionMap::load(&map_path)
+        .map_err(|e| format!("loading partition {map_path}: {e}"))?;
+    let shard_addrs: Vec<String> = shards_arg.split(',').map(str::to_string).collect();
+    let config = hcl_router::RouterConfig {
+        max_connections: max_conns,
+        idle_timeout: std::time::Duration::from_secs(idle_secs),
+        shard_window: window,
+        ..Default::default()
+    };
+    let handle = hcl_router::Router::bind(map, &shard_addrs, (host.as_str(), port), config)
+        .map_err(|e| format!("starting router on {host}:{port}: {e}"))?;
+    println!(
+        "routing {} shards on {} (window {window}, up to {max_conns} connections) — \
+         send SHUTDOWN to stop",
+        shard_addrs.len(),
+        handle.local_addr()
+    );
+    handle.join();
+    println!("router stopped");
     Ok(())
 }
 

@@ -50,6 +50,7 @@ pub mod io;
 pub mod labels;
 pub mod landmarks;
 pub mod parallel;
+pub mod partition;
 pub mod query;
 pub mod shared;
 pub mod sparse;
@@ -61,6 +62,7 @@ pub use build::{BuildStats, HighwayCoverLabelling};
 pub use epoch::{EpochCell, OracleEpoch};
 pub use highway::Highway;
 pub use labels::{HighwayLabels, LabelEntry};
+pub use partition::{PartitionMap, PartitionStrategy, ShardRoute};
 pub use query::{HlOracle, QueryContext};
 pub use shared::{ContextPool, PooledContext, SharedOracle};
 pub use sparse::SparseView;

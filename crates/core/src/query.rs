@@ -235,7 +235,8 @@ impl HighwayCoverLabelling {
     /// Answers a batch of queries across `num_threads` worker threads
     /// (0 = all cores). Results are in input order; throughput scales with
     /// cores because queries share nothing but the read-only labelling and
-    /// graph. Worker contexts come from a [`ContextPool`] — callers that
+    /// graph. Worker contexts come from a
+    /// [`ContextPool`](crate::ContextPool) — callers that
     /// batch repeatedly should use
     /// [`SharedOracle::batch_distances`](crate::SharedOracle), whose
     /// persistent pool reuses the contexts (and their O(n) mark arrays)

@@ -1,0 +1,239 @@
+//! The pure merge logic of the router: splitting batches by shard
+//! ownership, min-merging scattered answers, summing `STATS` bodies, and
+//! epoch agreement. Everything here is deterministic and free of I/O so
+//! the routing semantics are unit-testable without sockets.
+
+use hcl_core::{PartitionMap, ShardRoute};
+use hcl_graph::{VertexId, INF};
+
+/// One shard's slice of a client `BATCH`: the pairs it must answer and,
+/// for each, the position in the client's response the answer feeds
+/// (cross-shard pairs appear in two shards' slices and min-merge at the
+/// shared position).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardBatch {
+    /// The shard this slice goes to.
+    pub shard: u32,
+    /// `positions[i]` is the client-response index `pairs[i]` answers.
+    pub positions: Vec<u32>,
+    /// The pairs forwarded to this shard, in client order.
+    pub pairs: Vec<(VertexId, VertexId)>,
+}
+
+/// Splits a client batch into per-shard sub-batches by
+/// [`PartitionMap::route`]. Returns only non-empty slices, ordered by
+/// shard id.
+pub fn split_batch(map: &PartitionMap, pairs: &[(VertexId, VertexId)]) -> Vec<ShardBatch> {
+    let mut slices: Vec<Option<ShardBatch>> = vec![None; map.num_shards() as usize];
+    let mut push = |shard: u32, position: u32, pair: (VertexId, VertexId)| {
+        let slice = slices[shard as usize].get_or_insert_with(|| ShardBatch {
+            shard,
+            positions: Vec::new(),
+            pairs: Vec::new(),
+        });
+        slice.positions.push(position);
+        slice.pairs.push(pair);
+    };
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        match map.route(s, t) {
+            ShardRoute::Single(a) => push(a, i as u32, (s, t)),
+            ShardRoute::Scatter(a, b) => {
+                push(a, i as u32, (s, t));
+                push(b, i as u32, (s, t));
+            }
+        }
+    }
+    slices.into_iter().flatten().collect()
+}
+
+/// The `INF`-aware minimum of two scattered answers (`None` =
+/// unreachable on that shard).
+pub fn merge_min(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+/// Accumulates one shard's `DISTS` answers into the client response
+/// being assembled (`out` uses the raw [`INF`] sentinel for
+/// unreachable-so-far).
+pub fn fold_batch_answers(out: &mut [u32], positions: &[u32], answers: &[Option<u32>]) {
+    debug_assert_eq!(positions.len(), answers.len());
+    for (&pos, &d) in positions.iter().zip(answers) {
+        let d = d.unwrap_or(INF);
+        let slot = &mut out[pos as usize];
+        *slot = (*slot).min(d);
+    }
+}
+
+/// Converts an assembled sentinel vector back to the protocol's
+/// `Option<u32>` form.
+pub fn finish_batch(out: Vec<u32>) -> Vec<Option<u32>> {
+    out.into_iter().map(|d| (d != INF).then_some(d)).collect()
+}
+
+/// Reports the deployment-wide epoch: `Ok` only when every shard agrees,
+/// otherwise a one-line description of the divergence.
+pub fn epoch_agreement(epochs: &[(u32, u64)]) -> Result<u64, String> {
+    let Some(&(_, first)) = epochs.first() else {
+        return Err("no shards responded".to_string());
+    };
+    if epochs.iter().all(|&(_, e)| e == first) {
+        Ok(first)
+    } else {
+        let detail: Vec<String> =
+            epochs.iter().map(|(shard, e)| format!("shard{shard}={e}")).collect();
+        Err(format!("shards at divergent epochs: {}", detail.join(" ")))
+    }
+}
+
+/// Renders the router's verdict on a `RELOAD` fan-out: `RELOADED <e>`
+/// only when **every** shard confirmed the same new epoch (all-or-nothing
+/// confirmation); any failure or epoch divergence yields one `ERR` line
+/// naming each shard's outcome.
+pub fn reload_verdict(results: &[(u32, Result<u64, String>)]) -> Result<u64, String> {
+    let mut confirmed = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (shard, outcome) in results {
+        match outcome {
+            Ok(epoch) => confirmed.push((*shard, *epoch)),
+            Err(msg) => failures.push(format!("shard{shard}: {msg}")),
+        }
+    }
+    if failures.is_empty() {
+        return epoch_agreement(&confirmed)
+            .map_err(|divergence| format!("reload incomplete: {divergence}"));
+    }
+    let mut parts = failures;
+    for (shard, epoch) in confirmed {
+        parts.push(format!("shard{shard}: RELOADED {epoch}"));
+    }
+    Err(format!("reload incomplete: {}", parts.join("; ")))
+}
+
+/// Merges shard `STATS` bodies (`key=value` pairs) into one body:
+/// numeric values are summed across shards, except `epoch`, which is
+/// reported as the minimum (the generation every shard has reached). Key
+/// order follows the first body, with stragglers appended; non-numeric
+/// values are passed through from the first shard reporting them.
+pub fn merge_stats_bodies(bodies: &[String]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: Vec<(String, Option<u64>, String)> = Vec::new();
+    for body in bodies {
+        for kv in body.split_ascii_whitespace() {
+            let Some((key, value)) = kv.split_once('=') else { continue };
+            let idx = match sums.iter().position(|(k, _, _)| k == key) {
+                Some(idx) => idx,
+                None => {
+                    order.push(key.to_string());
+                    sums.push((key.to_string(), None, value.to_string()));
+                    sums.len() - 1
+                }
+            };
+            if let Ok(number) = value.parse::<u64>() {
+                let slot = &mut sums[idx].1;
+                *slot = Some(match (key, *slot) {
+                    ("epoch", Some(acc)) => acc.min(number),
+                    (_, Some(acc)) => acc.saturating_add(number),
+                    (_, None) => number,
+                });
+            }
+        }
+    }
+    let mut out = String::new();
+    for key in order {
+        let (_, sum, raw) = sums.iter().find(|(k, _, _)| *k == key).expect("key recorded");
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match sum {
+            Some(total) => out.push_str(&format!("{key}={total}")),
+            None => out.push_str(&format!("{key}={raw}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PartitionMap {
+        // 100 vertices, 2 range shards (0..50 | 50..100), landmarks 0 and 50.
+        PartitionMap::range(100, 2, &[0, 50])
+    }
+
+    #[test]
+    fn split_batch_routes_and_duplicates_cross_shard_pairs() {
+        let slices = split_batch(&map(), &[(1, 2), (60, 70), (1, 70), (0, 80), (3, 3)]);
+        assert_eq!(slices.len(), 2);
+        let s0 = &slices[0];
+        let s1 = &slices[1];
+        assert_eq!(s0.shard, 0);
+        assert_eq!(s1.shard, 1);
+        // Shard 0: same-shard (1,2), scatter half of (1,70), same-shard (3,3).
+        assert_eq!(s0.pairs, vec![(1, 2), (1, 70), (3, 3)]);
+        assert_eq!(s0.positions, vec![0, 2, 4]);
+        // Shard 1: (60,70), scatter half of (1,70), landmark-endpoint (0,80).
+        assert_eq!(s1.pairs, vec![(60, 70), (1, 70), (0, 80)]);
+        assert_eq!(s1.positions, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_batch_skips_unused_shards() {
+        let slices = split_batch(&map(), &[(1, 2), (3, 4)]);
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].shard, 0);
+    }
+
+    #[test]
+    fn min_merge_handles_inf() {
+        assert_eq!(merge_min(Some(3), Some(5)), Some(3));
+        assert_eq!(merge_min(None, Some(5)), Some(5));
+        assert_eq!(merge_min(Some(2), None), Some(2));
+        assert_eq!(merge_min(None, None), None);
+    }
+
+    #[test]
+    fn batch_fold_round_trips() {
+        let mut out = vec![INF; 4];
+        fold_batch_answers(&mut out, &[0, 2], &[Some(7), None]);
+        fold_batch_answers(&mut out, &[1, 2, 3], &[Some(1), Some(9), None]);
+        // Position 2 got None from one shard and 9 from the other.
+        assert_eq!(finish_batch(out), vec![Some(7), Some(1), Some(9), None]);
+    }
+
+    #[test]
+    fn epoch_agreement_requires_unanimity() {
+        assert_eq!(epoch_agreement(&[(0, 3), (1, 3)]), Ok(3));
+        let err = epoch_agreement(&[(0, 3), (1, 4)]).unwrap_err();
+        assert!(err.contains("shard0=3") && err.contains("shard1=4"), "{err}");
+        assert!(epoch_agreement(&[]).is_err());
+    }
+
+    #[test]
+    fn reload_verdict_is_all_or_nothing() {
+        assert_eq!(reload_verdict(&[(0, Ok(2)), (1, Ok(2))]), Ok(2));
+        let err = reload_verdict(&[(0, Ok(2)), (1, Err("no such file".to_string()))]).unwrap_err();
+        assert!(err.contains("shard1: no such file"), "{err}");
+        assert!(err.contains("shard0: RELOADED 2"), "{err}");
+        let err = reload_verdict(&[(0, Ok(2)), (1, Ok(3))]).unwrap_err();
+        assert!(err.contains("divergent"), "{err}");
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_mins_epoch() {
+        let merged = merge_stats_bodies(&[
+            "queries=10 epoch=2 cache_hits=5".to_string(),
+            "queries=7 epoch=3 cache_hits=0 extra=1".to_string(),
+        ]);
+        assert_eq!(merged, "queries=17 epoch=2 cache_hits=5 extra=1");
+    }
+
+    #[test]
+    fn stats_merge_passes_non_numeric_through() {
+        let merged = merge_stats_bodies(&["mode=fast queries=1".to_string()]);
+        assert_eq!(merged, "mode=fast queries=1");
+    }
+}

@@ -1,0 +1,802 @@
+//! The router's single-threaded epoll event loop.
+//!
+//! One thread owns the listening socket, every client connection, an
+//! eventfd (shutdown wakeup), and two pipelined connections per shard —
+//! *data* (queries, batches, stats, epoch) and *control* (`RELOAD`, so a
+//! seconds-long index rebuild never stalls query traffic behind it in the
+//! shard's per-connection response order). Client connections run the
+//! same [`Conn`] state machine as the server: incremental decoding,
+//! ordered response slots, write-buffer backpressure. The router performs
+//! no graph computation — every frame either resolves locally (`PING`,
+//! errors) or becomes one or two upstream request lines whose responses
+//! are merged by [`aggregate`](crate::aggregate) and completed into the
+//! client's response slot.
+
+use crate::aggregate;
+use crate::router::{RouterMetrics, Shared};
+use crate::upstream::{OutboundRequest, Pending, Upstream};
+use hcl_core::partition::shard_paths;
+use hcl_core::ShardRoute;
+use hcl_graph::VertexId;
+use hcl_server::protocol::{self, Frame, ResponseError};
+use hcl_server::transport::conn::Conn;
+use hcl_server::transport::sys::{self, Epoll, EpollEvent};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+/// Upstream tokens: data = `2 + 2·shard`, control = `3 + 2·shard`.
+const TOKEN_UPSTREAM_BASE: u64 = 2;
+
+const MAX_READS_PER_EVENT: usize = 16;
+const READ_CHUNK: usize = 16 * 1024;
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+/// Interest registered for a fresh upstream socket.
+const UPSTREAM_BASE_INTEREST: u32 = sys::EPOLLIN | sys::EPOLLRDHUP;
+
+fn upstream_token(ctl: bool, shard: u32) -> u64 {
+    TOKEN_UPSTREAM_BASE + 2 * shard as u64 + ctl as u64
+}
+
+/// How the responses of one client request are being assembled.
+enum AggKind {
+    /// Single-shard request: relay the shard's response line verbatim
+    /// (including `ERR`).
+    Passthrough,
+    /// Cross-shard `QUERY`: the `INF`-aware minimum of both answers.
+    MinDist { best: Option<u32>, error: Option<String> },
+    /// Scattered `BATCH`: answers folded into client positions with the
+    /// raw `INF` sentinel.
+    Batch { dists: Vec<u32>, error: Option<String> },
+    /// `STATS` fan-out: shard bodies to merge under the router prefix.
+    Stats { prefix: String, bodies: Vec<String>, error: Option<String> },
+    /// `EPOCH` fan-out: answered only on unanimity.
+    Epoch { epochs: Vec<(u32, u64)>, error: Option<String> },
+    /// `RELOAD` fan-out: per-shard outcomes, all-or-nothing confirmation.
+    Reload { results: Vec<(u32, Result<u64, String>)> },
+}
+
+/// One in-flight client request spanning one or more shard responses.
+struct Agg {
+    conn: u64,
+    seq: u64,
+    outstanding: u32,
+    kind: AggKind,
+}
+
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    relisten_at: Option<Instant>,
+    conns: HashMap<u64, Conn>,
+    data: Vec<Upstream>,
+    ctl: Vec<Upstream>,
+    requests: HashMap<u64, Agg>,
+    next_conn_id: u64,
+    next_request_id: u64,
+    first_conn_id: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    reload_busy: bool,
+    /// Completions whose connection was detached from `conns` when they
+    /// resolved — a request can fail *synchronously* inside
+    /// [`handle_frame`](Self::handle_frame) (dead shard, failed
+    /// reconnect) while `conn_event` holds the `Conn` on its stack, so
+    /// the `ERR` line parks here and the frame dispatcher drains it into
+    /// the connection before settling. Entries for any other id belong
+    /// to connections that no longer exist and are dropped.
+    deferred: Vec<(u64, u64, String)>,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    pub fn new(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(shared.wake.raw(), sys::EPOLLIN, TOKEN_WAKE)?;
+        let window = shared.config.shard_window;
+        let mut data = Vec::with_capacity(shared.shard_addrs.len());
+        let mut ctl = Vec::with_capacity(shared.shard_addrs.len());
+        for (shard, &addr) in shared.shard_addrs.iter().enumerate() {
+            // Data connections are eager so a dead shard fails the bind;
+            // control connections open on the first RELOAD.
+            let upstream = Upstream::connect(addr, window)?;
+            let fd = upstream.fd().expect("connected");
+            epoll.add(fd, UPSTREAM_BASE_INTEREST, upstream_token(false, shard as u32))?;
+            data.push(upstream);
+            data[shard].set_registered(UPSTREAM_BASE_INTEREST);
+            ctl.push(Upstream::disconnected(addr, 1));
+        }
+        let first_conn_id = TOKEN_UPSTREAM_BASE + 2 * shared.shard_addrs.len() as u64;
+        Ok(Reactor {
+            shared,
+            epoll,
+            listener: Some(listener),
+            relisten_at: None,
+            conns: HashMap::new(),
+            data,
+            ctl,
+            requests: HashMap::new(),
+            next_conn_id: first_conn_id,
+            next_request_id: 0,
+            first_conn_id,
+            draining: false,
+            drain_deadline: None,
+            reload_busy: false,
+            deferred: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    pub fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); 256];
+        loop {
+            let timeout = self.poll_timeout();
+            let fired = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let now = Instant::now();
+            for event in &events[..fired] {
+                let (token, bits) = (event.data, event.events);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(now),
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    t if t < self.first_conn_id => {
+                        let slot = t - TOKEN_UPSTREAM_BASE;
+                        self.upstream_event((slot % 2) == 1, (slot / 2) as u32, now);
+                    }
+                    id => self.conn_event(id, bits, now),
+                }
+            }
+            self.flush_upstreams(now);
+            // Deferred completions for a live connection are drained
+            // inside its own frame dispatch; anything still here is
+            // addressed to a connection that no longer exists.
+            self.deferred.clear();
+            if self.shared.shutting_down() && !self.draining {
+                self.begin_drain(now);
+            }
+            self.expire(now);
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Milliseconds until the nearest deadline, or −1 to block forever.
+    fn poll_timeout(&self) -> i32 {
+        let mut deadline: Option<Instant> = self.drain_deadline;
+        if let Some(at) = self.relisten_at {
+            deadline = Some(deadline.map_or(at, |d| d.min(at)));
+        }
+        let idle = self.shared.config.idle_timeout;
+        if !idle.is_zero() && !self.draining {
+            let soonest = self
+                .conns
+                .values()
+                .filter(|c| !c.awaiting_completions())
+                .map(|c| c.last_activity + idle)
+                .min();
+            if let Some(soonest) = soonest {
+                deadline = Some(deadline.map_or(soonest, |d| d.min(soonest)));
+            }
+        }
+        match deadline {
+            Some(at) => {
+                let ms = at.saturating_duration_since(Instant::now()).as_millis() as i64 + 1;
+                ms.min(i32::MAX as i64) as i32
+            }
+            None => -1,
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        let metrics = &self.shared.metrics;
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.shared.config.max_connections {
+                        RouterMetrics::bump(&metrics.rejected_connections);
+                        let _ = stream.set_nonblocking(true);
+                        use std::io::Write;
+                        let _ = (&stream).write(b"ERR router at connection capacity\n");
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let mut conn = Conn::new(stream, now);
+                    let interest = conn.desired_interest();
+                    if self.epoll.add(conn.stream.as_raw_fd(), interest, id).is_err() {
+                        continue;
+                    }
+                    conn.registered = interest;
+                    RouterMetrics::bump(&metrics.connections);
+                    RouterMetrics::bump(&metrics.active_connections);
+                    self.conns.insert(id, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let listener = self.listener.take().expect("listener present");
+                    let _ = self.epoll.delete(listener.as_raw_fd());
+                    self.listener = Some(listener);
+                    self.relisten_at = Some(now + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- client side ----------------------------------------------------
+
+    fn conn_event(&mut self, id: u64, bits: u32, now: Instant) {
+        let Some(mut conn) = self.conns.remove(&id) else { return };
+        let mut alive = true;
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+            alive = self.read_and_decode(&mut conn, id, now);
+        }
+        if alive {
+            alive = self.settle(&mut conn, id, now);
+        }
+        if alive {
+            self.conns.insert(id, conn);
+        } else {
+            self.destroy(conn);
+        }
+    }
+
+    fn read_and_decode(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
+        for _ in 0..MAX_READS_PER_EVENT {
+            if !conn.wants_read() {
+                break;
+            }
+            match conn.try_read(&mut self.scratch) {
+                Ok(Some(0)) => {
+                    conn.decoder.finish();
+                    conn.draining = true;
+                }
+                Ok(Some(n)) => {
+                    conn.last_activity = now;
+                    conn.decoder.feed(&self.scratch[..n]);
+                }
+                Ok(None) => break,
+                Err(_) => return false,
+            }
+            while let Some(frame) = conn.decoder.next_frame() {
+                self.handle_frame(conn, id, frame);
+                self.drain_deferred(conn, id);
+                if conn.draining {
+                    break;
+                }
+            }
+            if conn.draining {
+                break;
+            }
+            conn.promote_ready();
+            conn.update_backpressure();
+        }
+        true
+    }
+
+    /// Dispatches one decoded client frame: local answers fill their slot
+    /// now, everything else fans out to shards with an [`Agg`] keyed by a
+    /// fresh request id.
+    fn handle_frame(&mut self, conn: &mut Conn, id: u64, frame: Frame) {
+        let metrics = &self.shared.metrics;
+        match frame {
+            Frame::Ping => conn.push_ready("PONG".to_string()),
+            Frame::Invalid(e) => {
+                RouterMetrics::bump(&metrics.errors);
+                conn.push_ready(protocol::format_error(e));
+            }
+            Frame::Corrupt(e) => {
+                RouterMetrics::bump(&metrics.errors);
+                conn.push_ready(protocol::format_error(e));
+                conn.draining = true;
+            }
+            Frame::Shutdown => {
+                conn.push_ready("BYE".to_string());
+                conn.draining = true;
+                self.shared.begin_shutdown();
+            }
+            Frame::Query(s, t) => self.route_query(conn, id, s, t),
+            Frame::Batch(pairs) => self.route_batch(conn, id, pairs),
+            Frame::Stats => self.fan_out_simple(
+                conn,
+                id,
+                "STATS",
+                AggKind::Stats {
+                    prefix: self.shared.metrics.stats_prefix(self.shared.partition.num_shards()),
+                    bodies: Vec::new(),
+                    error: None,
+                },
+            ),
+            Frame::Epoch => self.fan_out_simple(
+                conn,
+                id,
+                "EPOCH",
+                AggKind::Epoch { epochs: Vec::new(), error: None },
+            ),
+            Frame::Reload { graph, index } => self.fan_out_reload(conn, id, graph, index),
+        }
+    }
+
+    /// Range-validates a pair against the partitioned id space, matching
+    /// the server's error string.
+    fn check_pair(&self, s: VertexId, t: VertexId) -> Result<(), String> {
+        let n = self.shared.partition.num_vertices();
+        for v in [s, t] {
+            if v as usize >= n {
+                return Err(format!("vertex {v} out of range for graph with {n} vertices"));
+            }
+        }
+        Ok(())
+    }
+
+    fn next_request(&mut self, conn: u64, seq: u64, outstanding: u32, kind: AggKind) -> u64 {
+        let rid = self.next_request_id;
+        self.next_request_id += 1;
+        self.requests.insert(rid, Agg { conn, seq, outstanding, kind });
+        rid
+    }
+
+    fn route_query(&mut self, conn: &mut Conn, id: u64, s: VertexId, t: VertexId) {
+        let metrics = &self.shared.metrics;
+        if let Err(msg) = self.check_pair(s, t) {
+            RouterMetrics::bump(&metrics.errors);
+            conn.push_ready(protocol::format_error(msg));
+            return;
+        }
+        RouterMetrics::bump(&metrics.queries);
+        let seq = conn.push_waiting();
+        let line = format!("QUERY {s} {t}\n");
+        match self.shared.partition.route(s, t) {
+            ShardRoute::Single(shard) => {
+                let rid = self.next_request(id, seq, 1, AggKind::Passthrough);
+                self.submit_upstream(false, shard, rid, None, line.into_bytes());
+            }
+            ShardRoute::Scatter(a, b) => {
+                RouterMetrics::bump(&self.shared.metrics.scatter_queries);
+                let rid =
+                    self.next_request(id, seq, 2, AggKind::MinDist { best: None, error: None });
+                self.submit_upstream(false, a, rid, None, line.clone().into_bytes());
+                self.submit_upstream(false, b, rid, None, line.into_bytes());
+            }
+        }
+    }
+
+    fn route_batch(&mut self, conn: &mut Conn, id: u64, pairs: Vec<(VertexId, VertexId)>) {
+        let metrics = &self.shared.metrics;
+        for &(s, t) in &pairs {
+            if let Err(msg) = self.check_pair(s, t) {
+                RouterMetrics::bump(&metrics.errors);
+                conn.push_ready(protocol::format_error(msg));
+                return;
+            }
+        }
+        RouterMetrics::bump(&metrics.batch_requests);
+        if pairs.is_empty() {
+            conn.push_ready(protocol::format_batch_response(&[]));
+            return;
+        }
+        let seq = conn.push_waiting();
+        let slices = aggregate::split_batch(&self.shared.partition, &pairs);
+        let rid = self.next_request(
+            id,
+            seq,
+            slices.len() as u32,
+            AggKind::Batch { dists: vec![hcl_graph::INF; pairs.len()], error: None },
+        );
+        for slice in slices {
+            let mut bytes = format!("BATCH {}\n", slice.pairs.len()).into_bytes();
+            for (s, t) in &slice.pairs {
+                bytes.extend_from_slice(format!("{s} {t}\n").as_bytes());
+            }
+            self.submit_upstream(false, slice.shard, rid, Some(slice.positions), bytes);
+        }
+    }
+
+    /// Fans one argument-less request line out to every shard's data
+    /// connection.
+    fn fan_out_simple(&mut self, conn: &mut Conn, id: u64, command: &str, kind: AggKind) {
+        let shards = self.shared.partition.num_shards();
+        let seq = conn.push_waiting();
+        let rid = self.next_request(id, seq, shards, kind);
+        for shard in 0..shards {
+            self.submit_upstream(false, shard, rid, None, format!("{command}\n").into_bytes());
+        }
+    }
+
+    fn fan_out_reload(&mut self, conn: &mut Conn, id: u64, dir: String, index: Option<String>) {
+        let metrics = &self.shared.metrics;
+        if index.is_some() {
+            RouterMetrics::bump(&metrics.errors);
+            conn.push_ready(protocol::format_error(
+                "router RELOAD takes one deployment directory (see docs/PROTOCOL.md)",
+            ));
+            return;
+        }
+        if self.reload_busy {
+            RouterMetrics::bump(&metrics.errors);
+            conn.push_ready(protocol::format_error("reload already in progress"));
+            return;
+        }
+        self.reload_busy = true;
+        let shards = self.shared.partition.num_shards();
+        let seq = conn.push_waiting();
+        let rid = self.next_request(id, seq, shards, AggKind::Reload { results: Vec::new() });
+        for shard in 0..shards {
+            let (graph, index) = shard_paths(&dir, shard);
+            // Control connection: a slow rebuild must not sit in front of
+            // pipelined query responses on the data connection.
+            self.submit_upstream(
+                true,
+                shard,
+                rid,
+                None,
+                format!("RELOAD {graph} {index}\n").into_bytes(),
+            );
+        }
+    }
+
+    // ---- upstream side --------------------------------------------------
+
+    /// Queues one encoded request on a shard connection, connecting the
+    /// (lazy) control channel when needed. Failures resolve the request
+    /// immediately through the normal response path as an `ERR`.
+    fn submit_upstream(
+        &mut self,
+        ctl: bool,
+        shard: u32,
+        request_id: u64,
+        positions: Option<Vec<u32>>,
+        bytes: Vec<u8>,
+    ) {
+        let token = upstream_token(ctl, shard);
+        let failure: Option<String> = {
+            let ups =
+                if ctl { &mut self.ctl[shard as usize] } else { &mut self.data[shard as usize] };
+            match ups.ensure_connected() {
+                Err(e) => Some(format!("shard {shard} unavailable: {e}")),
+                Ok(false) => None,
+                Ok(true) => {
+                    let fd = ups.fd().expect("just connected");
+                    if self.epoll.add(fd, UPSTREAM_BASE_INTEREST, token).is_err() {
+                        ups.take_failed();
+                        Some(format!("shard {shard} unavailable: registration failed"))
+                    } else {
+                        ups.set_registered(UPSTREAM_BASE_INTEREST);
+                        None
+                    }
+                }
+            }
+        };
+        let pending = Pending { request_id, positions };
+        match failure {
+            None => {
+                let ups = if ctl {
+                    &mut self.ctl[shard as usize]
+                } else {
+                    &mut self.data[shard as usize]
+                };
+                ups.submit(OutboundRequest { bytes, pending });
+            }
+            Some(msg) => self.apply_response(shard, pending, protocol::format_error(msg)),
+        }
+    }
+
+    fn upstream_event(&mut self, ctl: bool, shard: u32, now: Instant) {
+        let mut resolved: Vec<(Pending, String)> = Vec::new();
+        let outcome = {
+            let ups =
+                if ctl { &mut self.ctl[shard as usize] } else { &mut self.data[shard as usize] };
+            ups.try_read(&mut self.scratch, &mut resolved)
+        };
+        for (pending, line) in resolved {
+            self.apply_response(shard, pending, line);
+        }
+        if outcome.is_err() {
+            self.fail_shard(ctl, shard, "connection lost");
+        }
+        // Settling of the affected client conns happened inside
+        // apply_response; writes/interest sync happen in flush_upstreams.
+        let _ = now;
+    }
+
+    /// Tears down one shard connection and resolves everything it owed
+    /// with `ERR` lines.
+    fn fail_shard(&mut self, ctl: bool, shard: u32, why: &str) {
+        let failed = {
+            let ups =
+                if ctl { &mut self.ctl[shard as usize] } else { &mut self.data[shard as usize] };
+            ups.take_failed()
+        };
+        let line = protocol::format_error(format!("shard {shard} unavailable: {why}"));
+        for pending in failed {
+            self.apply_response(shard, pending, line.clone());
+        }
+    }
+
+    /// Pumps windows, flushes write buffers, and re-syncs epoll interest
+    /// for every upstream; a write failure fails the shard.
+    fn flush_upstreams(&mut self, _now: Instant) {
+        for ctl in [false, true] {
+            for shard in 0..self.shared.partition.num_shards() {
+                let (write_failed, fd, desired, registered) = {
+                    let ups = if ctl {
+                        &mut self.ctl[shard as usize]
+                    } else {
+                        &mut self.data[shard as usize]
+                    };
+                    ups.pump();
+                    let failed = ups.try_write().is_err();
+                    (failed, ups.fd(), ups.desired_interest(), ups.registered())
+                };
+                if write_failed {
+                    self.fail_shard(ctl, shard, "write failed");
+                    continue;
+                }
+                let Some(fd) = fd else { continue };
+                if desired != registered
+                    && self.epoll.modify(fd, desired, upstream_token(ctl, shard)).is_ok()
+                {
+                    let ups = if ctl {
+                        &mut self.ctl[shard as usize]
+                    } else {
+                        &mut self.data[shard as usize]
+                    };
+                    ups.set_registered(desired);
+                }
+            }
+        }
+    }
+
+    // ---- aggregation ----------------------------------------------------
+
+    /// Feeds one shard response line (or synthesised `ERR`) into its
+    /// aggregation entry; completes the client slot when the last
+    /// outstanding shard reports.
+    fn apply_response(&mut self, shard: u32, pending: Pending, line: String) {
+        let Some(agg) = self.requests.get_mut(&pending.request_id) else { return };
+        match &mut agg.kind {
+            AggKind::Passthrough => {}
+            AggKind::MinDist { best, error } => match protocol::parse_query_response(&line) {
+                Ok(d) => *best = aggregate::merge_min(*best, d),
+                Err(e) => record_error(error, e),
+            },
+            AggKind::Batch { dists, error } => {
+                let positions = pending.positions.as_deref().unwrap_or(&[]);
+                match protocol::parse_batch_response(&line, positions.len()) {
+                    Ok(answers) => aggregate::fold_batch_answers(dists, positions, &answers),
+                    Err(e) => record_error(error, e),
+                }
+            }
+            AggKind::Stats { bodies, error, .. } => match line.strip_prefix("STATS") {
+                Some(body) => bodies.push(body.trim().to_string()),
+                None => record_error(
+                    error,
+                    ResponseError::Server(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
+                ),
+            },
+            AggKind::Epoch { epochs, error } => match protocol::parse_epoch_response(&line) {
+                Ok(e) => epochs.push((shard, e)),
+                Err(e) => record_error(error, e),
+            },
+            AggKind::Reload { results } => match protocol::parse_reload_response(&line) {
+                Ok(e) => results.push((shard, Ok(e))),
+                Err(ResponseError::Server(msg)) => results.push((shard, Err(msg))),
+                Err(ResponseError::Malformed(raw)) => {
+                    results.push((shard, Err(format!("malformed response {raw:?}"))));
+                }
+            },
+        }
+        agg.outstanding -= 1;
+        let passthrough_line =
+            if matches!(agg.kind, AggKind::Passthrough) { Some(line) } else { None };
+        if agg.outstanding == 0 {
+            let agg = self.requests.remove(&pending.request_id).expect("agg present");
+            self.finish_request(agg, passthrough_line);
+        }
+    }
+
+    /// Renders the final response for a fully gathered request and
+    /// completes it into the owning client connection (if still open).
+    fn finish_request(&mut self, agg: Agg, passthrough_line: Option<String>) {
+        let metrics = &self.shared.metrics;
+        let line = match agg.kind {
+            AggKind::Passthrough => passthrough_line.expect("passthrough carries its line"),
+            AggKind::MinDist { best, error } => match error {
+                None => protocol::format_query_response(best),
+                Some(msg) => protocol::format_error(msg),
+            },
+            AggKind::Batch { dists, error } => match error {
+                None => protocol::format_batch_response(&aggregate::finish_batch(dists)),
+                Some(msg) => protocol::format_error(msg),
+            },
+            AggKind::Stats { prefix, bodies, error } => match error {
+                None => {
+                    let merged = aggregate::merge_stats_bodies(&bodies);
+                    if merged.is_empty() {
+                        format!("STATS {prefix}")
+                    } else {
+                        format!("STATS {prefix} {merged}")
+                    }
+                }
+                Some(msg) => protocol::format_error(msg),
+            },
+            AggKind::Epoch { epochs, error } => {
+                let verdict = match error {
+                    None => aggregate::epoch_agreement(&epochs),
+                    Some(msg) => Err(msg),
+                };
+                match verdict {
+                    Ok(e) => protocol::format_epoch_response(e),
+                    Err(msg) => protocol::format_error(msg),
+                }
+            }
+            AggKind::Reload { results } => {
+                self.reload_busy = false;
+                match aggregate::reload_verdict(&results) {
+                    Ok(e) => {
+                        RouterMetrics::bump(&metrics.reloads);
+                        protocol::format_reload_response(e)
+                    }
+                    Err(msg) => protocol::format_error(msg),
+                }
+            }
+        };
+        if line.starts_with("ERR ") {
+            RouterMetrics::bump(&self.shared.metrics.errors);
+        }
+        let now = Instant::now();
+        match self.conns.remove(&agg.conn) {
+            Some(mut conn) => {
+                conn.complete(agg.seq, line);
+                if self.settle(&mut conn, agg.conn, now) {
+                    self.conns.insert(agg.conn, conn);
+                } else {
+                    self.destroy(conn);
+                }
+            }
+            // The owning connection is not in the map: either it is held
+            // on `conn_event`'s stack right now (a synchronous submit
+            // failure during frame dispatch) — park the line for
+            // `drain_deferred` — or it was closed, in which case the
+            // dispatcher drops the entry on its next drain.
+            None => self.deferred.push((agg.conn, agg.seq, line)),
+        }
+    }
+
+    /// Applies completions that resolved while `conn` (id `id`) was
+    /// detached from the map. Entries addressed to any other connection
+    /// belong to sockets that no longer exist and are dropped.
+    fn drain_deferred(&mut self, conn: &mut Conn, id: u64) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        for (conn_id, seq, line) in std::mem::take(&mut self.deferred) {
+            if conn_id == id {
+                conn.complete(seq, line);
+            }
+        }
+    }
+
+    // ---- lifecycle ------------------------------------------------------
+
+    /// Promotes/flushes responses and re-syncs epoll interest. Returns
+    /// `false` when the connection should be closed.
+    fn settle(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
+        conn.promote_ready();
+        if conn.write_pending() > 0 {
+            match conn.try_write() {
+                Ok(written) => {
+                    if written > 0 {
+                        conn.last_activity = now;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        conn.update_backpressure();
+        if conn.draining && !conn.has_work() {
+            return false;
+        }
+        let want = conn.desired_interest();
+        if want != conn.registered && self.epoll.modify(conn.stream.as_raw_fd(), want, id).is_err()
+        {
+            return false;
+        }
+        conn.registered = want;
+        true
+    }
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline = Some(now + self.shared.config.drain_grace);
+        self.relisten_at = None;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(mut conn) = self.conns.remove(&id) else { continue };
+            conn.draining = true;
+            if self.settle(&mut conn, id, now) {
+                self.conns.insert(id, conn);
+            } else {
+                self.destroy(conn);
+            }
+        }
+    }
+
+    fn expire(&mut self, now: Instant) {
+        if let Some(at) = self.relisten_at {
+            if now >= at && !self.draining {
+                self.relisten_at = None;
+                if let Some(listener) = &self.listener {
+                    let _ = self.epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER);
+                }
+            }
+        }
+        if self.draining {
+            if self.drain_deadline.is_some_and(|at| now >= at) {
+                for (_, conn) in std::mem::take(&mut self.conns) {
+                    self.destroy(conn);
+                }
+            }
+            return;
+        }
+        let idle = self.shared.config.idle_timeout;
+        if idle.is_zero() {
+            return;
+        }
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                now.saturating_duration_since(c.last_activity) >= idle && !c.awaiting_completions()
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some(conn) = self.conns.remove(&id) {
+                self.destroy(conn);
+            }
+        }
+    }
+
+    fn destroy(&mut self, conn: Conn) {
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        RouterMetrics::drop_one(&self.shared.metrics.active_connections);
+        drop(conn);
+    }
+}
+
+fn record_error(slot: &mut Option<String>, e: ResponseError) {
+    if slot.is_none() {
+        *slot = Some(match e {
+            ResponseError::Server(msg) => msg,
+            ResponseError::Malformed(raw) => format!("malformed shard response {raw:?}"),
+        });
+    }
+}
+
+/// Wires a [`Reactor`] onto a (nonblocking) listener and runs it on the
+/// one router thread. Upstream data connections are established before
+/// the spawn so setup errors surface from `Router::bind`.
+pub(crate) fn spawn(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    let reactor = Reactor::new(shared, listener)?;
+    Ok(std::thread::spawn(move || reactor.run()))
+}

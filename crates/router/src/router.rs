@@ -1,0 +1,216 @@
+//! The router entry point: [`Router::bind`] wires a partition map and a
+//! list of shard addresses onto a listening socket and runs the proxy on
+//! one reactor thread owned by the returned [`RouterHandle`].
+
+use crate::reactor;
+use hcl_core::PartitionMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`Router::bind`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Most client connections held open at once; overflow is answered
+    /// with one `ERR` line and closed (counted in
+    /// `router_rejected_connections`).
+    pub max_connections: usize,
+    /// Close client connections with no progress for this long. Zero
+    /// disables the timeout.
+    pub idle_timeout: Duration,
+    /// Once shutdown begins, how long client connections may take to
+    /// drain before being force-closed.
+    pub drain_grace: Duration,
+    /// Requests in flight per shard connection; excess requests queue at
+    /// the router and dispatch as responses drain the window.
+    pub shard_window: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(600),
+            drain_grace: Duration::from_secs(5),
+            shard_window: 256,
+        }
+    }
+}
+
+/// The router's own lock-free counters, reported as `router_*` keys in
+/// aggregated `STATS` responses.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Client connections accepted over the router's lifetime.
+    pub connections: AtomicU64,
+    /// Client connections currently open.
+    pub active_connections: AtomicU64,
+    /// Client connections refused at `max_connections`.
+    pub rejected_connections: AtomicU64,
+    /// `QUERY` requests routed.
+    pub queries: AtomicU64,
+    /// `QUERY` requests that needed two shards (cross-shard pairs).
+    pub scatter_queries: AtomicU64,
+    /// `BATCH` requests routed.
+    pub batch_requests: AtomicU64,
+    /// Requests answered with an `ERR` line (including shard failures).
+    pub errors: AtomicU64,
+    /// `RELOAD` fan-outs confirmed by every shard.
+    pub reloads: AtomicU64,
+}
+
+impl RouterMetrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The `router_* … shards=N` prefix of an aggregated `STATS` body.
+    pub(crate) fn stats_prefix(&self, shards: u32) -> String {
+        format!(
+            "router_connections={} router_active_connections={} \
+             router_rejected_connections={} router_queries={} router_scatter_queries={} \
+             router_batch_requests={} router_errors={} router_reloads={} shards={shards}",
+            self.connections.load(Ordering::Relaxed),
+            self.active_connections.load(Ordering::Relaxed),
+            self.rejected_connections.load(Ordering::Relaxed),
+            self.queries.load(Ordering::Relaxed),
+            self.scatter_queries.load(Ordering::Relaxed),
+            self.batch_requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.reloads.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// State shared by the reactor thread and the handle.
+pub(crate) struct Shared {
+    pub partition: PartitionMap,
+    pub shard_addrs: Vec<SocketAddr>,
+    pub config: RouterConfig,
+    pub metrics: RouterMetrics,
+    pub shutdown: AtomicBool,
+    pub local_addr: SocketAddr,
+    /// Wakes the reactor's epoll wait for shutdown.
+    pub wake: hcl_server::transport::EventFd,
+}
+
+impl Shared {
+    pub fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.wake.signal();
+        }
+    }
+
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The router entry point.
+pub struct Router;
+
+impl Router {
+    /// Binds `addr` and starts proxying for `partition` across `shards`
+    /// (one address per shard, indexed by shard id). Every shard's data
+    /// connection is established here, so a dead shard fails the bind
+    /// instead of the first query. Returns immediately; proxying happens
+    /// on the reactor thread owned by the returned handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shard count does not match the partition, an
+    /// address does not resolve, a shard is unreachable, or the listening
+    /// socket cannot be bound.
+    pub fn bind(
+        partition: PartitionMap,
+        shards: &[impl ToSocketAddrs],
+        addr: impl ToSocketAddrs,
+        config: RouterConfig,
+    ) -> io::Result<RouterHandle> {
+        if shards.len() != partition.num_shards() as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "partition expects {} shards, {} addresses given",
+                    partition.num_shards(),
+                    shards.len()
+                ),
+            ));
+        }
+        let mut shard_addrs = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter().enumerate() {
+            let resolved = shard.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("shard {i}: no address"))
+            })?;
+            shard_addrs.push(resolved);
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            partition,
+            shard_addrs,
+            config,
+            metrics: RouterMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            wake: hcl_server::transport::EventFd::new()?,
+        });
+        let thread = reactor::spawn(Arc::clone(&shared), listener)?;
+        Ok(RouterHandle { shared, thread: Mutex::new(Some(thread)) })
+    }
+}
+
+/// Owns the reactor thread; dropping it shuts the router down (backend
+/// shards are left running — they are managed independently).
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The router's own counters.
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.shared.metrics
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Initiates graceful shutdown and waits for client connections to
+    /// drain. Idempotent. Shards keep running.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Blocks until the router stops (via [`shutdown`](Self::shutdown) or
+    /// a client `SHUTDOWN` request).
+    pub fn join(&self) {
+        let handle = self.thread.lock().expect("reactor handle poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+}

@@ -1,0 +1,324 @@
+//! One pipelined upstream connection to a backend shard.
+//!
+//! The router multiplexes every client onto a small, fixed set of shard
+//! connections: requests are appended to a write buffer and answered in
+//! order (the protocol guarantees per-connection responses in request
+//! order), so matching is a FIFO of [`Pending`] descriptors — no
+//! request-id needs to cross the wire. An in-flight *window* bounds how
+//! many requests may be outstanding per shard; excess requests queue in a
+//! backlog and dispatch as responses drain the window.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Longest response line accepted from a shard. `DISTS` for a maximal
+/// batch dominates; anything past this is a corrupt upstream.
+pub(crate) const MAX_UPSTREAM_LINE: usize = 64 * 1024 * 1024;
+
+/// How long a (re)connect to a shard may block the reactor. Shards are
+/// LAN/loopback neighbours; a shard that cannot accept within this is
+/// treated as down and the affected requests fail fast.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What a shard's next response line resolves: the aggregation entry it
+/// feeds and, for batch slices, where each answer lands in the client
+/// response.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Key into the reactor's in-flight aggregation map.
+    pub request_id: u64,
+    /// For `BATCH` slices: client-response positions, in slice order
+    /// (also fixes the expected answer count).
+    pub positions: Option<Vec<u32>>,
+}
+
+/// An encoded request waiting to go (or in flight) to one shard.
+#[derive(Debug)]
+pub(crate) struct OutboundRequest {
+    /// The raw request bytes, including every newline.
+    pub bytes: Vec<u8>,
+    /// The response descriptor to enqueue once the request is on the
+    /// write buffer.
+    pub pending: Pending,
+}
+
+/// Live socket state of a connected upstream.
+#[derive(Debug)]
+struct Wire {
+    stream: TcpStream,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Incoming bytes not yet consumed as complete lines.
+    rbuf: Vec<u8>,
+    /// Prefix of `rbuf` already consumed.
+    rstart: usize,
+    /// Responses owed, in request order.
+    pending: VecDeque<Pending>,
+    /// epoll interest bits currently registered for this socket.
+    registered: u32,
+}
+
+/// One shard connection with windowed pipelining; see the module docs.
+#[derive(Debug)]
+pub(crate) struct Upstream {
+    addr: SocketAddr,
+    window: usize,
+    wire: Option<Wire>,
+    backlog: VecDeque<OutboundRequest>,
+}
+
+impl Upstream {
+    /// A connected upstream (blocking connect — used at router startup so
+    /// a dead shard fails `Router::bind` fast).
+    pub fn connect(addr: SocketAddr, window: usize) -> io::Result<Upstream> {
+        let mut upstream = Upstream::disconnected(addr, window);
+        upstream.ensure_connected()?;
+        Ok(upstream)
+    }
+
+    /// An upstream that will connect on first use (control connections).
+    pub fn disconnected(addr: SocketAddr, window: usize) -> Upstream {
+        Upstream { addr, window, wire: None, backlog: VecDeque::new() }
+    }
+
+    /// Connects if currently disconnected. Returns `true` when a **new**
+    /// socket was created — the caller must register its
+    /// [`fd`](Self::fd) with epoll and then
+    /// [`set_registered`](Self::set_registered).
+    pub fn ensure_connected(&mut self) -> io::Result<bool> {
+        if self.wire.is_some() {
+            return Ok(false);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true)?;
+        self.wire = Some(Wire {
+            stream,
+            out: Vec::new(),
+            out_pos: 0,
+            rbuf: Vec::new(),
+            rstart: 0,
+            pending: VecDeque::new(),
+            registered: 0,
+        });
+        Ok(true)
+    }
+
+    /// The connected socket's fd, if any.
+    pub fn fd(&self) -> Option<RawFd> {
+        self.wire.as_ref().map(|w| w.stream.as_raw_fd())
+    }
+
+    /// Currently registered epoll interest bits.
+    pub fn registered(&self) -> u32 {
+        self.wire.as_ref().map_or(0, |w| w.registered)
+    }
+
+    /// Records the interest bits the caller just registered.
+    pub fn set_registered(&mut self, bits: u32) {
+        if let Some(wire) = &mut self.wire {
+            wire.registered = bits;
+        }
+    }
+
+    /// Queues a request; it reaches the wire once the in-flight window
+    /// has room (callers follow up with [`pump`](Self::pump) /
+    /// [`try_write`](Self::try_write)).
+    pub fn submit(&mut self, request: OutboundRequest) {
+        self.backlog.push_back(request);
+    }
+
+    /// Moves backlogged requests onto the write buffer while the window
+    /// allows.
+    pub fn pump(&mut self) {
+        let Some(wire) = &mut self.wire else { return };
+        while wire.pending.len() < self.window {
+            let Some(request) = self.backlog.pop_front() else { break };
+            wire.out.extend_from_slice(&request.bytes);
+            wire.pending.push_back(request.pending);
+        }
+    }
+
+    /// Nonblocking flush of the write buffer. `Err` means the connection
+    /// is unusable (fail it with [`take_failed`](Self::take_failed)).
+    pub fn try_write(&mut self) -> io::Result<()> {
+        let Some(wire) = &mut self.wire else { return Ok(()) };
+        while wire.out_pos < wire.out.len() {
+            match (&wire.stream).write(&wire.out[wire.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => wire.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if wire.out_pos == wire.out.len() {
+            wire.out.clear();
+            wire.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Reads whatever the shard sent and resolves complete response
+    /// lines against the pending FIFO, appending `(pending, line)` pairs
+    /// to `resolved`. `Err` means the connection is unusable (EOF,
+    /// transport error, oversized or unsolicited response line).
+    pub fn try_read(
+        &mut self,
+        scratch: &mut [u8],
+        resolved: &mut Vec<(Pending, String)>,
+    ) -> io::Result<()> {
+        let Some(wire) = &mut self.wire else { return Ok(()) };
+        loop {
+            match (&wire.stream).read(scratch) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => wire.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+            while let Some(nl) = wire.rbuf[wire.rstart..].iter().position(|&b| b == b'\n') {
+                let end = wire.rstart + nl;
+                let mut line_end = end;
+                while line_end > wire.rstart && wire.rbuf[line_end - 1] == b'\r' {
+                    line_end -= 1;
+                }
+                let line = String::from_utf8_lossy(&wire.rbuf[wire.rstart..line_end]).into_owned();
+                wire.rstart = end + 1;
+                match wire.pending.pop_front() {
+                    Some(pending) => resolved.push((pending, line)),
+                    // A response nothing asked for: protocol desync.
+                    None => return Err(io::ErrorKind::InvalidData.into()),
+                }
+            }
+            if wire.rstart > 0 {
+                wire.rbuf.drain(..wire.rstart);
+                wire.rstart = 0;
+            }
+            if wire.rbuf.len() > MAX_UPSTREAM_LINE {
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Tears the connection down and returns every request it still owed
+    /// an answer (in flight first, then backlog) so the caller can fail
+    /// them. A later [`ensure_connected`](Self::ensure_connected)
+    /// reconnects fresh.
+    pub fn take_failed(&mut self) -> Vec<Pending> {
+        let mut failed = Vec::new();
+        if let Some(wire) = self.wire.take() {
+            failed.extend(wire.pending);
+        }
+        failed.extend(self.backlog.drain(..).map(|r| r.pending));
+        failed
+    }
+
+    /// The epoll interest matching the current state: always readable
+    /// (responses arrive unprompted once requests are in flight), plus
+    /// writable while output is buffered.
+    pub fn desired_interest(&self) -> u32 {
+        use hcl_server::transport::sys;
+        let Some(wire) = &self.wire else { return 0 };
+        let mut bits = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if wire.out_pos < wire.out.len() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn request(id: u64, text: &str) -> OutboundRequest {
+        OutboundRequest {
+            bytes: format!("{text}\n").into_bytes(),
+            pending: Pending { request_id: id, positions: None },
+        }
+    }
+
+    #[test]
+    fn window_limits_in_flight_and_backlog_drains_on_responses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 2).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+
+        for i in 0..5 {
+            upstream.submit(request(i, &format!("PING{i}")));
+        }
+        upstream.pump();
+        upstream.try_write().unwrap();
+        // Only the window's worth went out.
+        peer.set_nonblocking(true).unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 256];
+        while let Ok(n) = (&peer).read(&mut buf) {
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"PING0\nPING1\n");
+
+        // Two responses free the window for the next two requests.
+        (&peer).write_all(b"PONG\nPONG\n").unwrap();
+        let mut scratch = vec![0u8; 1024];
+        let mut resolved = Vec::new();
+        upstream.try_read(&mut scratch, &mut resolved).unwrap();
+        assert_eq!(resolved.len(), 2);
+        assert_eq!(resolved[0].0.request_id, 0);
+        assert_eq!(resolved[1].0.request_id, 1);
+        upstream.pump();
+        upstream.try_write().unwrap();
+        got.clear();
+        while let Ok(n) = (&peer).read(&mut buf) {
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"PING2\nPING3\n");
+    }
+
+    #[test]
+    fn failure_surrenders_every_owed_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 1).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+        for i in 0..3 {
+            upstream.submit(request(i, "PING"));
+        }
+        upstream.pump();
+        upstream.try_write().unwrap();
+        drop(peer); // shard dies
+        let mut resolved = Vec::new();
+        let err = upstream.try_read(&mut [0u8; 64], &mut resolved);
+        assert!(err.is_err());
+        let failed = upstream.take_failed();
+        assert_eq!(failed.len(), 3, "in-flight + backlog all surrendered");
+        assert!(upstream.fd().is_none());
+    }
+
+    #[test]
+    fn unsolicited_response_is_a_protocol_failure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 4).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+        (&peer).write_all(b"SURPRISE\n").unwrap();
+        let mut resolved = Vec::new();
+        // Poll until the bytes arrive (loopback, effectively immediate).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match upstream.try_read(&mut [0u8; 64], &mut resolved) {
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                    break;
+                }
+                Ok(()) if std::time::Instant::now() > deadline => panic!("no desync detected"),
+                Ok(()) => std::thread::yield_now(),
+            }
+        }
+        assert!(resolved.is_empty());
+    }
+}

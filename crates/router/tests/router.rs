@@ -1,0 +1,357 @@
+//! Router integration suite: a real 2-shard deployment over loopback —
+//! two `hcl_server::Server`s on shard graphs plus the replicated global
+//! labelling, fronted by one `Router` — checked against a single
+//! unsharded `HlOracle` on the full graph, including `RELOAD` fan-out
+//! under live traffic.
+
+use hcl_core::partition::{self, PartitionMap};
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_graph::{CsrGraph, VertexId};
+use hcl_router::{Router, RouterConfig};
+use hcl_server::{Client, QueryService, Server, ServerConfig, ServerHandle};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Two communities (ids 3..120 and 120..240) whose only inter-community
+/// edges run through the three hub landmarks 0/1/2 — so a contiguous
+/// range partition at 120 respects the components of `G[V∖R]` and every
+/// sharded answer must be exact.
+fn bridged_communities(seed: u64) -> (CsrGraph, Vec<VertexId>) {
+    let hubs: Vec<VertexId> = vec![0, 1, 2];
+    let n = 240u32;
+    let mut edges = BTreeSet::new();
+    let mut add = |a: u32, b: u32| {
+        if a != b {
+            edges.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    };
+    add(0, 1);
+    add(1, 2);
+    for (start, end) in [(3u32, 120u32), (120, 240)] {
+        let span = end - start;
+        for v in start..end {
+            // A ring keeps each community connected; the seeded chords
+            // vary the distances between fixtures.
+            add(v, start + (v + 1 - start) % span);
+            add(v, start + ((v - start) * 7 + seed as u32) % span);
+            // Every 5th vertex reaches a hub, so cross-community paths
+            // exist but all pass through landmarks.
+            if v % 5 == 0 {
+                add(v, hubs[(v % 3) as usize]);
+            }
+        }
+    }
+    let edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    (CsrGraph::from_edges(n as usize, &edges), hubs)
+}
+
+/// A hub-and-spoke graph where every edge touches a landmark, so
+/// `G[V∖R]` is edgeless and *any* partition — including hash — answers
+/// every query exactly.
+fn hub_star() -> (CsrGraph, Vec<VertexId>) {
+    let hubs: Vec<VertexId> = (0..6).collect();
+    let n = 150u32;
+    let mut edges = Vec::new();
+    for h in 1..6u32 {
+        edges.push((h - 1, h));
+    }
+    for v in 6..n {
+        edges.push((v, v % 6));
+        edges.push((v, (v + 2) % 6));
+    }
+    (CsrGraph::from_edges(n as usize, &edges), hubs)
+}
+
+/// A deterministic mixed workload: same-shard, cross-shard, landmark and
+/// identical-endpoint pairs.
+fn workload(n: u32, count: usize) -> Vec<(VertexId, VertexId)> {
+    (0..count as u32)
+        .map(|i| match i % 4 {
+            0 => ((i * 7) % (n / 2), (i * 13 + 1) % (n / 2)), // same shard (low)
+            1 => (n / 2 + (i * 5) % (n / 2), n / 2 + (i * 11 + 3) % (n / 2)), // same shard (high)
+            2 => ((i * 3) % (n / 2), n / 2 + (i * 17 + 2) % (n / 2)), // cross shard
+            _ => (i % 3, (i * 19) % n),                       // landmark endpoint
+        })
+        .collect()
+}
+
+struct Deployment {
+    shards: Vec<ServerHandle>,
+    router: hcl_router::RouterHandle,
+}
+
+impl Deployment {
+    /// Starts one server per shard graph (replicated labelling) and a
+    /// router in front of them.
+    fn start(g: &CsrGraph, labelling: &HighwayCoverLabelling, map: &PartitionMap) -> Deployment {
+        let shards: Vec<ServerHandle> = (0..map.num_shards())
+            .map(|shard| {
+                let shard_graph = Arc::new(map.shard_graph(g, shard));
+                let service = Arc::new(QueryService::from_parts(
+                    shard_graph,
+                    Arc::new(labelling.clone()),
+                    1 << 10,
+                ));
+                Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = shards.iter().map(|s| s.local_addr()).collect();
+        let router =
+            Router::bind(map.clone(), &addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+        Deployment { shards, router }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.router.local_addr()).unwrap()
+    }
+}
+
+#[test]
+fn range_sharded_router_matches_unsharded_oracle() {
+    let (g, hubs) = bridged_communities(1);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    assert!(map.respects_components(&g), "fixture must be component-closed");
+
+    let deployment = Deployment::start(&g, &labelling, &map);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+    let mut client = deployment.client();
+
+    let pairs = workload(g.num_vertices() as u32, 600);
+    // Single queries, one at a time.
+    for &(s, t) in pairs.iter().take(200) {
+        assert_eq!(client.query(s, t).unwrap(), oracle.query(s, t), "QUERY {s} {t}");
+    }
+    // One big batch (split/scatter/merge path).
+    let expect: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+    assert_eq!(client.batch(&pairs).unwrap(), expect);
+    // Pipelined singles (response-ordering across scattered queries).
+    assert_eq!(client.pipelined_queries(&pairs[..128]).unwrap(), &expect[..128]);
+}
+
+#[test]
+fn hash_sharded_router_matches_unsharded_oracle() {
+    let (g, hubs) = hub_star();
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::hash(g.num_vertices(), 2, &hubs);
+    assert!(map.respects_components(&g), "edgeless G[V∖R] is trivially component-closed");
+
+    let deployment = Deployment::start(&g, &labelling, &map);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+    let mut client = deployment.client();
+
+    let pairs = workload(g.num_vertices() as u32, 400);
+    let expect: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+    assert_eq!(client.batch(&pairs).unwrap(), expect);
+    for &(s, t) in pairs.iter().take(100) {
+        assert_eq!(client.query(s, t).unwrap(), oracle.query(s, t), "QUERY {s} {t}");
+    }
+}
+
+#[test]
+fn stats_epoch_and_errors_through_the_router() {
+    let (g, hubs) = bridged_communities(2);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let deployment = Deployment::start(&g, &labelling, &map);
+    let mut client = deployment.client();
+
+    client.ping().unwrap();
+    assert_eq!(client.epoch().unwrap(), 0, "fresh shards agree at epoch 0");
+
+    // One same-shard and one cross-shard query, then check aggregation.
+    client.query(10, 20).unwrap();
+    client.query(10, 200).unwrap();
+    let stats = client.stats().unwrap();
+    let get = |key: &str| -> u64 {
+        stats
+            .split_ascii_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in {stats}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(get("shards"), 2);
+    assert_eq!(get("router_queries"), 2);
+    assert_eq!(get("router_scatter_queries"), 1);
+    // The scattered query hits both shards: 3 shard-side queries total.
+    assert_eq!(get("queries"), 3);
+    assert_eq!(get("epoch"), 0);
+    assert!(get("index_bytes") > 0, "summed shard sizes survive aggregation");
+
+    // Out-of-range queries fail with the server's error shape and leave
+    // the connection usable.
+    let err = client.query(0, 9999).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    let err = client.batch(&[(0, 1), (9999, 2)]).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    client.ping().unwrap();
+
+    // Router metrics track the failures.
+    assert_eq!(deployment.router.metrics().errors.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn reload_fans_out_under_live_traffic_with_all_or_nothing_confirmation() {
+    let dir = std::env::temp_dir().join(format!("hcl_router_reload_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (g1, hubs) = bridged_communities(3);
+    let (g2, _) = bridged_communities(11);
+    let (l1, _) = HighwayCoverLabelling::build(&g1, &hubs).unwrap();
+    let (l2, _) = HighwayCoverLabelling::build(&g2, &hubs).unwrap();
+    let map = PartitionMap::range(g1.num_vertices(), 2, &hubs);
+    assert!(map.respects_components(&g1) && map.respects_components(&g2));
+
+    let dir1 = dir.join("v1");
+    let dir2 = dir.join("v2");
+    partition::write_deployment(&dir1, &g1, &l1, &map).unwrap();
+    partition::write_deployment(&dir2, &g2, &l2, &map).unwrap();
+
+    // Shards start the way `hcl serve` would: from the v1 files.
+    let shards: Vec<ServerHandle> = (0..2)
+        .map(|shard| {
+            let (graph_path, index_path) = partition::shard_paths(dir1.to_str().unwrap(), shard);
+            let shard_graph = Arc::new(hcl_graph::io::load_binary(&graph_path).unwrap());
+            let index = hcl_core::io::load_labelling(&index_path).unwrap();
+            let service = Arc::new(QueryService::from_parts(shard_graph, Arc::new(index), 1 << 10));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = shards.iter().map(|s| s.local_addr()).collect();
+    let router = Router::bind(map.clone(), &addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    let pairs = workload(g1.num_vertices() as u32, 200);
+    let mut o1 = HlOracle::new(&g1, l1.clone());
+    let mut o2 = HlOracle::new(&g2, l2.clone());
+    let truth1: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| o1.query(s, t)).collect();
+    let truth2: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| o2.query(s, t)).collect();
+    assert_ne!(truth1, truth2, "the two fixtures must differ on this workload");
+
+    // Live traffic across the swap. Shard swaps are not atomic across
+    // the deployment, so a batch straddling the reload window may mix
+    // generations *across shards* — but every individual answer must
+    // come from one valid generation (each pair resolves on one shard's
+    // pinned snapshot, or the min of two valid generations).
+    let stop = AtomicBool::new(false);
+    let addr = router.local_addr();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (stop, pairs, truth1, truth2) = (&stop, &pairs, &truth1, &truth2);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let got = client.batch(pairs).unwrap();
+                    for (i, d) in got.iter().enumerate() {
+                        assert!(
+                            *d == truth1[i] || *d == truth2[i],
+                            "pair {i}: {d:?} matches neither generation \
+                             ({:?} / {:?})",
+                            truth1[i],
+                            truth2[i]
+                        );
+                    }
+                }
+            });
+        }
+
+        let mut client = Client::connect(addr).unwrap();
+        // A reload from a directory that does not exist fails on every
+        // shard and must not move any epoch.
+        let missing = dir.join("nope");
+        let err = client.reload(missing.to_str().unwrap(), None).unwrap_err();
+        assert!(err.to_string().contains("reload incomplete"), "{err}");
+        assert_eq!(client.epoch().unwrap(), 0, "failed fan-out leaves epochs untouched");
+
+        // The real fan-out: all-or-nothing confirmation of the new epoch.
+        let epoch = client.reload(dir2.to_str().unwrap(), None).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(client.epoch().unwrap(), 1, "all shards agree after the fan-out");
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // After the swap everything answers on the new deployment.
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    assert_eq!(client.batch(&pairs).unwrap(), truth2);
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("router_reloads=1"), "{stats}");
+
+    drop(router);
+    drop(shards);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_shutdown_leaves_shards_running() {
+    let (g, hubs) = hub_star();
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::hash(g.num_vertices(), 2, &hubs);
+    let deployment = Deployment::start(&g, &labelling, &map);
+
+    let mut client = deployment.client();
+    client.query(7, 8).unwrap();
+    client.shutdown_server().unwrap();
+    deployment.router.join();
+    assert!(deployment.router.is_shutting_down());
+
+    // The shards never saw the SHUTDOWN.
+    for shard in &deployment.shards {
+        assert!(!shard.is_shutting_down());
+        let mut direct = Client::connect(shard.local_addr()).unwrap();
+        direct.ping().unwrap();
+    }
+}
+
+#[test]
+fn dead_shard_fails_fast_with_err_and_spares_the_other_shard() {
+    let (g, hubs) = bridged_communities(5);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let deployment = Deployment::start(&g, &labelling, &map);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+    let mut client = deployment.client();
+    client.ping().unwrap();
+
+    // Kill shard 0. Requests owned by it must be answered with an ERR
+    // line promptly — never left hanging in an unresolved slot (the
+    // synchronous-submit-failure path: the router reconnect fails while
+    // the client's Conn is held on the reactor's stack).
+    deployment.shards[0].shutdown();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        // (10, 20): both owned by shard 0. The first attempts may still
+        // ride the not-yet-torn-down socket; once the router notices the
+        // EOF every attempt must fail fast.
+        match client.query(10, 20) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("shard 0 unavailable"), "{msg}");
+                break;
+            }
+            Ok(_) if std::time::Instant::now() > deadline => {
+                panic!("queries to the dead shard kept succeeding");
+            }
+            Ok(_) => std::thread::yield_now(),
+        }
+        assert!(std::time::Instant::now() < deadline, "no ERR before deadline");
+    }
+
+    // The connection is still usable and the healthy shard still answers.
+    client.ping().unwrap();
+    let (s, t) = (200, 210); // both owned by shard 1
+    assert_eq!(client.query(s, t).unwrap(), oracle.query(s, t));
+    // Scattered queries touching the dead shard also fail with ERR.
+    let err = client.query(10, 200).unwrap_err();
+    assert!(err.to_string().contains("shard 0 unavailable"), "{err}");
+}
+
+#[test]
+fn router_rejects_mismatched_shard_count() {
+    let (g, hubs) = hub_star();
+    let map = PartitionMap::hash(g.num_vertices(), 2, &hubs);
+    let err =
+        Router::bind(map, &["127.0.0.1:1".to_string()], "127.0.0.1:0", RouterConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+    assert!(err.to_string().contains("2 shards"), "{err}");
+}

@@ -1,6 +1,6 @@
-//! A small blocking client for the [`protocol`](crate::protocol) — used by
-//! the `hcl client` CLI command, the loopback integration tests, and the
-//! serving benchmark.
+//! A small blocking client for the [`protocol`] module's wire format —
+//! used by the `hcl client` CLI command, the loopback integration tests,
+//! and the serving benchmark.
 
 use crate::protocol::{self, ResponseError};
 use hcl_graph::VertexId;

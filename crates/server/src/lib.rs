@@ -11,15 +11,18 @@
 //! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order, one epoch per batch, completion callbacks |
 //! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `SHUTDOWN`), both codec directions, and the incremental [`Decoder`] |
 //! | [`server`] | std-only TCP server: single-threaded epoll reactor, nonblocking sockets, graceful eventfd-signalled shutdown |
+//! | [`transport`] | the reusable event-loop building blocks: [`transport::Conn`] state machine, [`transport::sys`] epoll/eventfd bindings |
 //! | [`client`] | a blocking client for the protocol |
 //! | [`metrics`] | lock-free serving counters and snapshots |
 //!
-//! Internally the server is an event loop (`reactor`) over per-connection
-//! state machines (`conn`) and a hand-rolled std-only epoll/eventfd
-//! binding (`sys`, Linux-only): connections are an fd plus buffers, not a
-//! thread, so open-connection count is bounded by fds — not by threads —
-//! and the serving thread count is fixed at one reactor plus the worker
-//! pool.
+//! Internally the server is an event loop (`reactor`) over the reusable
+//! [`transport`] layer — per-connection state machines
+//! ([`transport::Conn`]) and a hand-rolled std-only epoll/eventfd binding
+//! ([`transport::sys`], Linux-only): connections are an fd plus buffers,
+//! not a thread, so open-connection count is bounded by fds — not by
+//! threads — and the serving thread count is fixed at one reactor plus
+//! the worker pool. The transport layer is public because `hcl-router`
+//! drives its proxy connections with the same machinery.
 //!
 //! # Quick start
 //!
@@ -47,13 +50,12 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
-mod conn;
 pub mod metrics;
 pub mod oracle_pool;
 pub mod protocol;
 mod reactor;
 pub mod server;
-mod sys;
+pub mod transport;
 
 pub use batch::BatchExecutor;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};

@@ -95,6 +95,25 @@ pub struct IndexSizes {
 }
 
 /// Shared per-process serving state; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use hcl_core::HighwayCoverLabelling;
+/// use hcl_server::QueryService;
+///
+/// let g = Arc::new(hcl_graph::generate::barabasi_albert(300, 4, 7));
+/// let landmarks = hcl_graph::order::top_degree(&g, 8);
+/// let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+/// let service = QueryService::from_parts(g, Arc::new(labelling), 1 << 10);
+///
+/// let d = service.distance(0, 299).unwrap();
+/// assert_eq!(service.distance(0, 299).unwrap(), d); // repeat: a cache hit
+/// assert!(service.cache_stats().hits >= 1);
+/// assert_eq!(service.epoch(), 0, "no reload has happened");
+/// assert!(service.distance(0, 300).is_err(), "out of range");
+/// ```
 #[derive(Debug)]
 pub struct QueryService {
     index: EpochCell,

@@ -232,7 +232,8 @@ struct PartialBatch {
 /// Incremental, fragment-tolerant request decoder; see the module docs.
 ///
 /// Feed arbitrary byte slices with [`feed`](Self::feed), then drain
-/// complete frames with [`next`](Self::next) until it returns `None`. At
+/// complete frames with [`next_frame`](Self::next_frame) until it
+/// returns `None`. At
 /// end of input call [`finish`](Self::finish) and drain once more: a
 /// trailing unterminated line still parses (matching `BufRead` semantics)
 /// and a batch truncated mid-body surfaces as [`Frame::Corrupt`].
@@ -240,6 +241,20 @@ struct PartialBatch {
 /// Memory is bounded: a line may buffer at most the configured limit
 /// before [`Frame::Corrupt`] fires, and once a corrupt frame has been
 /// emitted all further input is discarded without buffering.
+///
+/// # Examples
+///
+/// ```
+/// use hcl_server::{Decoder, Frame};
+///
+/// let mut decoder = Decoder::new();
+/// // Fragments may split anywhere — even inside a BATCH body.
+/// decoder.feed(b"PING\nBATCH 2\n1 2\n");
+/// assert_eq!(decoder.next_frame(), Some(Frame::Ping));
+/// assert_eq!(decoder.next_frame(), None, "batch body incomplete");
+/// decoder.feed(b"3 4\n");
+/// assert_eq!(decoder.next_frame(), Some(Frame::Batch(vec![(1, 2), (3, 4)])));
+/// ```
 #[derive(Debug)]
 pub struct Decoder {
     buf: Vec<u8>,

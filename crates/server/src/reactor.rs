@@ -17,11 +17,11 @@
 //! self-connect wakeup: shutdown, like every other cross-thread signal, is
 //! one eventfd write.
 
-use crate::conn::Conn;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{self, Frame};
 use crate::server::Shared;
-use crate::sys::{self, Epoll, EpollEvent, EventFd};
+use crate::transport::conn::Conn;
+use crate::transport::sys::{self, Epoll, EpollEvent, EventFd};
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;

@@ -1,4 +1,4 @@
-//! The std-only TCP server: one epoll [`reactor`](crate::reactor) thread
+//! The std-only TCP server: one epoll reactor thread
 //! drives every connection over nonblocking sockets, while query
 //! execution runs on the shared [`BatchExecutor`] worker pool and comes
 //! back through a completion queue. Thread count is fixed — reactor plus

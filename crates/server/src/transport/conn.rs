@@ -1,6 +1,7 @@
-//! Per-connection state for the reactor: a nonblocking socket, the
-//! incremental [`Decoder`], an ordered queue of response slots, and a
-//! write buffer with backpressure.
+//! Per-connection state for an epoll event loop: a nonblocking socket,
+//! the incremental [`Decoder`], an ordered queue of response slots, and a
+//! write buffer with backpressure. Driven by the `hcl-server` reactor and
+//! reused verbatim for `hcl-router`'s client connections.
 //!
 //! # Response ordering
 //!
@@ -24,21 +25,21 @@
 //! thread-per-connection transport enforced implicitly. One fast or slow
 //! client therefore bounds its own memory and never stalls the reactor.
 
+use super::sys;
 use crate::protocol::Decoder;
-use crate::sys;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
 /// Stop reading once this many unsent response bytes are buffered…
-pub(crate) const WRITE_HIGH_WATER: usize = 256 * 1024;
+pub const WRITE_HIGH_WATER: usize = 256 * 1024;
 /// …and resume once the buffer drains below this.
-pub(crate) const WRITE_LOW_WATER: usize = 64 * 1024;
+pub const WRITE_LOW_WATER: usize = 64 * 1024;
 /// Stop reading once this many response slots are queued unresolved, so a
 /// pipelining client cannot grow the slot queue and the worker channel
 /// without bound while its responses are still being computed.
-pub(crate) const MAX_INFLIGHT: usize = 128;
+pub const MAX_INFLIGHT: usize = 128;
 
 /// One response slot, kept in request order.
 #[derive(Debug)]
@@ -51,7 +52,7 @@ enum Slot {
 
 /// State machine for one client connection; driven by the reactor.
 #[derive(Debug)]
-pub(crate) struct Conn {
+pub struct Conn {
     pub stream: TcpStream,
     pub decoder: Decoder,
     slots: VecDeque<Slot>,

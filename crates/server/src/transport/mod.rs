@@ -1,0 +1,25 @@
+//! Reusable event-driven transport building blocks.
+//!
+//! The epoll reactor pattern `hcl-server` serves with — nonblocking
+//! sockets, one [`Epoll`] set, an [`EventFd`] wakeup, and a
+//! per-connection state machine ([`Conn`]) that decodes the line protocol
+//! incrementally and flushes responses in request order — is not specific
+//! to answering queries. `hcl-router` drives its client connections with
+//! the exact same machinery to proxy a sharded deployment. This module is
+//! that shared layer:
+//!
+//! | Item | Contents |
+//! |------|----------|
+//! | [`sys`] | hand-rolled, std-only Linux `epoll` / `eventfd` bindings ([`Epoll`], [`EventFd`]) |
+//! | [`conn`] | [`Conn`]: one nonblocking connection — incremental [`Decoder`](crate::protocol::Decoder), ordered response slots, write buffer with backpressure |
+//!
+//! The pieces compose with [`protocol`](crate::protocol) (the shared
+//! codec) but carry no serving policy: what a decoded frame *means* is up
+//! to the event loop that owns the connection (`hcl-server` submits work
+//! to its executor pool; `hcl-router` forwards lines upstream).
+
+pub mod conn;
+pub mod sys;
+
+pub use conn::{Conn, MAX_INFLIGHT, WRITE_HIGH_WATER, WRITE_LOW_WATER};
+pub use sys::{Epoll, EpollEvent, EventFd};

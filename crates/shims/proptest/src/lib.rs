@@ -240,7 +240,7 @@ pub mod collection {
 /// Defines `#[test]` functions that run their body over many generated
 /// inputs. Mirrors upstream's syntax:
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///     #[test]
