@@ -12,7 +12,14 @@
 //! * **upper-bound-exact rate** — fraction of query pairs whose label
 //!   upper bound is already the exact distance (the paper's Figure 9
 //!   coverage metric; these queries never run a search);
-//! * sizes — labelling bytes, sparsified-view bytes/edges, graph bytes.
+//! * **queries/sec, packed** — the same sequential workload answered by a
+//!   [`hcl_store::PackedOracle`] decoding delta-varint labels straight out
+//!   of the mmapped `.hclx` container (no deserialisation);
+//! * **reload latency** — deserialising reload (graph + plain index from
+//!   disk, rebuild the sparsified view) vs packed reload (map the `.hclx`
+//!   and validate), best of several runs each;
+//! * sizes — labelling bytes, sparsified-view bytes/edges, graph bytes,
+//!   plus packed store bytes and the packed/plain compression ratio.
 //!
 //! Usage: `bench_query [--quick] [--out <path>]`. `--quick` shrinks the
 //! instance for CI; without `--out` the JSON goes to stdout only. Every
@@ -75,19 +82,68 @@ fn main() {
     }
     let ub_exact_rate = exact as f64 / answered.max(1) as f64;
 
-    // Sequential queries/sec (warm: the loop above touched everything).
+    // Packed store: write the same index as a `.hclx` container next to the
+    // plain serialisation, then compare cold-load latency and query rate.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let graph_path = dir.join(format!("bench_query_{pid}.hclg"));
+    let index_path = dir.join(format!("bench_query_{pid}.hcl"));
+    let packed_path = dir.join(format!("bench_query_{pid}.hclx"));
+    hcl_graph::io::save_binary(&g, &graph_path).unwrap();
+    hcl_core::io::save_labelling(labelling, &index_path).unwrap();
+    hcl_store::save_packed(labelling, oracle.sparse_view(), &packed_path).unwrap();
+    let store_bytes = std::fs::metadata(&packed_path).unwrap().len() as usize;
+
+    // Deserialising reload: what `RELOAD graph.hclg index.hcl` costs —
+    // parse both containers and rebuild the sparsified view.
+    let reload_deser_secs = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let g2 = Arc::new(hcl_graph::io::load_auto(&graph_path).unwrap());
+            let l2 = hcl_core::io::load_labelling(&index_path).unwrap();
+            black_box(SharedOracle::new(g2, Arc::new(l2)));
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Packed reload: what `RELOAD index.hclx` costs — map and validate.
+    let reload_mmap_secs = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(hcl_store::PackedOracle::open(&packed_path).unwrap());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Sequential queries/sec, in-memory vs packed. The two loops run
+    // *interleaved*, one pass each per round, so transient machine noise
+    // (the container is a shared single core) hits both sides equally and
+    // the in-run ratio is trustworthy even when absolute rates wobble.
+    let packed = hcl_store::PackedOracle::open(&packed_path).unwrap();
+    let packed_index_bytes = packed.view().packed_index_bytes();
+    let plain_index_bytes = packed.view().plain_index_bytes();
+    let mut seq_secs = 0.0f64;
+    let mut packed_secs = 0.0f64;
     let mut passes = 0u32;
-    let seq_start = Instant::now();
-    loop {
+    while seq_secs < cfg.min_seconds || packed_secs < cfg.min_seconds {
+        let t = Instant::now();
         for &(s, t) in &pairs {
             black_box(oracle.distance_with(&mut ctx, s, t));
         }
-        passes += 1;
-        if seq_start.elapsed().as_secs_f64() >= cfg.min_seconds {
-            break;
+        seq_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for &(s, t) in &pairs {
+            black_box(packed.distance_with(&mut ctx, s, t));
         }
+        packed_secs += t.elapsed().as_secs_f64();
+        passes += 1;
     }
-    let seq_qps = (passes as f64 * pairs.len() as f64) / seq_start.elapsed().as_secs_f64();
+    let seq_qps = (passes as f64 * pairs.len() as f64) / seq_secs;
+    let packed_qps = (passes as f64 * pairs.len() as f64) / packed_secs;
+    drop(packed);
+    for p in [&graph_path, &index_path, &packed_path] {
+        let _ = std::fs::remove_file(p);
+    }
 
     // Batched queries/sec through the pooled fan-out (all cores).
     let mut batch_passes = 0u32;
@@ -108,9 +164,13 @@ fn main() {
          \"nproc\": {},\n  \"vertices\": {},\n  \
          \"edges\": {},\n  \"landmarks\": {},\n  \"queries\": {},\n  \
          \"build_seconds\": {:.3},\n  \"queries_per_sec_sequential\": {:.0},\n  \
-         \"queries_per_sec_batched\": {:.0},\n  \"upper_bound_exact_rate\": {:.4},\n  \
+         \"queries_per_sec_batched\": {:.0},\n  \"queries_per_sec_packed\": {:.0},\n  \
+         \"upper_bound_exact_rate\": {:.4},\n  \
          \"index_bytes\": {},\n  \"sparse_view_bytes\": {},\n  \"sparse_view_edges\": {},\n  \
-         \"graph_bytes\": {}\n}}",
+         \"graph_bytes\": {},\n  \"store_bytes\": {},\n  \"packed_index_bytes\": {},\n  \
+         \"plain_index_bytes\": {},\n  \"packed_over_plain_ratio\": {:.4},\n  \
+         \"reload_deserialise_ms\": {:.2},\n  \"reload_mmap_ms\": {:.3},\n  \
+         \"reload_speedup\": {:.1}\n}}",
         if quick { "quick" } else { "full" },
         git_rev(),
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -121,11 +181,19 @@ fn main() {
         build_secs,
         seq_qps,
         batch_qps,
+        packed_qps,
         ub_exact_rate,
         labelling.index_bytes(),
         view.memory_bytes(),
         view.num_edges(),
         g.memory_bytes(),
+        store_bytes,
+        packed_index_bytes,
+        plain_index_bytes,
+        packed_index_bytes as f64 / plain_index_bytes.max(1) as f64,
+        reload_deser_secs * 1e3,
+        reload_mmap_secs * 1e3,
+        reload_deser_secs / reload_mmap_secs.max(1e-9),
     );
     println!("{json}");
     if let Some(path) = out {

@@ -4,11 +4,13 @@
 //! hcl gen   --dataset Skitter [--scale 1.0] --out graph.hclg
 //! hcl gen   --ba 100000,8 [--seed 42] --out graph.hclg
 //! hcl stats graph.hclg
-//! hcl build graph.hclg --landmarks 20 [--threads 0] --out index.hcl
+//! hcl build graph.hclg --landmarks 20 [--threads 0] [--format plain|packed] --out index.hcl
+//! hcl pack  graph.hclg index.hcl --out index.hclx
 //! hcl query graph.hclg index.hcl <s> <t> [<s> <t> ...]
 //! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
 //! hcl serve graph.hclg index.hcl [--port 7777] [--threads 0] [--cache 65536]
 //!           [--landmarks 20] [--max-conns 1024] [--idle-timeout 600]
+//! hcl serve index.hclx [same flags]      # packed: served zero-copy via mmap
 //! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
 //! hcl client 127.0.0.1:7777 stats|ping|epoch|shutdown
 //! hcl client 127.0.0.1:7777 reload graph.hclg [index.hcl]
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("pack") => cmd_pack(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("random-queries") => cmd_random_queries(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -61,14 +64,17 @@ USAGE:
   hcl gen   --dataset <name> [--scale <f>] --out <graph file>
   hcl gen   --ba <n>,<deg> | --web <n>,<deg> | --er <n>,<m> [--seed <s>] --out <file>
   hcl stats <graph file>
-  hcl build <graph file> [--landmarks <k>] [--threads <t>] --out <index file>
+  hcl build <graph file> [--landmarks <k>] [--threads <t>]
+            [--format plain|packed] --out <index file>
+  hcl pack  <graph file> <index file> --out <packed .hclx file>
   hcl query <graph file> <index file> <s> <t> [<s> <t> ...]
   hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
   hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
             [--cache <entries>] [--landmarks <k>] [--max-conns <n>]
             [--idle-timeout <secs>]
+  hcl serve <packed .hclx file> [same flags]
   hcl partition <graph file> --shards <n> --out-dir <dir> [--strategy hash|range]
-            [--landmarks <k>] [--threads <t>]
+            [--landmarks <k>] [--threads <t>] [--format plain|packed]
   hcl route --partition <file> --shards <addr>,<addr>,... [--host <h>] [--port <p>]
             [--max-conns <n>] [--idle-timeout <secs>] [--window <n>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
@@ -78,6 +84,13 @@ USAGE:
 
 Graph files ending in .txt/.el are parsed as whitespace edge lists;
 anything else uses the binary container.
+
+pack rewrites a graph + plain index into one self-contained .hclx file
+(docs/FORMAT.md): delta-varint labels, highway matrix and the sparsified
+query CSR, checksummed per section. build --format packed does the same
+in one step. serve given a single .hclx maps it read-only and answers
+queries straight out of the page cache — no deserialisation — and RELOAD
+with a .hclx path swaps generations by remapping.
 
 serve answers QUERY/BATCH/STATS requests over a newline-delimited TCP
 protocol until a client sends SHUTDOWN (--cache 0 disables the distance
@@ -97,8 +110,10 @@ file per shard (G[Vi + R], original id space), the shared global index,
 and the partition map. Each shard is then an ordinary
 `hcl serve <dir>/shardI.hclg <dir>/index.hcl`; route puts the router in
 front (one address per shard, in shard order) and speaks the same
-protocol to clients, so `hcl client` works unchanged. RELOAD through the
-router takes the deployment directory. See docs/PROTOCOL.md.
+protocol to clients, so `hcl client` works unchanged. With
+--format packed each shard is one self-contained <dir>/shardI.hclx
+served as `hcl serve <dir>/shardI.hclx`. RELOAD through the router takes
+the deployment directory either way. See docs/PROTOCOL.md.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -164,6 +179,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("build requires --out <index file>")?;
     let k: usize = parse_flag(args, "--landmarks", 20)?;
     let threads: usize = parse_flag(args, "--threads", 0)?;
+    let format = flag(args, "--format").unwrap_or_else(|| "plain".to_string());
 
     let g = load_graph(path)?;
     let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
@@ -173,9 +189,59 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         "built {} label entries in {:?} ({} edges traversed)",
         stats.labels_added, stats.duration, stats.edges_traversed
     );
-    hcl_core::io::save_labelling(&labelling, &out).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {out} ({} bytes)", labelling.index_bytes());
+    match format.as_str() {
+        "plain" => {
+            hcl_core::io::save_labelling(&labelling, &out)
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote {out} ({} bytes)", labelling.index_bytes());
+        }
+        "packed" => save_packed_index(&g, &labelling, &out)?,
+        other => return Err(format!("unknown format {other:?} (plain or packed)")),
+    }
     Ok(())
+}
+
+/// Packs `labelling` plus the sparsified view of `g` into `out` and prints
+/// the on-disk size against the plain serialisation it replaces.
+fn save_packed_index(
+    g: &CsrGraph,
+    labelling: &HighwayCoverLabelling,
+    out: &str,
+) -> Result<(), String> {
+    let sparse = hcl_core::SparseView::build(g, labelling.highway());
+    hcl_store::save_packed(labelling, &sparse, out).map_err(|e| format!("writing {out}: {e}"))?;
+    let store_bytes =
+        std::fs::metadata(out).map_err(|e| format!("stat {out}: {e}"))?.len() as usize;
+    let plain = hcl_store::plain_index_bytes(
+        g.num_vertices(),
+        labelling.num_landmarks(),
+        labelling.labels().total_entries(),
+    );
+    println!(
+        "wrote {out}: {} packed ({:.2}x of the {} plain index, sparse view included)",
+        hcl_graph::stats::format_bytes(store_bytes),
+        store_bytes as f64 / plain.max(1) as f64,
+        hcl_graph::stats::format_bytes(plain),
+    );
+    Ok(())
+}
+
+fn cmd_pack(args: &[String]) -> Result<(), String> {
+    let graph_path = args.first().ok_or("pack requires a graph file")?;
+    let index_path = args.get(1).ok_or("pack requires a plain index file")?;
+    let out = flag(args, "--out").ok_or("pack requires --out <packed .hclx file>")?;
+
+    let g = load_graph(graph_path)?;
+    let labelling =
+        hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
+    if labelling.labels().num_vertices() != g.num_vertices() {
+        return Err(format!(
+            "index has {} vertices but graph has {} — wrong index for this graph?",
+            labelling.labels().num_vertices(),
+            g.num_vertices()
+        ));
+    }
+    save_packed_index(&g, &labelling, &out)
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -241,8 +307,7 @@ where
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let graph_path = args.first().ok_or("serve requires a graph file")?;
-    let index_path = args.get(1).ok_or("serve requires an index file")?;
+    let graph_path = args.first().ok_or("serve requires a graph file or a packed .hclx index")?;
     let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
     let port: u16 = parse_flag(args, "--port", 7777)?;
     let threads: usize = parse_flag(args, "--threads", 0)?;
@@ -252,26 +317,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_connections)?;
     let idle_secs: u64 = parse_flag(args, "--idle-timeout", defaults.idle_timeout.as_secs())?;
 
-    let g = Arc::new(load_graph(graph_path)?);
-    let labelling =
-        hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
-    if labelling.labels().num_vertices() != g.num_vertices() {
-        return Err(format!(
-            "index has {} vertices but graph has {} — wrong index for this graph?",
-            labelling.labels().num_vertices(),
-            g.num_vertices()
+    let service = if hcl_store::is_packed_path(graph_path) {
+        let oracle = hcl_store::PackedOracle::open(graph_path)
+            .map_err(|e| format!("opening {graph_path}: {e}"))?;
+        let service = Arc::new(hcl_server::QueryService::with_index(
+            hcl_server::ServingIndex::Packed(oracle),
+            cache,
         ));
-    }
-
-    let service =
-        Arc::new(hcl_server::QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), cache));
-    let sizes = service.index_sizes();
-    println!(
-        "query fast path: sparsified view {} edges ({}), index {}",
-        sizes.sparse_edges,
-        hcl_graph::stats::format_bytes(sizes.sparse_bytes),
-        hcl_graph::stats::format_bytes(sizes.index_bytes),
-    );
+        let sizes = service.index_sizes();
+        println!(
+            "packed index mapped zero-copy: store {} ({:.2}x of the {} plain index), \
+             sparsified view {} edges ({})",
+            hcl_graph::stats::format_bytes(sizes.store_bytes),
+            sizes.index_bytes as f64 / sizes.plain_index_bytes.max(1) as f64,
+            hcl_graph::stats::format_bytes(sizes.plain_index_bytes),
+            sizes.sparse_edges,
+            hcl_graph::stats::format_bytes(sizes.sparse_bytes),
+        );
+        service
+    } else {
+        let index_path =
+            args.get(1).ok_or("serve requires an index file (or a single packed .hclx)")?;
+        let g = Arc::new(load_graph(graph_path)?);
+        let labelling =
+            hcl_core::io::load_labelling(index_path).map_err(|e| format!("loading index: {e}"))?;
+        if labelling.labels().num_vertices() != g.num_vertices() {
+            return Err(format!(
+                "index has {} vertices but graph has {} — wrong index for this graph?",
+                labelling.labels().num_vertices(),
+                g.num_vertices()
+            ));
+        }
+        let service = Arc::new(hcl_server::QueryService::from_parts(g, Arc::new(labelling), cache));
+        let sizes = service.index_sizes();
+        println!(
+            "query fast path: sparsified view {} edges ({}), index {}",
+            sizes.sparse_edges,
+            hcl_graph::stats::format_bytes(sizes.sparse_bytes),
+            hcl_graph::stats::format_bytes(sizes.index_bytes),
+        );
+        service
+    };
     let config = hcl_server::ServerConfig {
         batch_threads: threads,
         reload_landmarks: landmarks,
@@ -279,14 +365,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         idle_timeout: std::time::Duration::from_secs(idle_secs),
         ..Default::default()
     };
+    let vertices = service.num_vertices();
     let handle = hcl_server::Server::bind(service, (host.as_str(), port), config)
         .map_err(|e| format!("binding {host}:{port}: {e}"))?;
     println!(
-        "serving {} ({} vertices, {} edges) on {} — cache {} entries, up to {} connections, \
+        "serving {} ({} vertices) on {} — cache {} entries, up to {} connections, \
          send SHUTDOWN to stop",
         graph_path,
-        g.num_vertices(),
-        g.num_edges(),
+        vertices,
         handle.local_addr(),
         cache,
         max_conns
@@ -306,6 +392,12 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let k: usize = parse_flag(args, "--landmarks", 20)?;
     let threads: usize = parse_flag(args, "--threads", 0)?;
     let strategy = flag(args, "--strategy").unwrap_or_else(|| "range".to_string());
+    let format = flag(args, "--format").unwrap_or_else(|| "plain".to_string());
+    let packed = match format.as_str() {
+        "plain" => false,
+        "packed" => true,
+        other => return Err(format!("unknown format {other:?} (plain or packed)")),
+    };
 
     let g = load_graph(path)?;
     let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
@@ -318,15 +410,22 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("building labelling: {e}"))?;
     println!("built global labelling: {} entries in {:?}", stats.labels_added, stats.duration);
 
-    let summary = hcl_core::partition::write_deployment(&out_dir, &g, &labelling, &map)
-        .map_err(|e| format!("writing deployment to {out_dir}: {e}"))?;
+    let summary = if packed {
+        hcl_store::write_packed_deployment(&out_dir, &g, &labelling, &map)
+            .map_err(|e| format!("writing packed deployment to {out_dir}: {e}"))?
+    } else {
+        hcl_core::partition::write_deployment(&out_dir, &g, &labelling, &map)
+            .map_err(|e| format!("writing deployment to {out_dir}: {e}"))?
+    };
     for (shard, (vertices, edges)) in
         summary.shard_vertices.iter().zip(&summary.shard_edges).enumerate()
     {
-        println!(
-            "shard{shard}: {vertices} owned vertices, {edges} edges -> {out_dir}/{}",
+        let filename = if packed {
+            hcl_core::partition::shard_packed_filename(shard as u32)
+        } else {
             hcl_core::partition::shard_graph_filename(shard as u32)
-        );
+        };
+        println!("shard{shard}: {vertices} owned vertices, {edges} edges -> {out_dir}/{filename}");
     }
     println!(
         "cut edges (in no shard): {} of {} ({:.2}%)",
@@ -342,11 +441,19 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
              shortest paths avoid landmarks degrade to upper bounds (see docs/PROTOCOL.md)"
         );
     }
-    println!(
-        "deployment ready: hcl serve {out_dir}/shardI.hclg {out_dir}/index.hcl per shard, \
-         then hcl route --partition {out_dir}/{} --shards <addr>,...",
-        hcl_core::partition::PARTITION_FILENAME
-    );
+    if packed {
+        println!(
+            "deployment ready: hcl serve {out_dir}/shardI.hclx per shard, \
+             then hcl route --partition {out_dir}/{} --shards <addr>,...",
+            hcl_core::partition::PARTITION_FILENAME
+        );
+    } else {
+        println!(
+            "deployment ready: hcl serve {out_dir}/shardI.hclg {out_dir}/index.hcl per shard, \
+             then hcl route --partition {out_dir}/{} --shards <addr>,...",
+            hcl_core::partition::PARTITION_FILENAME
+        );
+    }
     Ok(())
 }
 

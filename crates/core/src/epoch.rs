@@ -28,16 +28,22 @@ use crate::shared::SharedOracle;
 use std::sync::{Arc, RwLock};
 
 /// One immutable generation of the serving index.
+///
+/// Generic over the index type so serving stacks can swap more than the
+/// default in-memory [`SharedOracle`] — `hcl-server` instantiates it with
+/// an enum covering both the in-memory oracle and `hcl-store`'s
+/// memory-mapped packed index, making a reload a *remap* (publish a new
+/// mapping) rather than a rebuild.
 #[derive(Debug)]
-pub struct OracleEpoch {
+pub struct OracleEpoch<T = SharedOracle> {
     epoch: u64,
-    oracle: SharedOracle,
+    index: T,
 }
 
-impl OracleEpoch {
-    /// Tags `oracle` as generation `epoch`.
-    pub fn new(epoch: u64, oracle: SharedOracle) -> Self {
-        OracleEpoch { epoch, oracle }
+impl<T> OracleEpoch<T> {
+    /// Tags `index` as generation `epoch`.
+    pub fn new(epoch: u64, index: T) -> Self {
+        OracleEpoch { epoch, index }
     }
 
     /// The generation number (0 for the index the process started with).
@@ -45,33 +51,40 @@ impl OracleEpoch {
         self.epoch
     }
 
+    /// The serving index of this generation.
+    pub fn index(&self) -> &T {
+        &self.index
+    }
+}
+
+impl OracleEpoch<SharedOracle> {
     /// The oracle of this generation.
     pub fn oracle(&self) -> &SharedOracle {
-        &self.oracle
+        &self.index
     }
 
     /// Number of vertices queries against this generation may address.
     pub fn num_vertices(&self) -> usize {
-        self.oracle.num_vertices()
+        self.index.num_vertices()
     }
 }
 
 /// The swap point for hot index reload; see the module docs.
 #[derive(Debug)]
-pub struct EpochCell {
-    current: RwLock<Arc<OracleEpoch>>,
+pub struct EpochCell<T = SharedOracle> {
+    current: RwLock<Arc<OracleEpoch<T>>>,
 }
 
-impl EpochCell {
-    /// A cell holding `oracle` as generation 0.
-    pub fn new(oracle: SharedOracle) -> Self {
-        EpochCell { current: RwLock::new(Arc::new(OracleEpoch::new(0, oracle))) }
+impl<T> EpochCell<T> {
+    /// A cell holding `index` as generation 0.
+    pub fn new(index: T) -> Self {
+        EpochCell { current: RwLock::new(Arc::new(OracleEpoch::new(0, index))) }
     }
 
     /// Pins the current generation. The returned `Arc` keeps that
-    /// generation alive (graph, labelling, context pool) even across a
-    /// concurrent [`swap`](Self::swap).
-    pub fn load(&self) -> Arc<OracleEpoch> {
+    /// generation alive (graph, labelling, context pool — or file mapping)
+    /// even across a concurrent [`swap`](Self::swap).
+    pub fn load(&self) -> Arc<OracleEpoch<T>> {
         Arc::clone(&self.current.read().expect("epoch cell poisoned"))
     }
 
@@ -80,12 +93,12 @@ impl EpochCell {
         self.current.read().expect("epoch cell poisoned").epoch
     }
 
-    /// Publishes `oracle` as the next generation and returns it. Queries
+    /// Publishes `index` as the next generation and returns it. Queries
     /// that already pinned the previous generation finish on it; every
     /// subsequent [`load`](Self::load) observes the new one.
-    pub fn swap(&self, oracle: SharedOracle) -> Arc<OracleEpoch> {
+    pub fn swap(&self, index: T) -> Arc<OracleEpoch<T>> {
         let mut current = self.current.write().expect("epoch cell poisoned");
-        let next = Arc::new(OracleEpoch::new(current.epoch + 1, oracle));
+        let next = Arc::new(OracleEpoch::new(current.epoch + 1, index));
         *current = Arc::clone(&next);
         next
     }

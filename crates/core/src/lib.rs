@@ -54,6 +54,7 @@ pub mod partition;
 pub mod query;
 pub mod shared;
 pub mod sparse;
+pub mod storage;
 #[cfg(feature = "testing")]
 pub mod testing;
 pub mod weighted;
@@ -66,6 +67,7 @@ pub use partition::{PartitionMap, PartitionStrategy, ShardRoute};
 pub use query::{HlOracle, QueryContext};
 pub use shared::{ContextPool, PooledContext, SharedOracle};
 pub use sparse::SparseView;
+pub use storage::{LabelStorage, MemIndex, SparseNeighbors};
 pub use weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
 
 /// Errors produced while constructing a highway cover labelling.

@@ -76,6 +76,23 @@ pub fn shard_graph_filename(shard: u32) -> String {
     format!("shard{shard}.hclg")
 }
 
+/// File name of one shard's packed (`hcl-store`) index inside a deployment
+/// directory. A packed deployment ships one self-contained `.hclx` per
+/// shard — global labels + highway + that shard's sparsified CSR — instead
+/// of the `shardN.hclg` + shared `index.hcl` pair, so shards reload by
+/// remapping.
+pub fn shard_packed_filename(shard: u32) -> String {
+    format!("shard{shard}.hclx")
+}
+
+/// The path of one shard's packed index inside a deployment directory —
+/// the convention the router's `RELOAD <dir>` fan-out uses when it detects
+/// a packed deployment (presence of `shard0.hclx`).
+pub fn shard_packed_path(dir: &str, shard: u32) -> String {
+    let sep = if dir.ends_with('/') { "" } else { "/" };
+    format!("{dir}{sep}{}", shard_packed_filename(shard))
+}
+
 /// How vertices are assigned to shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionStrategy {

@@ -27,18 +27,33 @@ use hcl_graph::oracle::DistanceOracle;
 use hcl_graph::{CsrGraph, SearchSpace, VertexId, INF};
 
 /// Reusable per-thread query state: the epoch-versioned search buffers for
+/// One side's label-exclusive `(rank, dist)` remainder in the Lemma 5.1
+/// merge scratch.
+pub(crate) type MergeBuffer = Vec<(u32, u32)>;
+
 /// Algorithm 2 plus scratch for the Lemma 5.1 label merge.
 #[derive(Clone, Debug)]
 pub struct QueryContext {
     space: SearchSpace,
-    only_s: Vec<(u32, u32)>,
-    only_t: Vec<(u32, u32)>,
+    only_s: MergeBuffer,
+    only_t: MergeBuffer,
 }
 
 impl QueryContext {
     /// A context for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
         QueryContext { space: SearchSpace::new(n), only_s: Vec::new(), only_t: Vec::new() }
+    }
+
+    /// The label-merge scratch vectors `(only_s, only_t)` for the generic
+    /// Lemma 5.1 merge in [`crate::storage`].
+    pub(crate) fn merge_buffers(&mut self) -> (&mut MergeBuffer, &mut MergeBuffer) {
+        (&mut self.only_s, &mut self.only_t)
+    }
+
+    /// The reusable search buffers for Algorithm 2.
+    pub(crate) fn search_space(&mut self) -> &mut SearchSpace {
+        &mut self.space
     }
 }
 
@@ -85,91 +100,18 @@ impl HighwayCoverLabelling {
     /// landmarks common to both labels, cross terms only between the
     /// label-exclusive remainders. Equal to
     /// [`upper_bound`](Self::upper_bound) for all inputs (property-tested).
+    ///
+    /// Delegates to the storage-generic
+    /// [`upper_bound_on`](crate::storage::upper_bound_on), monomorphised
+    /// here for the in-memory slice-backed labels.
     pub fn upper_bound_with(&self, ctx: &mut QueryContext, s: VertexId, t: VertexId) -> u32 {
-        if s == t {
-            return 0;
-        }
-        let h = self.highway();
-        match (h.rank(s), h.rank(t)) {
-            (Some(a), Some(b)) => h.distance(a, b),
-            (Some(a), None) => self.bound_from_landmark(a, t),
-            (None, Some(b)) => self.bound_from_landmark(b, s),
-            (None, None) => {
-                let ls = self.labels().label(s);
-                let lt = self.labels().label(t);
-                let mut best = INF;
-                ctx.only_s.clear();
-                ctx.only_t.clear();
-                let (mut i, mut j) = (0, 0);
-                while i < ls.len() && j < lt.len() {
-                    match ls[i].landmark.cmp(&lt[j].landmark) {
-                        std::cmp::Ordering::Equal => {
-                            let cand = ls[i].dist as u32 + lt[j].dist as u32;
-                            if cand < best {
-                                best = cand;
-                            }
-                            i += 1;
-                            j += 1;
-                        }
-                        std::cmp::Ordering::Less => {
-                            ctx.only_s.push((ls[i].landmark as u32, ls[i].dist as u32));
-                            i += 1;
-                        }
-                        std::cmp::Ordering::Greater => {
-                            ctx.only_t.push((lt[j].landmark as u32, lt[j].dist as u32));
-                            j += 1;
-                        }
-                    }
-                }
-                ctx.only_s.extend(ls[i..].iter().map(|e| (e.landmark as u32, e.dist as u32)));
-                ctx.only_t.extend(lt[j..].iter().map(|e| (e.landmark as u32, e.dist as u32)));
-                for &(ra, da) in &ctx.only_s {
-                    // Distinct landmarks are at distance >= 1, so no pair in
-                    // this row can beat `best` once `da + 1 >= best`.
-                    if da.saturating_add(1) >= best {
-                        continue;
-                    }
-                    let row = h.row(ra);
-                    for &(rb, db) in &ctx.only_t {
-                        // Best-so-far pruning: skip the matrix lookup when
-                        // even the minimum possible via-distance (1) loses.
-                        if da + db + 1 >= best {
-                            continue;
-                        }
-                        let via = row[rb as usize];
-                        if via == INF {
-                            continue;
-                        }
-                        let cand = da + via + db;
-                        if cand < best {
-                            best = cand;
-                        }
-                    }
-                }
-                best
-            }
-        }
+        crate::storage::upper_bound_on(self, ctx, s, t)
     }
 
     /// Exact distance from the landmark with rank `rank` to vertex `v`
     /// (Corollary 3.8): `min over (rj, δ) ∈ L(v) of δH(rank, rj) + δ`.
     pub fn bound_from_landmark(&self, rank: u32, v: VertexId) -> u32 {
-        let h = self.highway();
-        if let Some(vr) = h.rank(v) {
-            return h.distance(rank, vr);
-        }
-        let mut best = INF;
-        for e in self.labels().label(v) {
-            let via = h.distance(rank, e.landmark as u32);
-            if via == INF {
-                continue;
-            }
-            let cand = via + e.dist as u32;
-            if cand < best {
-                best = cand;
-            }
-        }
-        best
+        crate::storage::bound_from_landmark_on(self, rank, v)
     }
 
     /// Exact distance via the full framework, using caller-provided state.
@@ -212,24 +154,7 @@ impl HighwayCoverLabelling {
         s: VertexId,
         t: VertexId,
     ) -> Option<u32> {
-        if s == t {
-            return Some(0);
-        }
-        let h = self.highway();
-        let landmark_endpoint = h.is_landmark(s) || h.is_landmark(t);
-        let bound = self.upper_bound_with(ctx, s, t);
-        if landmark_endpoint {
-            // Corollary 3.8 / the highway matrix make the bound exact;
-            // landmark endpoints are isolated in the view, so the search
-            // must not run.
-            return if bound == INF { None } else { Some(bound) };
-        }
-        let d = ctx.space.bounded_bibfs_sparse(view.graph(), s, t, bound);
-        if d == INF {
-            None
-        } else {
-            Some(d)
-        }
+        crate::storage::distance_on(&crate::storage::MemIndex::new(self, view), ctx, s, t)
     }
 
     /// Answers a batch of queries across `num_threads` worker threads
@@ -269,7 +194,10 @@ impl HighwayCoverLabelling {
 /// Fans `pairs` across `num_threads` scoped workers (0 = all cores),
 /// preserving input order. Each worker holds one pooled context for its
 /// whole chunk; contexts return to `pool` as workers finish.
-pub(crate) fn batch_over<F>(
+///
+/// Public so alternative backends (`hcl-store`'s packed oracle) can reuse
+/// the same batching machinery with their own per-pair query closure.
+pub fn batch_over<F>(
     pool: &crate::ContextPool,
     pairs: &[(VertexId, VertexId)],
     num_threads: usize,

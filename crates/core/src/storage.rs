@@ -1,0 +1,427 @@
+//! Label-storage backends: the seam that lets one query implementation
+//! serve both the in-memory index and `hcl-store`'s memory-mapped packed
+//! format.
+//!
+//! The querying framework (§4–5 of the paper) needs exactly four things
+//! from an index: per-vertex labels sorted by landmark rank, the highway
+//! matrix, the landmark-rank lookup, and the sparsified graph `G[V∖R]`.
+//! [`LabelStorage`] and [`SparseNeighbors`] capture those; the generic
+//! functions in this module ([`upper_bound_on`], [`bound_from_landmark_on`],
+//! [`distance_on`]) implement Equation 4 with the Lemma 5.1 merge, the
+//! Corollary 3.8 landmark-endpoint shortcut, and the Algorithm 2 bounded
+//! search over any backend.
+//!
+//! Two backends exist:
+//!
+//! * the in-memory index — [`HighwayCoverLabelling`] implements
+//!   [`LabelStorage`] directly (labels come straight off `&[LabelEntry]`
+//!   slices), and [`MemIndex`] pairs it with a
+//!   [`SparseView`] to add [`SparseNeighbors`]. The
+//!   public query entry points
+//!   ([`upper_bound_with`](HighwayCoverLabelling::upper_bound_with),
+//!   [`distance_sparse`](HighwayCoverLabelling::distance_sparse)) are thin
+//!   wrappers over the generic functions, so the fast path *is* the generic
+//!   path, monomorphised for slices.
+//! * `hcl-store`'s `IndexView` — labels are decoded on the fly from
+//!   delta-varint bytes in a memory-mapped file ("decode-on-merge"): the
+//!   label iterator type absorbs the difference and the merge logic,
+//!   pruning included, is shared verbatim.
+//!
+//! Because both backends run the same monomorphised code, packed-vs-memory
+//! equivalence reduces to the storage traits returning the same sequences —
+//! which is exactly what `hcl-store`'s round-trip property tests check.
+
+use crate::build::HighwayCoverLabelling;
+use crate::query::QueryContext;
+use crate::sparse::SparseView;
+use hcl_graph::{Adjacency, VertexId, INF};
+
+/// Read access to one generation of a highway cover index: labels, highway
+/// matrix, and landmark ranks.
+///
+/// Implementations must uphold the index invariants the query functions
+/// rely on: labels sorted strictly by rank, ranks `< num_landmarks()`,
+/// empty labels on landmarks, and a symmetric highway matrix with a zero
+/// diagonal (`INF` = disconnected).
+pub trait LabelStorage {
+    /// Iterator over one vertex's label as `(landmark rank, distance)`
+    /// pairs in strictly increasing rank order.
+    type LabelIter<'a>: Iterator<Item = (u32, u32)>
+    where
+        Self: 'a;
+
+    /// Number of vertices the index covers.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of landmarks `|R|`.
+    fn num_landmarks(&self) -> usize;
+
+    /// The rank of `v` if it is a landmark.
+    fn rank(&self, v: VertexId) -> Option<u32>;
+
+    /// Whether `v` is a landmark.
+    #[inline]
+    fn is_landmark(&self, v: VertexId) -> bool {
+        self.rank(v).is_some()
+    }
+
+    /// Exact landmark-to-landmark distance by rank (`INF` = disconnected).
+    fn highway_distance(&self, rank_a: u32, rank_b: u32) -> u32;
+
+    /// The highway matrix row of `rank` (length `num_landmarks()`).
+    fn highway_row(&self, rank: u32) -> &[u32];
+
+    /// The label of `v` in rank order.
+    fn label(&self, v: VertexId) -> Self::LabelIter<'_>;
+}
+
+/// Adjacency access to the sparsified graph `G[V∖R]` of the same index
+/// generation (original vertex ids; landmarks isolated).
+pub trait SparseNeighbors {
+    /// Neighbours of `v` in `G[V∖R]` (sorted, duplicate-free).
+    fn sparse_neighbors(&self, v: VertexId) -> &[VertexId];
+}
+
+/// Adapter presenting a backend's sparsified graph as
+/// [`hcl_graph::Adjacency`] so [`SearchSpace::bounded_bibfs_sparse`]
+/// traverses it directly.
+///
+/// [`SearchSpace`]: hcl_graph::SearchSpace
+struct SparseAdj<'a, S: ?Sized>(&'a S);
+
+impl<S: LabelStorage + SparseNeighbors + ?Sized> Adjacency for SparseAdj<'_, S> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.0.sparse_neighbors(v)
+    }
+}
+
+/// The upper bound `d⊤(s, t)` of Equation 4 over any [`LabelStorage`],
+/// using the Lemma 5.1 merge: landmarks common to both labels contribute
+/// their direct sum, cross terms run only between the label-exclusive
+/// remainders (buffered in `ctx`), and the inner loop prunes on the
+/// best-so-far (`da + db + 1 >= best` skips the matrix lookup when even a
+/// via-distance of 1 loses). Landmark endpoints are answered from the
+/// highway / Corollary 3.8.
+pub fn upper_bound_on<S: LabelStorage + ?Sized>(
+    index: &S,
+    ctx: &mut QueryContext,
+    s: VertexId,
+    t: VertexId,
+) -> u32 {
+    if s == t {
+        return 0;
+    }
+    match (index.rank(s), index.rank(t)) {
+        (Some(a), Some(b)) => index.highway_distance(a, b),
+        (Some(a), None) => bound_from_landmark_on(index, a, t),
+        (None, Some(b)) => bound_from_landmark_on(index, b, s),
+        (None, None) => {
+            let mut best = INF;
+            let (only_s, only_t) = ctx.merge_buffers();
+            only_s.clear();
+            only_t.clear();
+            let mut ls = index.label(s);
+            let mut lt = index.label(t);
+            let mut es = ls.next();
+            let mut et = lt.next();
+            // One linear pass over both rank-sorted labels: equal ranks are
+            // direct sums, unmatched entries become cross-term candidates.
+            loop {
+                match (es, et) {
+                    (Some((ra, da)), Some((rb, db))) => match ra.cmp(&rb) {
+                        std::cmp::Ordering::Equal => {
+                            let cand = da + db;
+                            if cand < best {
+                                best = cand;
+                            }
+                            es = ls.next();
+                            et = lt.next();
+                        }
+                        std::cmp::Ordering::Less => {
+                            only_s.push((ra, da));
+                            es = ls.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            only_t.push((rb, db));
+                            et = lt.next();
+                        }
+                    },
+                    (Some(e), None) => {
+                        only_s.push(e);
+                        only_s.extend(ls);
+                        break;
+                    }
+                    (None, Some(e)) => {
+                        only_t.push(e);
+                        only_t.extend(lt);
+                        break;
+                    }
+                    (None, None) => break,
+                }
+            }
+            for &(ra, da) in only_s.iter() {
+                // Distinct landmarks are at distance >= 1, so no pair in
+                // this row can beat `best` once `da + 1 >= best`.
+                if da.saturating_add(1) >= best {
+                    continue;
+                }
+                let row = index.highway_row(ra);
+                for &(rb, db) in only_t.iter() {
+                    // Best-so-far pruning: skip the matrix lookup when even
+                    // the minimum possible via-distance (1) loses.
+                    if da + db + 1 >= best {
+                        continue;
+                    }
+                    let via = row[rb as usize];
+                    if via == INF {
+                        continue;
+                    }
+                    let cand = da + via + db;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Exact distance from the landmark with rank `rank` to vertex `v`
+/// (Corollary 3.8): `min over (rj, δ) ∈ L(v) of δH(rank, rj) + δ`.
+pub fn bound_from_landmark_on<S: LabelStorage + ?Sized>(index: &S, rank: u32, v: VertexId) -> u32 {
+    if let Some(vr) = index.rank(v) {
+        return index.highway_distance(rank, vr);
+    }
+    let row = index.highway_row(rank);
+    let mut best = INF;
+    for (rj, d) in index.label(v) {
+        let via = row[rj as usize];
+        if via == INF {
+            continue;
+        }
+        let cand = via + d;
+        if cand < best {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Exact distance via the full framework over any backend implementing both
+/// storage traits: label upper bound, Corollary 3.8 shortcut for landmark
+/// endpoints, then the distance-bounded bidirectional BFS (Algorithm 2) on
+/// the backend's sparsified graph.
+pub fn distance_on<S: LabelStorage + SparseNeighbors + ?Sized>(
+    index: &S,
+    ctx: &mut QueryContext,
+    s: VertexId,
+    t: VertexId,
+) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let landmark_endpoint = index.is_landmark(s) || index.is_landmark(t);
+    let bound = upper_bound_on(index, ctx, s, t);
+    if landmark_endpoint {
+        // Corollary 3.8 / the highway matrix make the bound exact;
+        // landmark endpoints are isolated in the sparsified graph, so the
+        // search must not run.
+        return if bound == INF { None } else { Some(bound) };
+    }
+    let d = ctx.search_space().bounded_bibfs_sparse(&SparseAdj(index), s, t, bound);
+    if d == INF {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Label iterator over the in-memory store: a slice walk mapping
+/// [`LabelEntry`](crate::LabelEntry) to `(rank, dist)`. Kept as a named
+/// type (not a closure `Map`) so the generic merge monomorphises to the
+/// same code the hand-written slice merge compiled to.
+pub struct MemLabelIter<'a>(std::slice::Iter<'a, crate::labels::LabelEntry>);
+
+impl Iterator for MemLabelIter<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        self.0.next().map(|e| (e.landmark as u32, e.dist as u32))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl LabelStorage for HighwayCoverLabelling {
+    type LabelIter<'a> = MemLabelIter<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.labels().num_vertices()
+    }
+
+    #[inline]
+    fn num_landmarks(&self) -> usize {
+        self.highway().num_landmarks()
+    }
+
+    #[inline]
+    fn rank(&self, v: VertexId) -> Option<u32> {
+        self.highway().rank(v)
+    }
+
+    #[inline]
+    fn is_landmark(&self, v: VertexId) -> bool {
+        self.highway().is_landmark(v)
+    }
+
+    #[inline]
+    fn highway_distance(&self, rank_a: u32, rank_b: u32) -> u32 {
+        self.highway().distance(rank_a, rank_b)
+    }
+
+    #[inline]
+    fn highway_row(&self, rank: u32) -> &[u32] {
+        self.highway().row(rank)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> MemLabelIter<'_> {
+        MemLabelIter(self.labels().label(v).iter())
+    }
+}
+
+/// The in-memory backend: a labelling plus the matching precomputed
+/// [`SparseView`]. [`SharedOracle`](crate::SharedOracle) queries go through
+/// this adapter, making the in-memory fast path an instantiation of the
+/// same generic framework the packed path uses.
+#[derive(Clone, Copy, Debug)]
+pub struct MemIndex<'a> {
+    labelling: &'a HighwayCoverLabelling,
+    sparse: &'a SparseView,
+}
+
+impl<'a> MemIndex<'a> {
+    /// Pairs `labelling` with the sparse view built from the same graph and
+    /// landmark set.
+    pub fn new(labelling: &'a HighwayCoverLabelling, sparse: &'a SparseView) -> Self {
+        MemIndex { labelling, sparse }
+    }
+}
+
+impl LabelStorage for MemIndex<'_> {
+    type LabelIter<'b>
+        = MemLabelIter<'b>
+    where
+        Self: 'b;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.labelling.labels().num_vertices()
+    }
+
+    #[inline]
+    fn num_landmarks(&self) -> usize {
+        self.labelling.highway().num_landmarks()
+    }
+
+    #[inline]
+    fn rank(&self, v: VertexId) -> Option<u32> {
+        self.labelling.highway().rank(v)
+    }
+
+    #[inline]
+    fn is_landmark(&self, v: VertexId) -> bool {
+        self.labelling.highway().is_landmark(v)
+    }
+
+    #[inline]
+    fn highway_distance(&self, rank_a: u32, rank_b: u32) -> u32 {
+        self.labelling.highway().distance(rank_a, rank_b)
+    }
+
+    #[inline]
+    fn highway_row(&self, rank: u32) -> &[u32] {
+        self.labelling.highway().row(rank)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> MemLabelIter<'_> {
+        MemLabelIter(self.labelling.labels().label(v).iter())
+    }
+}
+
+impl SparseNeighbors for MemIndex<'_> {
+    #[inline]
+    fn sparse_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.sparse.graph().neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_graph::generate;
+
+    fn build(n: usize, k: usize, seed: u64) -> (hcl_graph::CsrGraph, HighwayCoverLabelling) {
+        let g = generate::barabasi_albert(n, 3, seed);
+        let landmarks = hcl_graph::order::top_degree(&g, k);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        (g, hcl)
+    }
+
+    #[test]
+    fn mem_backend_matches_reference_upper_bound() {
+        let (g, hcl) = build(150, 8, 5);
+        let mut ctx = QueryContext::new(g.num_vertices());
+        for s in g.vertices().step_by(3) {
+            for t in g.vertices().step_by(5) {
+                assert_eq!(upper_bound_on(&hcl, &mut ctx, s, t), hcl.upper_bound(s, t), "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn mem_backend_distance_matches_distance_with() {
+        let (g, hcl) = build(200, 10, 9);
+        let sparse = SparseView::build(&g, hcl.highway());
+        let index = MemIndex::new(&hcl, &sparse);
+        let mut ctx = QueryContext::new(g.num_vertices());
+        let mut ctx2 = QueryContext::new(g.num_vertices());
+        for s in g.vertices().step_by(7) {
+            for t in g.vertices() {
+                assert_eq!(
+                    distance_on(&index, &mut ctx, s, t),
+                    hcl.distance_with(&g, &mut ctx2, s, t),
+                    "{s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_endpoints_skip_the_search() {
+        let (g, hcl) = build(120, 6, 2);
+        let sparse = SparseView::build(&g, hcl.highway());
+        let index = MemIndex::new(&hcl, &sparse);
+        let mut ctx = QueryContext::new(g.num_vertices());
+        let r = hcl.highway().landmark(0);
+        for t in g.vertices() {
+            let truth = hcl_graph::traversal::bfs_distances(&g, r)[t as usize];
+            let expect = (truth != INF).then_some(truth);
+            assert_eq!(distance_on(&index, &mut ctx, r, t), expect, "{r}->{t}");
+            assert_eq!(distance_on(&index, &mut ctx, t, r), expect, "{t}->{r}");
+        }
+    }
+}

@@ -135,6 +135,49 @@ impl CsrGraph {
     }
 }
 
+/// Read-only adjacency access, the storage-backend seam of the query fast
+/// path.
+///
+/// [`CsrGraph`] is the in-memory implementation; `hcl-store`'s memory-mapped
+/// index view implements it over packed on-disk bytes. Searches that are
+/// generic over `Adjacency` (notably
+/// [`SearchSpace::bounded_bibfs_sparse`](crate::traversal::SearchSpace::bounded_bibfs_sparse))
+/// therefore run unchanged on either backend. Neighbour lists must be
+/// returned as contiguous `&[VertexId]` slices — the trait deliberately does
+/// not abstract over iterators so the inner search loop stays a plain slice
+/// scan.
+pub trait Adjacency {
+    /// Number of vertices `n`; vertex ids `0..n` must be valid arguments to
+    /// [`neighbors`](Self::neighbors).
+    fn num_vertices(&self) -> usize;
+
+    /// The neighbour list of `v` (sorted, duplicate-free).
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Degree of `v`.
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+}
+
 /// Incremental, checked builder for [`CsrGraph`].
 ///
 /// Accumulates edges (normalised so each undirected edge is stored once),

@@ -35,7 +35,7 @@ pub mod subgraph;
 pub mod traversal;
 pub mod wgraph;
 
-pub use csr::{CsrGraph, GraphBuilder};
+pub use csr::{Adjacency, CsrGraph, GraphBuilder};
 pub use oracle::DistanceOracle;
 pub use traversal::SearchSpace;
 pub use wgraph::{WeightedGraph, WeightedGraphBuilder};

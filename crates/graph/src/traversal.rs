@@ -266,6 +266,11 @@ impl SearchSpace {
     /// calls. Returns `min(d_g(s, t), bound)` exactly like
     /// [`bounded_bibfs`](Self::bounded_bibfs) with a never-skip filter.
     ///
+    /// Generic over [`Adjacency`](crate::csr::Adjacency) so the same monomorphised loop serves both
+    /// the in-memory [`CsrGraph`] and `hcl-store`'s memory-mapped packed
+    /// index (whose sparsified CSR sections are `&[u32]` slices straight
+    /// over the mapping).
+    ///
     /// Two additional constant-factor refinements over the reference:
     ///
     /// * the side to expand is chosen by pending frontier *edge* weight
@@ -275,9 +280,9 @@ impl SearchSpace {
     ///   marked balls are disjoint, any undiscovered path has length
     ///   `>= d_fwd + d_rev + 1`, so the search stops one level earlier
     ///   than the `d_fwd + d_rev >= bound` test.
-    pub fn bounded_bibfs_sparse(
+    pub fn bounded_bibfs_sparse<A: crate::csr::Adjacency + ?Sized>(
         &mut self,
-        g: &CsrGraph,
+        g: &A,
         s: VertexId,
         t: VertexId,
         bound: u32,

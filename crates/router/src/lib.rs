@@ -29,8 +29,11 @@
 //!   (`epoch` is reported as the minimum) and the router prepends its own
 //!   `router_*` counters plus `shards=N`.
 //! * `EPOCH` — fanned out; answered only when every shard agrees.
-//! * `RELOAD dir` — fanned out as `RELOAD dir/shardI.hclg dir/index.hcl`
-//!   over a dedicated control connection per shard (so seconds-long
+//! * `RELOAD dir` — fanned out as `RELOAD dir/shardI.hclg dir/index.hcl`,
+//!   or as the single-path `RELOAD dir/shardI.hclx` when the directory
+//!   holds a packed (`hcl-store`) deployment (detected by `shard0.hclx`;
+//!   shards then reload by remapping, not rebuilding), each over a
+//!   dedicated control connection per shard (so seconds-long
 //!   rebuilds never stall pipelined query traffic), with all-or-nothing
 //!   **confirmation**: the router replies `RELOADED e` only when every
 //!   shard swapped to the same new epoch, and otherwise reports each

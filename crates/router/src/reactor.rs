@@ -15,7 +15,7 @@
 use crate::aggregate;
 use crate::router::{RouterMetrics, Shared};
 use crate::upstream::{OutboundRequest, Pending, Upstream};
-use hcl_core::partition::shard_paths;
+use hcl_core::partition::{shard_packed_path, shard_paths};
 use hcl_core::ShardRoute;
 use hcl_graph::VertexId;
 use hcl_server::protocol::{self, Frame, ResponseError};
@@ -434,17 +434,20 @@ impl Reactor {
         let shards = self.shared.partition.num_shards();
         let seq = conn.push_waiting();
         let rid = self.next_request(id, seq, shards, AggKind::Reload { results: Vec::new() });
+        // A packed deployment (`hcl partition --format packed`) ships one
+        // self-contained `shardN.hclx` per shard; its presence selects the
+        // single-path remap reload over the legacy graph + index pair.
+        let packed = std::path::Path::new(&shard_packed_path(&dir, 0)).is_file();
         for shard in 0..shards {
-            let (graph, index) = shard_paths(&dir, shard);
+            let line = if packed {
+                format!("RELOAD {}\n", shard_packed_path(&dir, shard))
+            } else {
+                let (graph, index) = shard_paths(&dir, shard);
+                format!("RELOAD {graph} {index}\n")
+            };
             // Control connection: a slow rebuild must not sit in front of
             // pipelined query responses on the data connection.
-            self.submit_upstream(
-                true,
-                shard,
-                rid,
-                None,
-                format!("RELOAD {graph} {index}\n").into_bytes(),
-            );
+            self.submit_upstream(true, shard, rid, None, line.into_bytes());
         }
     }
 

@@ -281,6 +281,62 @@ fn reload_fans_out_under_live_traffic_with_all_or_nothing_confirmation() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The packed flavour of the fan-out: shards serve `.hclx` files
+/// zero-copy, the router detects `shard0.hclx` in the target directory
+/// and reloads every shard with the single-path `RELOAD dir/shardI.hclx`
+/// form — a remap, not a rebuild — with the same all-or-nothing epoch
+/// confirmation.
+#[test]
+fn reload_fans_out_packed_deployments_as_single_path_remaps() {
+    let dir = std::env::temp_dir().join(format!("hcl_router_packed_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (g1, hubs) = bridged_communities(5);
+    let (g2, _) = bridged_communities(13);
+    let (l1, _) = HighwayCoverLabelling::build(&g1, &hubs).unwrap();
+    let (l2, _) = HighwayCoverLabelling::build(&g2, &hubs).unwrap();
+    let map = PartitionMap::range(g1.num_vertices(), 2, &hubs);
+    assert!(map.respects_components(&g1) && map.respects_components(&g2));
+
+    let dir1 = dir.join("v1");
+    let dir2 = dir.join("v2");
+    hcl_store::write_packed_deployment(&dir1, &g1, &l1, &map).unwrap();
+    hcl_store::write_packed_deployment(&dir2, &g2, &l2, &map).unwrap();
+
+    // Shards start the way `hcl serve dir/shardI.hclx` would: packed.
+    let shards: Vec<ServerHandle> = (0..2)
+        .map(|shard| {
+            let path = partition::shard_packed_path(dir1.to_str().unwrap(), shard);
+            let oracle = hcl_store::PackedOracle::open(&path).unwrap();
+            let service = Arc::new(QueryService::with_index(
+                hcl_server::ServingIndex::Packed(oracle),
+                1 << 10,
+            ));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = shards.iter().map(|s| s.local_addr()).collect();
+    let router = Router::bind(map.clone(), &addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    let pairs = workload(g1.num_vertices() as u32, 200);
+    let mut o1 = HlOracle::new(&g1, l1.clone());
+    let mut o2 = HlOracle::new(&g2, l2.clone());
+    let truth1: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| o1.query(s, t)).collect();
+    let truth2: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| o2.query(s, t)).collect();
+    assert_ne!(truth1, truth2, "the two fixtures must differ on this workload");
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    assert_eq!(client.batch(&pairs).unwrap(), truth1, "packed shards serve v1 exactly");
+
+    let epoch = client.reload(dir2.to_str().unwrap(), None).unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(client.epoch().unwrap(), 1, "all shards agree after the packed fan-out");
+    assert_eq!(client.batch(&pairs).unwrap(), truth2, "answers swap to the v2 deployment");
+
+    drop(router);
+    drop(shards);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn router_shutdown_leaves_shards_running() {
     let (g, hubs) = hub_star();

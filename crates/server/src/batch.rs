@@ -18,6 +18,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::oracle_pool::{QueryError, QueryService};
+use crate::serving::ServingIndex;
 use hcl_core::{OracleEpoch, QueryContext};
 use hcl_graph::VertexId;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,7 +40,7 @@ struct BatchJob {
     /// Pinned at submission: every chunk of this batch is validated and
     /// computed against this one generation, so a mid-batch hot reload can
     /// never mix epochs inside a response.
-    index: Arc<OracleEpoch>,
+    index: Arc<OracleEpoch<ServingIndex>>,
     results: Mutex<Vec<Option<u32>>>,
     /// Chunks not yet fully computed.
     remaining: AtomicUsize,
@@ -175,7 +176,7 @@ impl BatchExecutor {
     fn enqueue(
         &self,
         pairs: Vec<(VertexId, VertexId)>,
-        index: Arc<OracleEpoch>,
+        index: Arc<OracleEpoch<ServingIndex>>,
         on_done: BatchCallback,
     ) {
         // Over-split relative to the thread count so a slow chunk (cache
@@ -252,7 +253,7 @@ mod tests {
     fn matches_sequential_in_order() {
         let service = service(0);
         let pairs = pairs(997, 500);
-        let expect = service.snapshot().oracle().batch_distances(&pairs, 1);
+        let expect = service.snapshot().index().batch_distances(&pairs, 1);
         for threads in [1usize, 2, 4, 8] {
             let executor = BatchExecutor::new(Arc::clone(&service), threads);
             assert_eq!(executor.execute(&pairs).unwrap(), expect, "threads {threads}");
@@ -280,7 +281,7 @@ mod tests {
     fn concurrent_submitters_share_the_pool() {
         let service = service(1 << 12);
         let executor = Arc::new(BatchExecutor::new(Arc::clone(&service), 4));
-        let expect = service.snapshot().oracle().batch_distances(&pairs(400, 500), 1);
+        let expect = service.snapshot().index().batch_distances(&pairs(400, 500), 1);
         std::thread::scope(|scope| {
             for _ in 0..6 {
                 let executor = Arc::clone(&executor);
@@ -344,7 +345,7 @@ mod tests {
 
         let service = service(64);
         let executor = BatchExecutor::new(Arc::clone(&service), 2);
-        let offline = service.snapshot().oracle().batch_distances(&[(1, 42)], 1)[0];
+        let offline = service.snapshot().index().batch_distances(&[(1, 42)], 1)[0];
 
         let (tx, rx) = mpsc::channel();
         executor.submit_query(1, 42, Box::new(move |d| tx.send(d).unwrap())).unwrap();

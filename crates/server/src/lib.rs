@@ -55,6 +55,7 @@ pub mod oracle_pool;
 pub mod protocol;
 mod reactor;
 pub mod server;
+pub mod serving;
 pub mod transport;
 
 pub use batch::BatchExecutor;
@@ -64,3 +65,4 @@ pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use oracle_pool::{IndexSizes, QueryError, QueryService, ReloadError};
 pub use protocol::{Decoder, Frame, ProtocolError, Request, ResponseError};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use serving::ServingIndex;

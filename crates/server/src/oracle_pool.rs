@@ -21,10 +21,14 @@
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::serving::ServingIndex;
 use hcl_core::landmarks::LandmarkStrategy;
 use hcl_core::{EpochCell, HighwayCoverLabelling, OracleEpoch, QueryContext, SharedOracle};
 use hcl_graph::{CsrGraph, VertexId};
+use hcl_store::PackedOracle;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A query the service cannot answer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,12 +90,20 @@ impl std::error::Error for ReloadError {}
 /// Byte sizes of one index generation, as reported by `STATS`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexSizes {
-    /// Queryable index: label entries + offsets + highway matrix.
+    /// Queryable index: label entries + offsets + highway matrix. For a
+    /// packed generation this is the compressed on-file footprint of those
+    /// sections.
     pub index_bytes: usize,
     /// The precomputed sparsified CSR `G[V∖R]` the searches traverse.
     pub sparse_bytes: usize,
     /// Edges surviving sparsification.
     pub sparse_edges: usize,
+    /// Total bytes of the packed `.hclx` file backing the generation
+    /// (0 when serving from memory).
+    pub store_bytes: usize,
+    /// Bytes the same index occupies in the plain `HCLIDX01` serialisation
+    /// — the baseline for the packed compression ratio.
+    pub plain_index_bytes: usize,
 }
 
 /// Shared per-process serving state; see the module docs.
@@ -116,19 +128,35 @@ pub struct IndexSizes {
 /// ```
 #[derive(Debug)]
 pub struct QueryService {
-    index: EpochCell,
+    index: EpochCell<ServingIndex>,
     cache: Option<ShardedCache>,
     metrics: ServeMetrics,
+    /// Wall-clock microseconds the last successful
+    /// [`reload_from_paths`](Self::reload_from_paths) spent loading (0
+    /// until one happens) — `STATS load_us`, the number the mmap reload
+    /// path exists to shrink.
+    load_micros: AtomicU64,
 }
 
 impl QueryService {
-    /// Builds a service over an oracle, with a cache when
+    /// Builds a service over an in-memory oracle, with a cache when
     /// `cache_capacity > 0`.
     pub fn new(oracle: SharedOracle, cache_capacity: usize) -> Self {
+        QueryService::with_index(ServingIndex::Memory(oracle), cache_capacity)
+    }
+
+    /// Builds a service over any index backend (in-memory or packed), with
+    /// a cache when `cache_capacity > 0`.
+    pub fn with_index(index: ServingIndex, cache_capacity: usize) -> Self {
         let cache = (cache_capacity > 0).then(|| {
             ShardedCache::new(CacheConfig { capacity: cache_capacity, ..Default::default() })
         });
-        QueryService { index: EpochCell::new(oracle), cache, metrics: ServeMetrics::default() }
+        QueryService {
+            index: EpochCell::new(index),
+            cache,
+            metrics: ServeMetrics::default(),
+            load_micros: AtomicU64::new(0),
+        }
     }
 
     /// Convenience constructor from the index halves.
@@ -143,7 +171,7 @@ impl QueryService {
     /// Pins the current index generation. Hold the returned `Arc` for the
     /// whole of one logical operation (a query, a batch) so a concurrent
     /// reload cannot tear it.
-    pub fn snapshot(&self) -> Arc<OracleEpoch> {
+    pub fn snapshot(&self) -> Arc<OracleEpoch<ServingIndex>> {
         self.index.load()
     }
 
@@ -164,7 +192,7 @@ impl QueryService {
 
     /// Number of vertices queries may currently address.
     pub fn num_vertices(&self) -> usize {
-        self.snapshot().num_vertices()
+        self.snapshot().index().num_vertices()
     }
 
     /// Validates that both endpoints are in range for the current index.
@@ -175,8 +203,12 @@ impl QueryService {
     }
 
     /// Validates both endpoints against one pinned index generation.
-    pub fn check_pair_in(index: &OracleEpoch, s: VertexId, t: VertexId) -> Result<(), QueryError> {
-        let n = index.num_vertices();
+    pub fn check_pair_in(
+        index: &OracleEpoch<ServingIndex>,
+        s: VertexId,
+        t: VertexId,
+    ) -> Result<(), QueryError> {
+        let n = index.index().num_vertices();
         for v in [s, t] {
             if v as usize >= n {
                 return Err(QueryError::VertexOutOfRange { vertex: v, n });
@@ -198,9 +230,9 @@ impl QueryService {
                 return Ok(hit);
             }
         }
-        let oracle = snap.oracle();
-        let mut ctx = oracle.context_pool().checkout();
-        let d = oracle.distance_with(&mut ctx, s, t);
+        let index = snap.index();
+        let mut ctx = index.context_pool().checkout();
+        let d = index.distance_with(&mut ctx, s, t);
         if let Some(cache) = &self.cache {
             cache.insert(s, t, snap.epoch(), d);
         }
@@ -213,7 +245,7 @@ impl QueryService {
     /// counts whole requests.
     pub(crate) fn cached_distance_with(
         &self,
-        snap: &OracleEpoch,
+        snap: &OracleEpoch<ServingIndex>,
         ctx: &mut QueryContext,
         s: VertexId,
         t: VertexId,
@@ -223,19 +255,25 @@ impl QueryService {
             if let Some(hit) = cache.get(s, t, snap.epoch()) {
                 return hit;
             }
-            let d = snap.oracle().distance_with(ctx, s, t);
+            let d = snap.index().distance_with(ctx, s, t);
             cache.insert(s, t, snap.epoch(), d);
             d
         } else {
-            snap.oracle().distance_with(ctx, s, t)
+            snap.index().distance_with(ctx, s, t)
         }
     }
 
-    /// Swaps in a freshly built oracle as the next index generation and
-    /// clears the cache (exactly once per swap). In-flight queries finish
-    /// on the old generation; returns the new epoch.
+    /// Swaps in a freshly built in-memory oracle as the next index
+    /// generation; see [`reload_index`](Self::reload_index).
     pub fn reload(&self, oracle: SharedOracle) -> u64 {
-        let swapped = self.index.swap(oracle);
+        self.reload_index(ServingIndex::Memory(oracle))
+    }
+
+    /// Swaps in any index backend as the next generation and clears the
+    /// cache (exactly once per swap). In-flight queries finish on the old
+    /// generation; returns the new epoch.
+    pub fn reload_index(&self, index: ServingIndex) -> u64 {
+        let swapped = self.index.swap(index);
         // Clearing after the swap bounds the stale window: entries inserted
         // for the *new* epoch between these two lines are dropped (only a
         // tiny warm-up loss), while old-epoch stragglers that sneak in
@@ -247,16 +285,39 @@ impl QueryService {
         swapped.epoch()
     }
 
-    /// Loads a graph (and optionally a prebuilt index) from disk and swaps
-    /// it in via [`reload`](Self::reload). Without an index path the
-    /// labelling is built in-process over the graph's top-`landmarks`
-    /// degree vertices. On any error the current index keeps serving.
+    /// Loads the next index generation from disk and swaps it in via
+    /// [`reload_index`](Self::reload_index). On any error the current
+    /// index keeps serving.
+    ///
+    /// Two layouts are accepted, distinguished by extension:
+    ///
+    /// * `graph_path` ending in `.hclx` — a packed `hcl-store` index. The
+    ///   file is memory-mapped and validated, **not** deserialised; it is
+    ///   self-contained, so passing `index_path` alongside it is an error.
+    /// * anything else — a graph file, optionally with a plain `index_path`
+    ///   labelling. Without one the labelling is built in-process over the
+    ///   graph's top-`landmarks` degree vertices.
+    ///
+    /// The wall-clock load time is recorded for `STATS load_us`.
     pub fn reload_from_paths(
         &self,
         graph_path: &str,
         index_path: Option<&str>,
         landmarks: usize,
     ) -> Result<u64, ReloadError> {
+        let started = Instant::now();
+        if hcl_store::is_packed_path(graph_path) {
+            if let Some(extra) = index_path {
+                return Err(ReloadError::Load(format!(
+                    "{graph_path} is a self-contained packed index; unexpected second path {extra}"
+                )));
+            }
+            let oracle = PackedOracle::open(graph_path)
+                .map_err(|e| ReloadError::Load(format!("{graph_path}: {e}")))?;
+            let epoch = self.reload_index(ServingIndex::Packed(oracle));
+            self.load_micros.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            return Ok(epoch);
+        }
         let graph = hcl_graph::io::load_auto(graph_path)
             .map_err(|e| ReloadError::Load(format!("{graph_path}: {e}")))?;
         let graph = Arc::new(graph);
@@ -276,20 +337,21 @@ impl QueryService {
                 index_vertices: labelling.labels().num_vertices(),
             });
         }
-        Ok(self.reload(SharedOracle::new(graph, Arc::new(labelling))))
+        let epoch = self.reload(SharedOracle::new(graph, Arc::new(labelling)));
+        self.load_micros.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        Ok(epoch)
     }
 
-    /// Sizes of the currently serving index generation (labelling bytes
-    /// plus the sparsified-view CSR the query path traverses).
+    /// Sizes of the currently serving index generation (see
+    /// [`ServingIndex::sizes`]).
     pub fn index_sizes(&self) -> IndexSizes {
-        let snap = self.snapshot();
-        let oracle = snap.oracle();
-        let view = oracle.sparse_view();
-        IndexSizes {
-            index_bytes: oracle.labelling().index_bytes(),
-            sparse_bytes: view.memory_bytes(),
-            sparse_edges: view.num_edges(),
-        }
+        self.snapshot().index().sizes()
+    }
+
+    /// Microseconds the last successful disk reload spent loading (0 until
+    /// one happens).
+    pub fn last_load_micros(&self) -> u64 {
+        self.load_micros.load(Ordering::Relaxed)
     }
 
     /// Cache statistics (zeroed when serving without a cache).
@@ -390,11 +452,11 @@ mod tests {
     fn pinned_snapshot_survives_a_reload() {
         let service = QueryService::new(oracle(200, 1, 6), 0);
         let snap = service.snapshot();
-        let d = snap.oracle().distance(0, 199);
+        let d = snap.index().distance(0, 199);
         service.reload(oracle(100, 2, 4));
         // The pinned generation still answers, on its own graph.
-        assert_eq!(snap.num_vertices(), 200);
-        assert_eq!(snap.oracle().distance(0, 199), d);
+        assert_eq!(snap.index().num_vertices(), 200);
+        assert_eq!(snap.index().distance(0, 199), d);
         // New queries see the new, smaller index.
         assert_eq!(service.num_vertices(), 100);
         assert!(service.distance(0, 199).is_err(), "199 is out of range after the swap");

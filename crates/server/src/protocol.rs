@@ -507,17 +507,23 @@ pub fn format_batch_response(distances: &[Option<u32>]) -> String {
 
 /// Renders the `STATS` response: one line of `key=value` pairs.
 /// `sizes` describes the index generation currently serving (labelling
-/// bytes plus the sparsified-view CSR the query path traverses).
+/// bytes plus the sparsified-view CSR the query path traverses;
+/// `store_bytes`/`plain_index_bytes` describe the packed on-disk format —
+/// 0 / the projected plain size when serving from memory). `load_us` is
+/// the wall-clock microseconds of the last disk reload. All values are
+/// unsigned integers so router aggregation can sum them.
 pub fn format_stats_response(
     metrics: &MetricsSnapshot,
     cache: &CacheStats,
     epoch: u64,
     sizes: &IndexSizes,
+    load_us: u64,
 ) -> String {
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
-         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} cache_hits={} \
+         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} store_bytes={} \
+         plain_index_bytes={} load_us={} cache_hits={} \
          cache_misses={} cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
         metrics.queries,
         metrics.batch_requests,
@@ -532,6 +538,9 @@ pub fn format_stats_response(
         sizes.index_bytes,
         sizes.sparse_bytes,
         sizes.sparse_edges,
+        sizes.store_bytes,
+        sizes.plain_index_bytes,
+        load_us,
         cache.hits,
         cache.misses,
         cache.stale,
@@ -832,9 +841,20 @@ mod tests {
 
     #[test]
     fn stats_line_is_parseable_key_values() {
-        let sizes = IndexSizes { index_bytes: 1024, sparse_bytes: 2048, sparse_edges: 96 };
-        let line =
-            format_stats_response(&MetricsSnapshot::default(), &CacheStats::default(), 4, &sizes);
+        let sizes = IndexSizes {
+            index_bytes: 1024,
+            sparse_bytes: 2048,
+            sparse_edges: 96,
+            store_bytes: 4096,
+            plain_index_bytes: 1500,
+        };
+        let line = format_stats_response(
+            &MetricsSnapshot::default(),
+            &CacheStats::default(),
+            4,
+            &sizes,
+            777,
+        );
         let body = line.strip_prefix("STATS ").unwrap();
         for kv in body.split_ascii_whitespace() {
             let (k, v) = kv.split_once('=').expect("key=value");
@@ -846,6 +866,9 @@ mod tests {
         assert!(body.contains("index_bytes=1024"));
         assert!(body.contains("sparse_bytes=2048"));
         assert!(body.contains("sparse_edges=96"));
+        assert!(body.contains("store_bytes=4096"));
+        assert!(body.contains("plain_index_bytes=1500"));
+        assert!(body.contains("load_us=777"));
         assert!(body.contains("cache_stale=0"));
         assert!(body.contains("rejected_connections=0"));
         assert!(body.contains("timed_out_connections=0"));

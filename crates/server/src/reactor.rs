@@ -313,6 +313,7 @@ impl Reactor {
                     &cache,
                     shared.service.epoch(),
                     &sizes,
+                    shared.service.last_load_micros(),
                 ));
             }
             Frame::Query(s, t) => {

@@ -203,10 +203,14 @@ fn sparse_view_swaps_atomically_with_the_labelling_under_live_traffic() {
                 let mut i = th as u32;
                 while !stop.load(Ordering::Relaxed) {
                     let snap = service.snapshot();
-                    let oracle = snap.oracle();
+                    let oracle = snap.index().as_memory().expect("memory-backed test service");
                     let view = oracle.sparse_view();
                     // The view belongs to exactly this generation…
-                    assert_eq!(view.num_vertices(), snap.num_vertices(), "torn view/graph pair");
+                    assert_eq!(
+                        view.num_vertices(),
+                        snap.index().num_vertices(),
+                        "torn view/graph pair"
+                    );
                     for &r in oracle.labelling().highway().landmarks() {
                         assert_eq!(view.graph().degree(r), 0, "landmark {r} not isolated");
                     }
@@ -215,7 +219,7 @@ fn sparse_view_swaps_atomically_with_the_labelling_under_live_traffic() {
                     let half = N as u32 / 2;
                     let (s, t) = (i % half, ((i % half) * 7 + 1) % half);
                     let got = oracle.distance(s, t);
-                    let want = if snap.num_vertices() == N { truth_a } else { truth_b };
+                    let want = if snap.index().num_vertices() == N { truth_a } else { truth_b };
                     assert_eq!(got, want[&(s, t)], "epoch {} {s}->{t}", snap.epoch());
                     checked.fetch_add(1, Ordering::Relaxed);
                     i = i.wrapping_add(1);
@@ -314,6 +318,64 @@ fn pipelined_reloads_are_serialised_not_fanned_out() {
 
     handle.shutdown();
     let _ = std::fs::remove_file(&graph_path);
+}
+
+/// `RELOAD index.hclx` swaps the serving backend *kind*: a memory-backed
+/// generation is replaced by a packed generation served straight off the
+/// mapping, answers match BFS ground truth, STATS reports the store, and
+/// a later plain reload swaps back. Both directions ride the same epoch
+/// machinery.
+#[test]
+fn reload_to_packed_index_swaps_by_remapping() {
+    let (graph_a, labelling_a) = build(9);
+    let (graph_b, labelling_b) = build(10);
+    let truth_b = truth_map(&graph_b, all_pairs());
+
+    let packed_path = temp_path("packed.hclx");
+    let sparse_b = hcl_core::SparseView::build(&graph_b, labelling_b.highway());
+    hcl_store::save_packed(&labelling_b, &sparse_b, &packed_path).unwrap();
+    let graph_a_path = temp_path("packed-back.hclg");
+    hcl_graph::io::save_binary(&graph_a, &graph_a_path).unwrap();
+
+    let service = Arc::new(QueryService::from_parts(graph_a, labelling_a, 64));
+    let config = ServerConfig { reload_landmarks: 12, ..Default::default() };
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(client.reload(packed_path.to_str().unwrap(), None).unwrap(), 1);
+    assert!(service.snapshot().index().as_packed().is_some(), "generation must be packed");
+    for &(s, t) in all_pairs().iter().take(40) {
+        assert_eq!(client.query(s, t).unwrap(), truth_b[&(s, t)], "d({s}, {t})");
+    }
+    let stats = client.stats().unwrap();
+    let field = |key: &str| -> u64 {
+        stats
+            .split_ascii_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in {stats:?}"))
+            .parse()
+            .unwrap()
+    };
+    let expected_store = std::fs::metadata(&packed_path).unwrap().len();
+    assert_eq!(field("store_bytes"), expected_store);
+    assert!(field("plain_index_bytes") > 0);
+    assert!(field("load_us") > 0, "packed reload must record its load time");
+
+    // A packed index is self-contained; a second path is a usage error
+    // that must not disturb the serving generation.
+    let err = client
+        .reload(packed_path.to_str().unwrap(), Some(graph_a_path.to_str().unwrap()))
+        .unwrap_err();
+    assert!(err.to_string().contains("self-contained"), "{err}");
+    assert_eq!(client.epoch().unwrap(), 1);
+
+    // And back to a memory-backed generation from a plain graph file.
+    assert_eq!(client.reload(graph_a_path.to_str().unwrap(), None).unwrap(), 2);
+    assert!(service.snapshot().index().as_memory().is_some(), "generation must be in-memory");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&packed_path);
+    let _ = std::fs::remove_file(&graph_a_path);
 }
 
 #[test]

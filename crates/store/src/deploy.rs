@@ -1,0 +1,55 @@
+//! Packed sharded deployments: the `.hclx`-per-shard counterpart of
+//! [`hcl_core::partition::write_deployment`].
+//!
+//! A plain deployment ships `shardN.hclg` graphs plus one shared
+//! `index.hcl` that every shard deserialises on reload. A *packed*
+//! deployment instead writes one self-contained `shardN.hclx` per shard —
+//! the replicated global labels and highway plus that shard's sparsified
+//! CSR `G[Vᵢ∖R]`, pre-packed — so each shard reloads by remapping a single
+//! file. The partition map is written unchanged; the router detects which
+//! flavour a directory holds by the presence of `shard0.hclx`.
+
+use crate::format::save_packed;
+use crate::StoreError;
+use hcl_core::partition::{DeploymentSummary, PartitionMap, PARTITION_FILENAME};
+use hcl_core::{HighwayCoverLabelling, SparseView};
+use hcl_graph::{CsrGraph, VertexId};
+use std::path::Path;
+
+/// Writes a complete packed deployment into `dir`: the partition map
+/// ([`PARTITION_FILENAME`]) plus one packed index per shard
+/// ([`shard_packed_filename`](hcl_core::partition::shard_packed_filename)),
+/// each holding the global labelling and the sparsified view of that
+/// shard's graph `G[Vᵢ ∪ R]`. Each shard is then served by a plain
+/// `hcl serve dir/shardN.hclx`.
+pub fn write_packed_deployment<P: AsRef<Path>>(
+    dir: P,
+    g: &CsrGraph,
+    labelling: &HighwayCoverLabelling,
+    map: &PartitionMap,
+) -> Result<DeploymentSummary, StoreError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    map.save(dir.join(PARTITION_FILENAME))
+        .map_err(|e| StoreError::Invalid(format!("cannot write partition map: {e}")))?;
+    let mut summary = DeploymentSummary {
+        cut_edges: map.cut_edges(g),
+        exact: map.respects_components(g),
+        ..Default::default()
+    };
+    let mut owned = vec![0usize; map.num_shards() as usize];
+    for v in 0..g.num_vertices() as VertexId {
+        if !map.is_landmark(v) {
+            owned[map.shard_of(v) as usize] += 1;
+        }
+    }
+    summary.shard_vertices = owned;
+    for shard in 0..map.num_shards() {
+        let shard_graph = map.shard_graph(g, shard);
+        summary.shard_edges.push(shard_graph.num_edges());
+        let sparse = SparseView::build(&shard_graph, labelling.highway());
+        let path = dir.join(hcl_core::partition::shard_packed_filename(shard));
+        save_packed(labelling, &sparse, path)?;
+    }
+    Ok(summary)
+}

@@ -1,0 +1,82 @@
+//! [`PackedOracle`]: the distance-oracle front-end over a memory-mapped
+//! packed index — the zero-copy counterpart of
+//! [`hcl_core::SharedOracle`], with the same query surface so the server
+//! treats the two backends interchangeably.
+
+use crate::view::IndexView;
+use crate::StoreError;
+use hcl_core::{storage, ContextPool, LabelStorage, QueryContext};
+use hcl_graph::VertexId;
+use std::path::Path;
+
+/// A queryable oracle over a packed index file: an [`IndexView`] plus a
+/// persistent [`ContextPool`] for lock-free-ish per-query scratch reuse.
+///
+/// All query state lives in checked-out contexts; the view itself is
+/// immutable and `Sync`, so one `PackedOracle` serves any number of threads
+/// — exactly like `SharedOracle`, minus the heap-resident index.
+#[derive(Debug)]
+pub struct PackedOracle {
+    view: IndexView,
+    pool: ContextPool,
+}
+
+impl PackedOracle {
+    /// Opens, validates, and wraps the packed index at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<PackedOracle, StoreError> {
+        Ok(PackedOracle::from_view(IndexView::open(path)?))
+    }
+
+    /// Wraps an already-validated view.
+    pub fn from_view(view: IndexView) -> PackedOracle {
+        let pool = ContextPool::new(view.num_vertices());
+        PackedOracle { view, pool }
+    }
+
+    /// The underlying validated view.
+    pub fn view(&self) -> &IndexView {
+        &self.view
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.view.num_vertices()
+    }
+
+    /// The shared context pool (for callers running their own loops).
+    pub fn context_pool(&self) -> &ContextPool {
+        &self.pool
+    }
+
+    /// Exact distance using a pooled context; `None` when disconnected.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u32> {
+        let mut ctx = self.pool.checkout();
+        storage::distance_on(&self.view, &mut ctx, s, t)
+    }
+
+    /// Exact distance using a caller-held context (worker-loop path).
+    pub fn distance_with(&self, ctx: &mut QueryContext, s: VertexId, t: VertexId) -> Option<u32> {
+        storage::distance_on(&self.view, ctx, s, t)
+    }
+
+    /// The query upper bound `d⊤(s, t)` (Equation 4) from the packed
+    /// labels, using a pooled context.
+    pub fn upper_bound(&self, s: VertexId, t: VertexId) -> u32 {
+        let mut ctx = self.pool.checkout();
+        storage::upper_bound_on(&self.view, &mut ctx, s, t)
+    }
+
+    /// Answers a batch across `num_threads` scoped workers (0 = all
+    /// cores), preserving input order — the same batching machinery the
+    /// in-memory oracle uses, querying the mapped bytes.
+    pub fn batch_distances(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        num_threads: usize,
+    ) -> Vec<Option<u32>> {
+        let view = &self.view;
+        hcl_core::query::batch_over(&self.pool, pairs, num_threads, |ctx, s, t| {
+            storage::distance_on(view, ctx, s, t)
+        })
+    }
+}

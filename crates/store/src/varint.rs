@@ -1,0 +1,205 @@
+//! LEB128 variable-length integers and the FNV-1a 64-bit checksum — the two
+//! primitive encodings of the container format (see `docs/FORMAT.md`).
+//!
+//! Label streams store landmark ranks as deltas between consecutive sorted
+//! ranks, so almost every varint in a packed index is a single byte: ranks
+//! and distances are bounded by `u16::MAX` (5 bytes worst case for the u32
+//! encoding, 3 in practice never exceeded).
+
+/// Appends `value` to `out` as LEB128 (7 data bits per byte, high bit =
+/// continuation).
+#[inline]
+pub fn encode_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 u32 from `bytes` starting at `*pos`, advancing `*pos`
+/// past it. Returns `None` on truncation, a continuation running past 5
+/// bytes, or bits beyond the 32nd — never panics, so iterating a corrupt
+/// stream degrades to an early end rather than UB or abort.
+#[inline]
+pub fn decode_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let low = (byte & 0x7f) as u32;
+        if shift == 28 && (byte & 0x70) != 0 {
+            return None; // bits 32+ set
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return None; // 6th continuation byte
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash. Not cryptographic; it exists to catch truncation,
+/// bit rot, and partially written files.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The per-section checksum of the container format: wide FNV-1a 64 over
+/// eight interleaved *word* lanes. The section is split into
+/// little-endian `u64` words (the final partial word zero-extended); word
+/// `i` feeds lane `i % 8` with one FNV-1a step (`lane = (lane ^ word) *
+/// prime`). Lane 0 then absorbs the section's byte length the same way —
+/// so zero-padded tails of different lengths differ — and the eight lane
+/// hashes are folded with scalar [`fnv1a64`] over their little-endian
+/// bytes, in lane order.
+///
+/// Byte-serial FNV-1a is one dependent ~5-cycle multiply per *byte*,
+/// which made checksum verification the dominant cost of opening a packed
+/// index. Word-wide lanes do one multiply per 8 bytes across eight
+/// independent chains, so the hash runs at multiplier throughput — a
+/// ~40× cheaper pass that keeps mmap-open an order of magnitude faster
+/// than a deserialising load. Damage detection is preserved: the prime is
+/// odd, hence invertible mod 2^64, so any change to one word changes its
+/// lane, and the fold pins the lane order.
+#[inline]
+pub fn section_checksum(bytes: &[u8]) -> u64 {
+    let mut lanes = [FNV_OFFSET; 8];
+    let mut blocks = bytes.chunks_exact(64);
+    for block in &mut blocks {
+        for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            let w = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+            *lane = (*lane ^ w).wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    let mut lane = 0usize;
+    for word in &mut words {
+        let w = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        lanes[lane] = (lanes[lane] ^ w).wrapping_mul(FNV_PRIME);
+        lane += 1;
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 8];
+        padded[..tail.len()].copy_from_slice(tail);
+        let w = u64::from_le_bytes(padded);
+        lanes[lane] = (lanes[lane] ^ w).wrapping_mul(FNV_PRIME);
+    }
+    lanes[0] = (lanes[0] ^ bytes.len() as u64).wrapping_mul(FNV_PRIME);
+    let mut folded = [0u8; 64];
+    for (slot, lane) in folded.chunks_exact_mut(8).zip(lanes) {
+        slot.copy_from_slice(&lane.to_le_bytes());
+    }
+    fnv1a64(&folded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        for v in [0u32, 1, 127, 128, 129, 16_383, 16_384, 65_535, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_u32(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(decode_u32(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u32 {
+            let mut buf = Vec::new();
+            encode_u32(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_overflow() {
+        // Truncated continuation.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0x80], &mut pos), None);
+        // Six continuation bytes.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut pos), None);
+        // Bits beyond the 32nd.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[0xff, 0xff, 0xff, 0xff, 0x7f], &mut pos), None);
+        // Empty input.
+        let mut pos = 0;
+        assert_eq!(decode_u32(&[], &mut pos), None);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    /// Reference implementation straight from the docs/FORMAT.md wording,
+    /// with no chunking tricks — the optimised version must match it
+    /// byte-for-byte on every length (incl. tails shorter than 8).
+    fn section_checksum_reference(bytes: &[u8]) -> u64 {
+        let mut padded = bytes.to_vec();
+        while !padded.len().is_multiple_of(8) {
+            padded.push(0);
+        }
+        let mut lanes = [FNV_OFFSET; 8];
+        for (i, word) in padded.chunks_exact(8).enumerate() {
+            let w = u64::from_le_bytes(word.try_into().unwrap());
+            lanes[i % 8] = (lanes[i % 8] ^ w).wrapping_mul(FNV_PRIME);
+        }
+        lanes[0] = (lanes[0] ^ bytes.len() as u64).wrapping_mul(FNV_PRIME);
+        let folded: Vec<u8> = lanes.iter().flat_map(|l| l.to_le_bytes()).collect();
+        fnv1a64(&folded)
+    }
+
+    #[test]
+    fn section_checksum_matches_reference_on_all_tail_lengths() {
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(37) ^ 0x5a) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                section_checksum(&data[..len]),
+                section_checksum_reference(&data[..len]),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_checksum_detects_any_single_bit_flip() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 11 % 251) as u8).collect();
+        let clean = section_checksum(&data);
+        let mut damaged = data.clone();
+        for byte in 0..damaged.len() {
+            for bit in 0..8 {
+                damaged[byte] ^= 1 << bit;
+                assert_ne!(section_checksum(&damaged), clean, "flip {byte}:{bit} undetected");
+                damaged[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

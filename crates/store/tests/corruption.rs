@@ -1,0 +1,136 @@
+//! Loader robustness: a damaged packed index must always come back as a
+//! typed `Err`, never a panic and never silently wrong data. The fuzz
+//! walks every byte of a real image flipping bits, and every truncation
+//! length; the only flips allowed to still validate are those the format
+//! genuinely cannot see (inter-section alignment padding), and for those
+//! the decoded content must be identical to the original.
+
+use hcl_core::{HighwayCoverLabelling, LabelStorage, SparseNeighbors, SparseView};
+use hcl_graph::{generate, VertexId};
+use hcl_store::{pack, IndexView, PackedOracle, StoreError};
+
+fn packed_image() -> (Vec<u8>, HighwayCoverLabelling, SparseView) {
+    let g = generate::barabasi_albert(60, 3, 17);
+    let landmarks = hcl_graph::order::top_degree(&g, 5);
+    let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+    let sparse = SparseView::build(&g, hcl.highway());
+    let image = pack(&hcl, &sparse).unwrap();
+    (image, hcl, sparse)
+}
+
+/// Deep equality against the source index — the "silently wrong" check for
+/// corruptions that land in bytes the format does not interpret.
+fn content_identical(view: &IndexView, hcl: &HighwayCoverLabelling, sparse: &SparseView) -> bool {
+    if view.num_vertices() != hcl.labels().num_vertices()
+        || view.landmarks() != hcl.highway().landmarks()
+    {
+        return false;
+    }
+    (0..view.num_landmarks() as u32).all(|r| view.highway_row(r) == hcl.highway().row(r))
+        && (0..view.num_vertices() as VertexId).all(|v| {
+            view.label(v).collect::<Vec<_>>()
+                == hcl
+                    .labels()
+                    .label(v)
+                    .iter()
+                    .map(|e| (e.landmark as u32, e.dist as u32))
+                    .collect::<Vec<_>>()
+                && view.sparse_neighbors(v) == sparse.graph().neighbors(v)
+        })
+}
+
+#[test]
+fn bit_flips_never_panic_and_never_corrupt_silently() {
+    let (image, hcl, sparse) = packed_image();
+    let mut accepted = 0usize;
+    for at in 0..image.len() {
+        for bit in [0u8, 3, 7] {
+            let mut mutated = image.clone();
+            mutated[at] ^= 1 << bit;
+            match IndexView::from_bytes(&mutated) {
+                Err(_) => {}
+                Ok(view) => {
+                    // Only padding flips may survive — prove the payload is
+                    // untouched.
+                    accepted += 1;
+                    assert!(
+                        content_identical(&view, &hcl, &sparse),
+                        "flip at byte {at} bit {bit} validated but changed content"
+                    );
+                }
+            }
+        }
+    }
+    // Alignment padding between six sections is at most a few words; any
+    // more acceptances would mean validation has a blind spot.
+    assert!(accepted <= 3 * 48, "{accepted} flips accepted — validation too loose");
+}
+
+#[test]
+fn truncations_are_clean_errors() {
+    let (image, _, _) = packed_image();
+    assert!(IndexView::from_bytes(&image).is_ok());
+    for len in 0..image.len() {
+        match IndexView::from_bytes(&image[..len]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation to {len} of {} bytes validated", image.len()),
+        }
+    }
+}
+
+#[test]
+fn header_level_damage_reports_typed_errors() {
+    let (image, _, _) = packed_image();
+
+    let mut bad_magic = image.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(IndexView::from_bytes(&bad_magic), Err(StoreError::BadMagic)));
+
+    let mut future = image.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        IndexView::from_bytes(&future),
+        Err(StoreError::UnsupportedVersion { found: 99 })
+    ));
+
+    assert!(matches!(IndexView::from_bytes(&image[..16]), Err(StoreError::Truncated { .. })));
+    assert!(matches!(IndexView::from_bytes(&[]), Err(StoreError::Truncated { .. })));
+
+    // A checksum flip is reported as corruption, not i/o.
+    let mut bad_payload = image.clone();
+    let last = bad_payload.len() - 1;
+    bad_payload[last] ^= 0xff;
+    assert!(matches!(IndexView::from_bytes(&bad_payload), Err(StoreError::Corrupt(_))));
+}
+
+#[test]
+fn damaged_files_on_disk_fail_to_open() {
+    let dir = std::env::temp_dir().join("hcl_store_corruption_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (image, _, _) = packed_image();
+
+    // Truncated on disk.
+    let truncated = dir.join("truncated.hclx");
+    std::fs::write(&truncated, &image[..image.len() / 2]).unwrap();
+    assert!(PackedOracle::open(&truncated).is_err());
+
+    // Shorter than a header.
+    let stub = dir.join("stub.hclx");
+    std::fs::write(&stub, b"HCLSTOR1").unwrap();
+    assert!(matches!(PackedOracle::open(&stub), Err(StoreError::Truncated { .. })));
+
+    // Empty file (mmap would reject it; the loader must error first).
+    let empty = dir.join("empty.hclx");
+    std::fs::write(&empty, b"").unwrap();
+    assert!(PackedOracle::open(&empty).is_err());
+
+    // Missing file.
+    assert!(matches!(PackedOracle::open(dir.join("nope.hclx")), Err(StoreError::Io(_))));
+
+    // Not an index at all.
+    let noise = dir.join("noise.hclx");
+    std::fs::write(&noise, vec![0xabu8; 4096]).unwrap();
+    assert!(matches!(PackedOracle::open(&noise), Err(StoreError::BadMagic)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
