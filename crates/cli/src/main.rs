@@ -75,10 +75,12 @@ USAGE:
   hcl serve <packed .hclx file> [same flags]
   hcl partition <graph file> --shards <n> --out-dir <dir> [--strategy hash|range]
             [--landmarks <k>] [--threads <t>] [--format plain|packed]
-  hcl route --partition <file> --shards <addr>,<addr>,... [--host <h>] [--port <p>]
-            [--max-conns <n>] [--idle-timeout <secs>] [--window <n>]
+            [--replicas <r>]
+  hcl route --partition <file> --shards <addr>,<addr>,... [--replicas <r>]
+            [--host <h>] [--port <p>] [--max-conns <n>] [--idle-timeout <secs>]
+            [--window <n>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
-  hcl client <addr> stats | ping | epoch | shutdown
+  hcl client <addr> stats | metrics | ping | epoch | shutdown
   hcl client <addr> reload <graph file> [<index file>]
   hcl reload <addr> <graph file> [<index file>]
 
@@ -114,6 +116,16 @@ protocol to clients, so `hcl client` works unchanged. With
 --format packed each shard is one self-contained <dir>/shardI.hclx
 served as `hcl serve <dir>/shardI.hclx`. RELOAD through the router takes
 the deployment directory either way. See docs/PROTOCOL.md.
+
+route --replicas r expects r addresses per shard (shard 0's replicas
+first, then shard 1's, ...); every replica of a shard serves the same
+shard files. The router sends traffic to the first healthy replica,
+fails pipelined requests over to siblings mid-flight, probes idle
+replicas with PING, and — when a whole replica group is down — answers
+queries with tagged upper bounds (DIST~) from the surviving shards
+instead of erroring. partition --replicas stamps the intended count into
+the partition map so route defaults to it. client metrics prints the
+router's (or server's) JSON health counters.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -399,13 +411,19 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown format {other:?} (plain or packed)")),
     };
 
+    let replicas: u32 = parse_flag(args, "--replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+
     let g = load_graph(path)?;
     let landmarks = LandmarkStrategy::TopDegree(k).select(&g);
     let map = match strategy.as_str() {
         "hash" => hcl_core::PartitionMap::hash(g.num_vertices(), shards, &landmarks),
         "range" => hcl_core::PartitionMap::range(g.num_vertices(), shards, &landmarks),
         other => return Err(format!("unknown strategy {other:?} (hash or range)")),
-    };
+    }
+    .with_replicas(replicas);
     let (labelling, stats) = HighwayCoverLabelling::build_parallel(&g, &landmarks, threads)
         .map_err(|e| format!("building labelling: {e}"))?;
     println!("built global labelling: {} entries in {:?}", stats.labels_added, stats.duration);
@@ -454,6 +472,13 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             hcl_core::partition::PARTITION_FILENAME
         );
     }
+    if replicas > 1 {
+        println!(
+            "replicas: {replicas} per shard — start {replicas} servers on each shard's files \
+             and pass all {} addresses to route, shard 0's replicas first",
+            shards * replicas
+        );
+    }
     Ok(())
 }
 
@@ -469,19 +494,34 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
 
     let map = hcl_core::PartitionMap::load(&map_path)
         .map_err(|e| format!("loading partition {map_path}: {e}"))?;
-    let shard_addrs: Vec<String> = shards_arg.split(',').map(str::to_string).collect();
+    let replicas: u32 = parse_flag(args, "--replicas", map.replicas())?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+    let addrs: Vec<String> = shards_arg.split(',').map(str::to_string).collect();
+    let expected = map.num_shards() as usize * replicas as usize;
+    if addrs.len() != expected {
+        return Err(format!(
+            "--shards lists {} addresses but {} shards x {replicas} replicas needs {expected} \
+             (shard 0's replicas first, then shard 1's, ...)",
+            addrs.len(),
+            map.num_shards()
+        ));
+    }
+    let groups: Vec<Vec<String>> =
+        addrs.chunks(replicas as usize).map(<[String]>::to_vec).collect();
+    let num_shards = map.num_shards();
     let config = hcl_router::RouterConfig {
         max_connections: max_conns,
         idle_timeout: std::time::Duration::from_secs(idle_secs),
         shard_window: window,
         ..Default::default()
     };
-    let handle = hcl_router::Router::bind(map, &shard_addrs, (host.as_str(), port), config)
+    let handle = hcl_router::Router::bind_replicated(map, &groups, (host.as_str(), port), config)
         .map_err(|e| format!("starting router on {host}:{port}: {e}"))?;
     println!(
-        "routing {} shards on {} (window {window}, up to {max_conns} connections) — \
-         send SHUTDOWN to stop",
-        shard_addrs.len(),
+        "routing {num_shards} shards x {replicas} replicas on {} (window {window}, \
+         up to {max_conns} connections) — send SHUTDOWN to stop",
         handle.local_addr()
     );
     handle.join();
@@ -522,6 +562,10 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                     None => println!("{kv}"),
                 }
             }
+        }
+        "metrics" => {
+            let json = client.metrics().map_err(|e| e.to_string())?;
+            println!("{json}");
         }
         "ping" => {
             client.ping().map_err(|e| e.to_string())?;

@@ -128,6 +128,10 @@ pub struct PartitionMap {
     boundaries: Vec<VertexId>,
     /// Sorted global landmark ids.
     landmarks: Vec<VertexId>,
+    /// Interchangeable replicas per shard (each holds the same shard
+    /// index); the router fails over between them. Always ≥ 1; legacy
+    /// files without the trailing replica word decode as 1.
+    replicas: u32,
 }
 
 impl PartitionMap {
@@ -180,7 +184,25 @@ impl PartitionMap {
         let mut landmarks = landmarks.to_vec();
         landmarks.sort_unstable();
         landmarks.dedup();
-        PartitionMap { num_vertices, num_shards, strategy, boundaries, landmarks }
+        PartitionMap { num_vertices, num_shards, strategy, boundaries, landmarks, replicas: 1 }
+    }
+
+    /// Sets the intended replica count per shard (deployment metadata
+    /// consumed by `hcl route`; the index files themselves are identical
+    /// across replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas` is 0.
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        assert!(replicas > 0, "a shard needs at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Interchangeable replicas per shard (≥ 1).
+    pub fn replicas(&self) -> u32 {
+        self.replicas
     }
 
     /// Number of shards in the deployment.
@@ -318,6 +340,8 @@ impl PartitionMap {
         for &r in &self.landmarks {
             w.write_all(&r.to_le_bytes())?;
         }
+        // Trailing extension word (absent in legacy files): replicas.
+        w.write_all(&self.replicas.to_le_bytes())?;
         w.flush()?;
         Ok(())
     }
@@ -375,7 +399,27 @@ impl PartitionMap {
         if !sorted || landmarks.iter().any(|&v| v as u64 >= n) {
             return Err(GraphError::Format("malformed landmark list".to_string()));
         }
-        Ok(PartitionMap { num_vertices, num_shards, strategy, boundaries, landmarks })
+        // Optional trailing replica word: absent in legacy files (→ 1);
+        // a torn word is corruption, not a legacy file.
+        let mut buf = [0u8; 4];
+        let mut got = 0;
+        while got < 4 {
+            match r.read(&mut buf[got..]) {
+                Ok(0) => break,
+                Ok(k) => got += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let replicas = match got {
+            0 => 1,
+            4 => u32::from_le_bytes(buf),
+            _ => return Err(GraphError::Format("truncated replica count".to_string())),
+        };
+        if replicas == 0 {
+            return Err(GraphError::Format("partition with zero replicas".to_string()));
+        }
+        Ok(PartitionMap { num_vertices, num_shards, strategy, boundaries, landmarks, replicas })
     }
 
     /// Saves the map to a file.
@@ -611,6 +655,33 @@ mod tests {
             assert!(PartitionMap::read(Cursor::new(&truncated)).is_err());
         }
         assert!(PartitionMap::read(Cursor::new(b"NOTAPART".to_vec())).is_err());
+    }
+
+    #[test]
+    fn replica_count_round_trips_and_legacy_files_default_to_one() {
+        let map = PartitionMap::hash(100, 2, &[1]).with_replicas(3);
+        assert_eq!(map.replicas(), 3);
+        let mut buf = Vec::new();
+        map.write(&mut buf).unwrap();
+        let loaded = PartitionMap::read(Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded, map);
+        assert_eq!(loaded.replicas(), 3);
+
+        // A legacy file simply ends after the landmark list.
+        let mut legacy = buf.clone();
+        legacy.truncate(buf.len() - 4);
+        let loaded = PartitionMap::read(Cursor::new(&legacy)).unwrap();
+        assert_eq!(loaded.replicas(), 1);
+
+        // A torn trailing word is corruption, not a legacy file; a zero
+        // replica count is nonsense.
+        let mut torn = buf.clone();
+        torn.truncate(buf.len() - 2);
+        assert!(PartitionMap::read(Cursor::new(&torn)).is_err());
+        let mut zeroed = buf.clone();
+        let at = zeroed.len() - 4;
+        zeroed[at..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(PartitionMap::read(Cursor::new(&zeroed)).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The pure merge logic of the router: splitting batches by shard
-//! ownership, min-merging scattered answers, summing `STATS` bodies, and
-//! epoch agreement. Everything here is deterministic and free of I/O so
-//! the routing semantics are unit-testable without sockets.
+//! ownership, min-merging scattered answers, merging `STATS` bodies by
+//! per-key aggregation class, and epoch agreement. Everything here is
+//! deterministic and free of I/O so the routing semantics are
+//! unit-testable without sockets.
 
 use hcl_core::{PartitionMap, ShardRoute};
 use hcl_graph::{VertexId, INF};
@@ -73,32 +74,32 @@ pub fn finish_batch(out: Vec<u32>) -> Vec<Option<u32>> {
     out.into_iter().map(|d| (d != INF).then_some(d)).collect()
 }
 
-/// Reports the deployment-wide epoch: `Ok` only when every shard agrees,
-/// otherwise a one-line description of the divergence.
-pub fn epoch_agreement(epochs: &[(u32, u64)]) -> Result<u64, String> {
+/// Reports the deployment-wide epoch: `Ok` only when every responder
+/// agrees, otherwise a one-line description of the divergence (labels
+/// are responder names, e.g. `shard0`).
+pub fn epoch_agreement(epochs: &[(String, u64)]) -> Result<u64, String> {
     let Some(&(_, first)) = epochs.first() else {
         return Err("no shards responded".to_string());
     };
-    if epochs.iter().all(|&(_, e)| e == first) {
+    if epochs.iter().all(|(_, e)| *e == first) {
         Ok(first)
     } else {
-        let detail: Vec<String> =
-            epochs.iter().map(|(shard, e)| format!("shard{shard}={e}")).collect();
+        let detail: Vec<String> = epochs.iter().map(|(label, e)| format!("{label}={e}")).collect();
         Err(format!("shards at divergent epochs: {}", detail.join(" ")))
     }
 }
 
 /// Renders the router's verdict on a `RELOAD` fan-out: `RELOADED <e>`
-/// only when **every** shard confirmed the same new epoch (all-or-nothing
-/// confirmation); any failure or epoch divergence yields one `ERR` line
-/// naming each shard's outcome.
-pub fn reload_verdict(results: &[(u32, Result<u64, String>)]) -> Result<u64, String> {
+/// only when **every** replica of every shard confirmed the same new
+/// epoch (all-or-nothing confirmation); any failure or epoch divergence
+/// yields one `ERR` line naming each responder's outcome.
+pub fn reload_verdict(results: &[(String, Result<u64, String>)]) -> Result<u64, String> {
     let mut confirmed = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
-    for (shard, outcome) in results {
+    for (label, outcome) in results {
         match outcome {
-            Ok(epoch) => confirmed.push((*shard, *epoch)),
-            Err(msg) => failures.push(format!("shard{shard}: {msg}")),
+            Ok(epoch) => confirmed.push((label.clone(), *epoch)),
+            Err(msg) => failures.push(format!("{label}: {msg}")),
         }
     }
     if failures.is_empty() {
@@ -106,50 +107,88 @@ pub fn reload_verdict(results: &[(u32, Result<u64, String>)]) -> Result<u64, Str
             .map_err(|divergence| format!("reload incomplete: {divergence}"));
     }
     let mut parts = failures;
-    for (shard, epoch) in confirmed {
-        parts.push(format!("shard{shard}: RELOADED {epoch}"));
+    for (label, epoch) in confirmed {
+        parts.push(format!("{label}: RELOADED {epoch}"));
     }
     Err(format!("reload incomplete: {}", parts.join("; ")))
 }
 
-/// Merges shard `STATS` bodies (`key=value` pairs) into one body:
-/// numeric values are summed across shards, except `epoch`, which is
-/// reported as the minimum (the generation every shard has reached). Key
-/// order follows the first body, with stragglers appended; non-numeric
-/// values are passed through from the first shard reporting them.
+/// How one `STATS` key combines across shards.
+///
+/// Summing everything numeric — the old behaviour — is wrong for two
+/// whole classes of keys: configuration echoes (`max_connections=1024`
+/// across 4 shards is still 1024, not 4096) and high-water readings
+/// (`load_us` of the fleet is its slowest loader, not the sum of all
+/// loads). Each key declares its class in [`stat_class`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatClass {
+    /// Additive counters and sizes: total across the fleet.
+    Sum,
+    /// Generation floors: the value every shard has reached (`epoch`).
+    Min,
+    /// High-water readings: the fleet's worst case (`load_us`).
+    Max,
+    /// Per-process configuration echoes: identical everywhere by
+    /// deployment construction, so report the first (also the fallback
+    /// for non-numeric values).
+    First,
+}
+
+/// The aggregation class of one `STATS` key.
+pub fn stat_class(key: &str) -> StatClass {
+    match key {
+        "epoch" => StatClass::Min,
+        "load_us" | "index_bytes" | "plain_index_bytes" => StatClass::Max,
+        "max_connections" | "idle_timeout_ms" => StatClass::First,
+        // Counters, cache totals, `sparse_bytes`/`store_bytes` (each
+        // shard holds a distinct slice, so fleet totals add), and
+        // anything future shards report that we don't know: Sum keeps
+        // the old behaviour.
+        _ => StatClass::Sum,
+    }
+}
+
+/// Merges shard `STATS` bodies (`key=value` pairs) into one body, each
+/// key combined by its [`StatClass`]. Key order follows the first body,
+/// with stragglers appended; non-numeric values are passed through from
+/// the first shard reporting them.
 pub fn merge_stats_bodies(bodies: &[String]) -> String {
-    let mut order: Vec<String> = Vec::new();
-    let mut sums: Vec<(String, Option<u64>, String)> = Vec::new();
+    struct Slot {
+        key: String,
+        acc: Option<u64>,
+        raw: String,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
     for body in bodies {
         for kv in body.split_ascii_whitespace() {
             let Some((key, value)) = kv.split_once('=') else { continue };
-            let idx = match sums.iter().position(|(k, _, _)| k == key) {
+            let idx = match slots.iter().position(|s| s.key == key) {
                 Some(idx) => idx,
                 None => {
-                    order.push(key.to_string());
-                    sums.push((key.to_string(), None, value.to_string()));
-                    sums.len() - 1
+                    slots.push(Slot { key: key.to_string(), acc: None, raw: value.to_string() });
+                    slots.len() - 1
                 }
             };
             if let Ok(number) = value.parse::<u64>() {
-                let slot = &mut sums[idx].1;
-                *slot = Some(match (key, *slot) {
-                    ("epoch", Some(acc)) => acc.min(number),
-                    (_, Some(acc)) => acc.saturating_add(number),
-                    (_, None) => number,
+                let slot = &mut slots[idx].acc;
+                *slot = Some(match (*slot, stat_class(key)) {
+                    (None, _) => number,
+                    (Some(acc), StatClass::Sum) => acc.saturating_add(number),
+                    (Some(acc), StatClass::Min) => acc.min(number),
+                    (Some(acc), StatClass::Max) => acc.max(number),
+                    (Some(acc), StatClass::First) => acc,
                 });
             }
         }
     }
     let mut out = String::new();
-    for key in order {
-        let (_, sum, raw) = sums.iter().find(|(k, _, _)| *k == key).expect("key recorded");
+    for slot in slots {
         if !out.is_empty() {
             out.push(' ');
         }
-        match sum {
-            Some(total) => out.push_str(&format!("{key}={total}")),
-            None => out.push_str(&format!("{key}={raw}")),
+        match slot.acc {
+            Some(total) => out.push_str(&format!("{}={total}", slot.key)),
+            None => out.push_str(&format!("{}={}", slot.key, slot.raw)),
         }
     }
     out
@@ -162,6 +201,10 @@ mod tests {
     fn map() -> PartitionMap {
         // 100 vertices, 2 range shards (0..50 | 50..100), landmarks 0 and 50.
         PartitionMap::range(100, 2, &[0, 50])
+    }
+
+    fn labelled(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|(l, e)| (l.to_string(), *e)).collect()
     }
 
     #[test]
@@ -206,20 +249,47 @@ mod tests {
 
     #[test]
     fn epoch_agreement_requires_unanimity() {
-        assert_eq!(epoch_agreement(&[(0, 3), (1, 3)]), Ok(3));
-        let err = epoch_agreement(&[(0, 3), (1, 4)]).unwrap_err();
+        assert_eq!(epoch_agreement(&labelled(&[("shard0", 3), ("shard1", 3)])), Ok(3));
+        let err = epoch_agreement(&labelled(&[("shard0", 3), ("shard1", 4)])).unwrap_err();
         assert!(err.contains("shard0=3") && err.contains("shard1=4"), "{err}");
         assert!(epoch_agreement(&[]).is_err());
     }
 
     #[test]
     fn reload_verdict_is_all_or_nothing() {
-        assert_eq!(reload_verdict(&[(0, Ok(2)), (1, Ok(2))]), Ok(2));
-        let err = reload_verdict(&[(0, Ok(2)), (1, Err("no such file".to_string()))]).unwrap_err();
+        let ok = |l: &str, e: u64| (l.to_string(), Ok(e));
+        let bad = |l: &str, m: &str| (l.to_string(), Err(m.to_string()));
+        assert_eq!(reload_verdict(&[ok("shard0", 2), ok("shard1", 2)]), Ok(2));
+        let err = reload_verdict(&[ok("shard0", 2), bad("shard1", "no such file")]).unwrap_err();
         assert!(err.contains("shard1: no such file"), "{err}");
         assert!(err.contains("shard0: RELOADED 2"), "{err}");
-        let err = reload_verdict(&[(0, Ok(2)), (1, Ok(3))]).unwrap_err();
+        let err = reload_verdict(&[ok("shard0", 2), ok("shard1", 3)]).unwrap_err();
         assert!(err.contains("divergent"), "{err}");
+        // A replica lagging its siblings is divergence too: all-or-nothing
+        // covers every replica of every shard.
+        let err = reload_verdict(&[ok("shard0/r0", 2), ok("shard0/r1", 1)]).unwrap_err();
+        assert!(err.contains("shard0/r1=1"), "{err}");
+    }
+
+    /// One row per aggregation class: inputs across two shards and the
+    /// value the merged body must report.
+    #[test]
+    fn stats_merge_combines_each_key_by_its_class() {
+        let cases: &[(&str, &str, &str, &str)] = &[
+            // (key, shard A value, shard B value, merged)
+            ("queries", "10", "7", "17"),          // Sum: fleet total
+            ("cache_hits", "5", "0", "5"),         // Sum
+            ("sparse_bytes", "100", "200", "300"), // Sum: distinct slices
+            ("epoch", "2", "3", "2"),              // Min: generation floor
+            ("load_us", "900", "1500", "1500"),    // Max: slowest loader
+            ("index_bytes", "64", "80", "80"),     // Max: replicated label bytes
+            ("max_connections", "1024", "1024", "1024"), // First: config echo
+            ("idle_timeout_ms", "600000", "600000", "600000"), // First
+        ];
+        for (key, a, b, want) in cases {
+            let merged = merge_stats_bodies(&[format!("{key}={a}"), format!("{key}={b}")]);
+            assert_eq!(merged, format!("{key}={want}"), "class of {key}");
+        }
     }
 
     #[test]
@@ -229,6 +299,15 @@ mod tests {
             "queries=7 epoch=3 cache_hits=0 extra=1".to_string(),
         ]);
         assert_eq!(merged, "queries=17 epoch=2 cache_hits=5 extra=1");
+    }
+
+    #[test]
+    fn stats_merge_does_not_multiply_config_echoes() {
+        // The regression the classes exist for: four shards echoing the
+        // same limit must not report a 4× limit.
+        let bodies: Vec<String> =
+            (0..4).map(|_| "max_connections=1024 idle_timeout_ms=600000".to_string()).collect();
+        assert_eq!(merge_stats_bodies(&bodies), "max_connections=1024 idle_timeout_ms=600000");
     }
 
     #[test]

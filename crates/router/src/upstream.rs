@@ -1,51 +1,89 @@
-//! One pipelined upstream connection to a backend shard.
+//! One pipelined connection to a backend shard **replica**, as a
+//! non-blocking state machine.
 //!
-//! The router multiplexes every client onto a small, fixed set of shard
-//! connections: requests are appended to a write buffer and answered in
-//! order (the protocol guarantees per-connection responses in request
-//! order), so matching is a FIFO of [`Pending`] descriptors — no
-//! request-id needs to cross the wire. An in-flight *window* bounds how
-//! many requests may be outstanding per shard; excess requests queue in a
-//! backlog and dispatch as responses drain the window.
+//! The router multiplexes every client onto a small, fixed set of
+//! replica connections: requests are appended to a write buffer and
+//! answered in order (the protocol guarantees per-connection responses
+//! in request order), so matching is a FIFO of [`PendingRequest`]
+//! descriptors — no request-id needs to cross the wire. An in-flight
+//! *window* bounds how many requests may be outstanding per replica;
+//! excess requests queue in a backlog and dispatch as responses drain
+//! the window.
+//!
+//! Connection management never blocks the reactor:
+//!
+//! ```text
+//!             start_connect()                try_complete_connect()
+//!   Idle ──────────────────────▶ Connecting ───────────────────────▶ Connected
+//!    ▲                              │  (EPOLLOUT + SO_ERROR == 0)        │
+//!    │                              │                                    │
+//!    │  backoff elapses ◀── BackingOff ◀──── fail(): connect timeout /   │
+//!    │  (can_attempt)               ▲        refusal / socket error ◀────┘
+//!    └──────────────────────────────┘
+//! ```
+//!
+//! A failed replica enters [`State::BackingOff`] with jittered
+//! exponential backoff (50 ms doubling to a 2 s cap, uniform jitter in
+//! `[d/2, d]` so a restarted shard is not hit by every waiter at once).
+//! [`fail`](Upstream::fail) surrenders every request the connection
+//! still owed an answer — **with the encoded bytes retained** — so the
+//! reactor can re-dispatch them verbatim to a sibling replica.
 
+use hcl_server::transport::sys;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Longest response line accepted from a shard. `DISTS` for a maximal
 /// batch dominates; anything past this is a corrupt upstream.
 pub(crate) const MAX_UPSTREAM_LINE: usize = 64 * 1024 * 1024;
 
-/// How long a (re)connect to a shard may block the reactor. Shards are
-/// LAN/loopback neighbours; a shard that cannot accept within this is
-/// treated as down and the affected requests fail fast.
-const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// How long an in-progress connect may sit without a verdict before the
+/// attempt is failed. Shards are LAN/loopback neighbours; a replica that
+/// cannot accept within this is down (or blackholed) and affected
+/// requests fail over. The reactor enforces this via
+/// [`connect_deadline`](Upstream::connect_deadline) — nothing blocks.
+pub(crate) const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
-/// What a shard's next response line resolves: the aggregation entry it
-/// feeds and, for batch slices, where each answer lands in the client
-/// response.
+/// First retry delay after a failure.
+const BACKOFF_BASE_MS: u64 = 50;
+
+/// Backoff ceiling.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// Sentinel `request_id` for router-originated health probes (`PING`):
+/// their responses update replica state and never feed a client
+/// aggregation.
+pub(crate) const PROBE_ID: u64 = u64::MAX;
+
+/// One request owed a response: the aggregation entry it feeds, where
+/// its answers land, and everything needed to re-dispatch it to a
+/// sibling replica if this one dies first.
 #[derive(Debug)]
-pub(crate) struct Pending {
-    /// Key into the reactor's in-flight aggregation map.
+pub(crate) struct PendingRequest {
+    /// Key into the reactor's in-flight aggregation map ([`PROBE_ID`]
+    /// for health probes).
     pub request_id: u64,
+    /// The shard this request was routed to — failover re-dispatches to
+    /// a sibling replica of the *same* shard.
+    pub home_shard: u32,
     /// For `BATCH` slices: client-response positions, in slice order
     /// (also fixes the expected answer count).
     pub positions: Option<Vec<u32>>,
-}
-
-/// An encoded request waiting to go (or in flight) to one shard.
-#[derive(Debug)]
-pub(crate) struct OutboundRequest {
-    /// The raw request bytes, including every newline.
+    /// The raw request bytes, including every newline — retained while
+    /// in flight so failover can resend verbatim.
     pub bytes: Vec<u8>,
-    /// The response descriptor to enqueue once the request is on the
-    /// write buffer.
-    pub pending: Pending,
+    /// How many replicas have already failed to answer this request.
+    pub retries: u32,
+    /// Set when the request was re-routed to a foreign shard for a
+    /// label-only upper bound (no healthy replica of `home_shard`); the
+    /// response is tagged `DIST~` / `DISTS~`.
+    pub degraded: bool,
 }
 
-/// Live socket state of a connected upstream.
+/// Live socket state of a connected replica.
 #[derive(Debug)]
 struct Wire {
     stream: TcpStream,
@@ -56,96 +94,260 @@ struct Wire {
     /// Prefix of `rbuf` already consumed.
     rstart: usize,
     /// Responses owed, in request order.
-    pending: VecDeque<Pending>,
-    /// epoll interest bits currently registered for this socket.
-    registered: u32,
+    pending: VecDeque<PendingRequest>,
 }
 
-/// One shard connection with windowed pipelining; see the module docs.
-#[derive(Debug)]
-pub(crate) struct Upstream {
-    addr: SocketAddr,
-    window: usize,
-    wire: Option<Wire>,
-    backlog: VecDeque<OutboundRequest>,
-}
-
-impl Upstream {
-    /// A connected upstream (blocking connect — used at router startup so
-    /// a dead shard fails `Router::bind` fast).
-    pub fn connect(addr: SocketAddr, window: usize) -> io::Result<Upstream> {
-        let mut upstream = Upstream::disconnected(addr, window);
-        upstream.ensure_connected()?;
-        Ok(upstream)
-    }
-
-    /// An upstream that will connect on first use (control connections).
-    pub fn disconnected(addr: SocketAddr, window: usize) -> Upstream {
-        Upstream { addr, window, wire: None, backlog: VecDeque::new() }
-    }
-
-    /// Connects if currently disconnected. Returns `true` when a **new**
-    /// socket was created — the caller must register its
-    /// [`fd`](Self::fd) with epoll and then
-    /// [`set_registered`](Self::set_registered).
-    pub fn ensure_connected(&mut self) -> io::Result<bool> {
-        if self.wire.is_some() {
-            return Ok(false);
-        }
-        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
-        stream.set_nodelay(true).ok();
-        stream.set_nonblocking(true)?;
-        self.wire = Some(Wire {
+impl Wire {
+    fn new(stream: TcpStream) -> Wire {
+        Wire {
             stream,
             out: Vec::new(),
             out_pos: 0,
             rbuf: Vec::new(),
             rstart: 0,
             pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Where a replica connection currently stands; see the module docs.
+#[derive(Debug)]
+enum State {
+    /// Never attempted (or freshly reset); may connect immediately.
+    Idle,
+    /// Non-blocking connect in flight (`EINPROGRESS`); the verdict
+    /// arrives as `EPOLLOUT` + `SO_ERROR`, or the deadline fails it.
+    Connecting { stream: TcpStream, deadline: Instant },
+    /// Established and exchanging requests.
+    Connected(Wire),
+    /// Recently failed; no reconnect until `until`.
+    BackingOff { until: Instant },
+}
+
+/// One replica connection with windowed pipelining and non-blocking
+/// reconnect; see the module docs.
+#[derive(Debug)]
+pub(crate) struct Upstream {
+    addr: SocketAddr,
+    window: usize,
+    state: State,
+    backlog: VecDeque<PendingRequest>,
+    /// epoll interest bits currently registered for the live fd.
+    registered: u32,
+    /// Consecutive failures since the replica last proved alive
+    /// (controls the backoff exponent; reset by
+    /// [`note_alive`](Self::note_alive), **not** by a mere connect — a
+    /// replica that accepts and immediately dies must keep escalating).
+    attempt: u32,
+    /// splitmix64 state for backoff jitter.
+    rng: u64,
+    /// Lifetime connection/transport failures (metrics).
+    pub failures: u64,
+    /// When the next health probe is due (`None` = not scheduled; the
+    /// reactor schedules it on connect and after each response).
+    pub next_probe_at: Option<Instant>,
+    /// When the currently outstanding probe was written (`None` = no
+    /// probe in flight); also the probe's timeout anchor.
+    pub probe_sent_at: Option<Instant>,
+    /// Latency of the last completed probe, microseconds (metrics).
+    pub last_probe_us: u64,
+}
+
+impl Upstream {
+    /// A replica in [`State::Idle`] — nothing connects until the
+    /// reactor calls [`start_connect`](Self::start_connect).
+    pub fn new(addr: SocketAddr, window: usize) -> Upstream {
+        // Seed jitter from the address and the clock so co-located
+        // routers (and a router's own replicas) don't share a schedule.
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(addr.port());
+        if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            seed ^= u64::from(t.subsec_nanos()) ^ (t.as_secs() << 32);
+        }
+        Upstream {
+            addr,
+            window,
+            state: State::Idle,
+            backlog: VecDeque::new(),
             registered: 0,
-        });
-        Ok(true)
+            attempt: 0,
+            rng: seed,
+            failures: 0,
+            next_probe_at: None,
+            probe_sent_at: None,
+            last_probe_us: 0,
+        }
     }
 
-    /// The connected socket's fd, if any.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn is_connected(&self) -> bool {
+        matches!(self.state, State::Connected(_))
+    }
+
+    pub fn is_connecting(&self) -> bool {
+        matches!(self.state, State::Connecting { .. })
+    }
+
+    /// The state as a stable lowercase word (for `METRICS`).
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Idle => "idle",
+            State::Connecting { .. } => "connecting",
+            State::Connected(_) => "connected",
+            State::BackingOff { .. } => "backoff",
+        }
+    }
+
+    /// The live socket's fd (connecting or connected), if any.
     pub fn fd(&self) -> Option<RawFd> {
-        self.wire.as_ref().map(|w| w.stream.as_raw_fd())
+        match &self.state {
+            State::Connecting { stream, .. } => Some(stream.as_raw_fd()),
+            State::Connected(wire) => Some(wire.stream.as_raw_fd()),
+            _ => None,
+        }
     }
 
     /// Currently registered epoll interest bits.
     pub fn registered(&self) -> u32 {
-        self.wire.as_ref().map_or(0, |w| w.registered)
+        self.registered
     }
 
     /// Records the interest bits the caller just registered.
     pub fn set_registered(&mut self, bits: u32) {
-        if let Some(wire) = &mut self.wire {
-            wire.registered = bits;
+        self.registered = bits;
+    }
+
+    /// Whether a connect attempt is allowed right now (idle, or the
+    /// backoff has elapsed).
+    pub fn can_attempt(&self, now: Instant) -> bool {
+        match self.state {
+            State::Idle => true,
+            State::BackingOff { until } => now >= until,
+            _ => false,
         }
     }
 
-    /// Queues a request; it reaches the wire once the in-flight window
-    /// has room (callers follow up with [`pump`](Self::pump) /
-    /// [`try_write`](Self::try_write)).
-    pub fn submit(&mut self, request: OutboundRequest) {
+    /// Kicks off a non-blocking connect. On success returns the new fd
+    /// for the caller to register with epoll (the connect may already
+    /// have completed — loopback often does — check
+    /// [`is_connected`](Self::is_connected)). On error the caller
+    /// should [`fail`](Self::fail) the replica to start its backoff.
+    pub fn start_connect(&mut self, now: Instant) -> io::Result<RawFd> {
+        debug_assert!(self.can_attempt(now));
+        let (stream, in_progress) = sys::connect_nonblocking(&self.addr)?;
+        let fd = stream.as_raw_fd();
+        self.registered = 0;
+        self.probe_sent_at = None;
+        self.state = if in_progress {
+            State::Connecting { stream, deadline: now + CONNECT_TIMEOUT }
+        } else {
+            stream.set_nodelay(true).ok();
+            State::Connected(Wire::new(stream))
+        };
+        Ok(fd)
+    }
+
+    /// Checks an in-progress connect after `EPOLLOUT` (or any event) on
+    /// its fd. `Ok(true)`: now connected. `Ok(false)`: still in
+    /// progress (spurious wakeup). `Err`: the connect failed — the
+    /// caller should [`fail`](Self::fail) the replica.
+    pub fn try_complete_connect(&mut self) -> io::Result<bool> {
+        let State::Connecting { stream, .. } = &self.state else {
+            return Ok(self.is_connected());
+        };
+        sys::socket_error(stream.as_raw_fd())?;
+        // SO_ERROR is 0 while the handshake is still in flight too;
+        // only a real peer address proves completion.
+        match stream.peer_addr() {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotConnected => return Ok(false),
+            Err(e) => return Err(e),
+        }
+        let State::Connecting { stream, .. } = std::mem::replace(&mut self.state, State::Idle)
+        else {
+            unreachable!()
+        };
+        stream.set_nodelay(true).ok();
+        self.state = State::Connected(Wire::new(stream));
+        Ok(true)
+    }
+
+    /// The in-progress connect's give-up time, if connecting.
+    pub fn connect_deadline(&self) -> Option<Instant> {
+        match self.state {
+            State::Connecting { deadline, .. } => Some(deadline),
+            _ => None,
+        }
+    }
+
+    /// When backoff ends and a reconnect may be attempted, if backing
+    /// off.
+    pub fn backoff_until(&self) -> Option<Instant> {
+        match self.state {
+            State::BackingOff { until } => Some(until),
+            _ => None,
+        }
+    }
+
+    /// The replica answered something: reset the backoff escalation.
+    pub fn note_alive(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failures since the replica last answered (metrics).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Tears down whatever the state holds (closing the fd deregisters
+    /// it from epoll automatically), starts the next backoff window,
+    /// and returns every request still owed an answer — in flight
+    /// first, then backlog — with their bytes intact so the caller can
+    /// fail them over to a sibling replica. Router-originated probes
+    /// are dropped, not surrendered: their "response" is this failure.
+    pub fn fail(&mut self, now: Instant) -> Vec<PendingRequest> {
+        let mut owed = Vec::new();
+        if let State::Connected(wire) = std::mem::replace(&mut self.state, State::Idle) {
+            owed.extend(wire.pending);
+        }
+        owed.extend(self.backlog.drain(..));
+        owed.retain(|p| p.request_id != PROBE_ID);
+        let shift = self.attempt.min(5);
+        let base = (BACKOFF_BASE_MS << shift).min(BACKOFF_CAP_MS);
+        let jitter = base / 2 + self.next_rand() % (base / 2 + 1);
+        self.state = State::BackingOff { until: now + Duration::from_millis(jitter) };
+        self.attempt = self.attempt.saturating_add(1);
+        self.failures += 1;
+        self.registered = 0;
+        self.probe_sent_at = None;
+        self.next_probe_at = None;
+        owed
+    }
+
+    /// Queues a request; it reaches the wire once the replica is
+    /// connected and the in-flight window has room (callers follow up
+    /// with [`pump`](Self::pump) / [`try_write`](Self::try_write)).
+    pub fn submit(&mut self, request: PendingRequest) {
         self.backlog.push_back(request);
     }
 
     /// Moves backlogged requests onto the write buffer while the window
     /// allows.
     pub fn pump(&mut self) {
-        let Some(wire) = &mut self.wire else { return };
+        let State::Connected(wire) = &mut self.state else { return };
         while wire.pending.len() < self.window {
             let Some(request) = self.backlog.pop_front() else { break };
             wire.out.extend_from_slice(&request.bytes);
-            wire.pending.push_back(request.pending);
+            wire.pending.push_back(request);
         }
     }
 
-    /// Nonblocking flush of the write buffer. `Err` means the connection
-    /// is unusable (fail it with [`take_failed`](Self::take_failed)).
+    /// Nonblocking flush of the write buffer. `Err` means the
+    /// connection is unusable ([`fail`](Self::fail) it).
     pub fn try_write(&mut self) -> io::Result<()> {
-        let Some(wire) = &mut self.wire else { return Ok(()) };
+        let State::Connected(wire) = &mut self.state else { return Ok(()) };
         while wire.out_pos < wire.out.len() {
             match (&wire.stream).write(&wire.out[wire.out_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
@@ -162,16 +364,17 @@ impl Upstream {
         Ok(())
     }
 
-    /// Reads whatever the shard sent and resolves complete response
-    /// lines against the pending FIFO, appending `(pending, line)` pairs
-    /// to `resolved`. `Err` means the connection is unusable (EOF,
-    /// transport error, oversized or unsolicited response line).
+    /// Reads whatever the replica sent and resolves complete response
+    /// lines against the pending FIFO, appending `(pending, line)`
+    /// pairs to `resolved`. `Err` means the connection is unusable
+    /// (EOF, transport error, oversized or unsolicited response line) —
+    /// [`fail`](Self::fail) it.
     pub fn try_read(
         &mut self,
         scratch: &mut [u8],
-        resolved: &mut Vec<(Pending, String)>,
+        resolved: &mut Vec<(PendingRequest, String)>,
     ) -> io::Result<()> {
-        let Some(wire) = &mut self.wire else { return Ok(()) };
+        let State::Connected(wire) = &mut self.state else { return Ok(()) };
         loop {
             match (&wire.stream).read(scratch) {
                 Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
@@ -205,49 +408,86 @@ impl Upstream {
         Ok(())
     }
 
-    /// Tears the connection down and returns every request it still owed
-    /// an answer (in flight first, then backlog) so the caller can fail
-    /// them. A later [`ensure_connected`](Self::ensure_connected)
-    /// reconnects fresh.
-    pub fn take_failed(&mut self) -> Vec<Pending> {
-        let mut failed = Vec::new();
-        if let Some(wire) = self.wire.take() {
-            failed.extend(wire.pending);
+    /// Responses currently owed by the wire (in-flight requests).
+    pub fn pending_len(&self) -> usize {
+        match &self.state {
+            State::Connected(wire) => wire.pending.len(),
+            _ => 0,
         }
-        failed.extend(self.backlog.drain(..).map(|r| r.pending));
-        failed
     }
 
-    /// The epoll interest matching the current state: always readable
-    /// (responses arrive unprompted once requests are in flight), plus
-    /// writable while output is buffered.
+    /// Requests queued behind the window (or behind a reconnect).
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// The epoll interest matching the current state: a connecting
+    /// socket waits for writability (the connect verdict); a connected
+    /// one is always readable (responses arrive unprompted once
+    /// requests are in flight), plus writable while output is buffered.
     pub fn desired_interest(&self) -> u32 {
-        use hcl_server::transport::sys;
-        let Some(wire) = &self.wire else { return 0 };
-        let mut bits = sys::EPOLLIN | sys::EPOLLRDHUP;
-        if wire.out_pos < wire.out.len() {
-            bits |= sys::EPOLLOUT;
+        match &self.state {
+            State::Connecting { .. } => sys::EPOLLOUT,
+            State::Connected(wire) => {
+                let mut bits = sys::EPOLLIN | sys::EPOLLRDHUP;
+                if wire.out_pos < wire.out.len() {
+                    bits |= sys::EPOLLOUT;
+                }
+                bits
+            }
+            _ => 0,
         }
-        bits
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hcl_server::transport::{sys::EpollEvent, Epoll};
     use std::net::TcpListener;
 
-    fn request(id: u64, text: &str) -> OutboundRequest {
-        OutboundRequest {
+    fn request(id: u64, text: &str) -> PendingRequest {
+        PendingRequest {
+            request_id: id,
+            home_shard: 0,
+            positions: None,
             bytes: format!("{text}\n").into_bytes(),
-            pending: Pending { request_id: id, positions: None },
+            retries: 0,
+            degraded: false,
         }
+    }
+
+    /// Drives the non-blocking connect to completion (test convenience;
+    /// the reactor does this via its epoll loop).
+    fn connect_sync(addr: SocketAddr, window: usize) -> Upstream {
+        let mut upstream = Upstream::new(addr, window);
+        upstream.start_connect(Instant::now()).unwrap();
+        if !upstream.is_connected() {
+            let epoll = Epoll::new().unwrap();
+            epoll.add(upstream.fd().unwrap(), sys::EPOLLOUT, 7).unwrap();
+            let mut events = [EpollEvent::default(); 4];
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !upstream.is_connected() {
+                assert!(Instant::now() < deadline, "connect never completed");
+                epoll.wait(&mut events, 100).unwrap();
+                upstream.try_complete_connect().unwrap();
+            }
+        }
+        upstream
     }
 
     #[test]
     fn window_limits_in_flight_and_backlog_drains_on_responses() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 2).unwrap();
+        let mut upstream = connect_sync(listener.local_addr().unwrap(), 2);
         let (peer, _) = listener.accept().unwrap();
 
         for i in 0..5 {
@@ -282,43 +522,87 @@ mod tests {
     }
 
     #[test]
-    fn failure_surrenders_every_owed_response() {
+    fn failure_surrenders_every_owed_request_with_bytes_for_redispatch() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 1).unwrap();
+        let mut upstream = connect_sync(listener.local_addr().unwrap(), 1);
         let (peer, _) = listener.accept().unwrap();
         for i in 0..3 {
-            upstream.submit(request(i, "PING"));
+            upstream.submit(request(i, &format!("QUERY {i} {i}")));
         }
         upstream.pump();
         upstream.try_write().unwrap();
-        drop(peer); // shard dies
+        drop(peer); // replica dies
         let mut resolved = Vec::new();
         let err = upstream.try_read(&mut [0u8; 64], &mut resolved);
         assert!(err.is_err());
-        let failed = upstream.take_failed();
-        assert_eq!(failed.len(), 3, "in-flight + backlog all surrendered");
+        let owed = upstream.fail(Instant::now());
+        assert_eq!(owed.len(), 3, "in-flight + backlog all surrendered");
+        for (i, p) in owed.iter().enumerate() {
+            assert_eq!(p.bytes, format!("QUERY {i} {i}\n").into_bytes(), "bytes retained");
+        }
         assert!(upstream.fd().is_none());
+        assert_eq!(upstream.state_name(), "backoff");
+        assert_eq!(upstream.failures, 1);
     }
 
     #[test]
     fn unsolicited_response_is_a_protocol_failure() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let mut upstream = Upstream::connect(listener.local_addr().unwrap(), 4).unwrap();
+        let mut upstream = connect_sync(listener.local_addr().unwrap(), 4);
         let (peer, _) = listener.accept().unwrap();
         (&peer).write_all(b"SURPRISE\n").unwrap();
         let mut resolved = Vec::new();
         // Poll until the bytes arrive (loopback, effectively immediate).
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             match upstream.try_read(&mut [0u8; 64], &mut resolved) {
                 Err(e) => {
                     assert_eq!(e.kind(), io::ErrorKind::InvalidData);
                     break;
                 }
-                Ok(()) if std::time::Instant::now() > deadline => panic!("no desync detected"),
+                Ok(()) if Instant::now() > deadline => panic!("no desync detected"),
                 Ok(()) => std::thread::yield_now(),
             }
         }
         assert!(resolved.is_empty());
+    }
+
+    #[test]
+    fn backoff_escalates_with_jitter_and_resets_on_liveness() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut upstream = Upstream::new(addr, 4);
+        for attempt in 0u32..8 {
+            let now = Instant::now();
+            upstream.fail(now);
+            let until = upstream.backoff_until().expect("backing off");
+            let base = (BACKOFF_BASE_MS << attempt.min(5)).min(BACKOFF_CAP_MS);
+            let delay = until - now;
+            assert!(
+                delay >= Duration::from_millis(base / 2) && delay <= Duration::from_millis(base),
+                "attempt {attempt}: delay {delay:?} outside [{base}/2, {base}] ms",
+            );
+            // Let the next attempt through regardless of wall time.
+            upstream.state = State::BackingOff { until: now };
+        }
+        assert_eq!(upstream.failures, 8);
+        // A successful exchange resets the escalation to the floor.
+        upstream.note_alive();
+        let now = Instant::now();
+        upstream.fail(now);
+        let delay = upstream.backoff_until().unwrap() - now;
+        assert!(delay <= Duration::from_millis(BACKOFF_BASE_MS));
+    }
+
+    #[test]
+    fn probe_pendings_are_dropped_on_failure_not_surrendered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut upstream = connect_sync(listener.local_addr().unwrap(), 4);
+        let (_peer, _) = listener.accept().unwrap();
+        upstream.submit(request(PROBE_ID, "PING"));
+        upstream.submit(request(7, "QUERY 1 2"));
+        upstream.pump();
+        let owed = upstream.fail(Instant::now());
+        assert_eq!(owed.len(), 1);
+        assert_eq!(owed[0].request_id, 7);
     }
 }

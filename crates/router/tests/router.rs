@@ -358,8 +358,282 @@ fn router_shutdown_leaves_shards_running() {
     }
 }
 
+/// Extracts one numeric field from a router `METRICS` JSON body.
+fn metric(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("missing {key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// A scripted replica speaking just enough of the shard protocol for the
+/// failover tests: exact `QUERY` answers from a precomputed table, `PONG`
+/// for probes. The first connection misbehaves per `die_after` /
+/// `silent_after`; later connections (reconnects) serve faithfully.
+fn fake_replica(
+    answers: std::collections::HashMap<(u32, u32), Option<u32>>,
+    die_after: Option<usize>,
+    silent_after: Option<usize>,
+) -> std::net::SocketAddr {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut first = true;
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { return };
+            let (die, silent) = if first {
+                (die_after.unwrap_or(usize::MAX), silent_after.unwrap_or(usize::MAX))
+            } else {
+                (usize::MAX, usize::MAX)
+            };
+            first = false;
+            let reader = BufReader::new(conn.try_clone().unwrap());
+            let mut answered = 0usize;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if answered >= silent {
+                    continue; // play dead without closing the socket
+                }
+                let response = if line == "PING" {
+                    "PONG\n".to_string()
+                } else {
+                    let mut it = line.split_ascii_whitespace().skip(1);
+                    let s: u32 = it.next().unwrap().parse().unwrap();
+                    let t: u32 = it.next().unwrap().parse().unwrap();
+                    match answers[&(s, t)] {
+                        Some(d) => format!("DIST {d}\n"),
+                        None => "INF\n".to_string(),
+                    }
+                };
+                if conn.write_all(response.as_bytes()).is_err() {
+                    break;
+                }
+                if line != "PING" {
+                    answered += 1;
+                    if answered >= die {
+                        break; // drop the connection with requests in flight
+                    }
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// Polls the router's `METRICS` until one replica reports the wanted
+/// state.
+fn wait_for_replica_state(
+    client: &mut Client,
+    shard: u32,
+    addr: std::net::SocketAddr,
+    state: &str,
+) {
+    let needle =
+        format!("\"shard\":{shard},\"replica\":0,\"addr\":\"{addr}\",\"state\":\"{state}\"");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let json = client.metrics().unwrap();
+        if json.contains(&needle) {
+            return;
+        }
+        assert!(std::time::Instant::now() < deadline, "replica never {state}: {json}");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Tentpole: a replica dying with a pipelined window in flight. The
+/// surrendered requests are re-dispatched verbatim to the sibling, so
+/// every position of the pipeline is answered *exactly* and the client
+/// sees zero errors; the failover is visible in `METRICS`.
 #[test]
-fn dead_shard_fails_fast_with_err_and_spares_the_other_shard() {
+fn replica_death_mid_pipeline_fails_over_exactly_with_zero_client_errors() {
+    let (g, hubs) = bridged_communities(7);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+
+    // 64 shard-0 pairs, all answered exactly by both the fake and the
+    // real replica.
+    let pairs: Vec<(u32, u32)> = (0..64).map(|i| (10 + i, 20 + (i * 3) % 90)).collect();
+    let truth: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+    let answers = pairs.iter().zip(&truth).map(|(&p, &d)| (p, d)).collect();
+    // Replica 0 of shard 0 dies abruptly after 5 answers.
+    let fake = fake_replica(answers, Some(5), None);
+
+    let real: Vec<ServerHandle> = (0..2)
+        .map(|shard| {
+            let service = Arc::new(QueryService::from_parts(
+                Arc::new(map.shard_graph(&g, shard)),
+                Arc::new(labelling.clone()),
+                1 << 10,
+            ));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+        .collect();
+    let groups = vec![vec![fake, real[0].local_addr()], vec![real[1].local_addr()]];
+    let router =
+        Router::bind_replicated(map, &groups, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    // Make sure the doomed replica is the one taking the traffic.
+    wait_for_replica_state(&mut client, 0, fake, "connected");
+
+    let got = client.pipelined_queries(&pairs).unwrap();
+    assert_eq!(got, truth, "every pipeline position exact across the failover");
+
+    let json = client.metrics().unwrap();
+    assert!(metric(&json, "failovers") >= 1, "failover not recorded: {json}");
+    assert!(metric(&json, "retries") >= 1, "re-dispatches not recorded: {json}");
+    assert_eq!(metric(&json, "errors"), 0, "client saw no errors: {json}");
+    assert_eq!(metric(&json, "degraded"), 0, "a sibling served; nothing degraded: {json}");
+}
+
+/// A replica that stops answering *without closing its socket* is caught
+/// by the idle health probe, failed over, and traffic lands on the
+/// sibling exactly.
+#[test]
+fn silent_replica_is_probed_out_and_the_sibling_takes_over() {
+    let (g, hubs) = bridged_communities(9);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+
+    let pairs: Vec<(u32, u32)> = vec![(10, 20), (30, 40), (50, 60)];
+    let truth: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+    let answers = pairs.iter().zip(&truth).map(|(&p, &d)| (p, d)).collect();
+    // Replica 0 of shard 0 goes mute after 2 answers (socket stays open).
+    let fake = fake_replica(answers, None, Some(2));
+
+    let real: Vec<ServerHandle> = (0..2)
+        .map(|shard| {
+            let service = Arc::new(QueryService::from_parts(
+                Arc::new(map.shard_graph(&g, shard)),
+                Arc::new(labelling.clone()),
+                1 << 10,
+            ));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+        .collect();
+    let groups = vec![vec![fake, real[0].local_addr()], vec![real[1].local_addr()]];
+    let config = RouterConfig {
+        probe_interval: std::time::Duration::from_millis(50),
+        probe_timeout: std::time::Duration::from_millis(150),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind_replicated(map, &groups, "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    wait_for_replica_state(&mut client, 0, fake, "connected");
+
+    // Two answers flow, then the replica goes mute while idle.
+    assert_eq!(client.query(10, 20).unwrap(), truth[0]);
+    assert_eq!(client.query(30, 40).unwrap(), truth[1]);
+
+    // With zero client traffic, only the probe can notice the corpse.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let json = client.metrics().unwrap();
+        if metric(&json, "probe_failures") >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "probe never fired the replica: {json}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The sibling answers the same shard exactly — not degraded.
+    assert_eq!(client.query_tagged(50, 60).unwrap(), (truth[2], false));
+    let json = client.metrics().unwrap();
+    assert!(metric(&json, "probes") >= 1, "{json}");
+    assert_eq!(metric(&json, "degraded"), 0, "{json}");
+}
+
+/// The regression the blocking connect caused: with one shard address
+/// blackholed (SYN queue full, connects hang in progress), an unrelated
+/// client `PING` must still complete in well under 50 ms, and queries for
+/// the unreachable shard degrade to a tagged upper bound instead of
+/// hanging or erroring.
+#[test]
+fn blackholed_shard_never_blocks_the_reactor_and_queries_degrade() {
+    use hcl_server::transport::sys;
+
+    let (g, hubs) = bridged_communities(4);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let mut oracle = HlOracle::new(&g, labelling.clone());
+
+    // A listener that never accepts, its accept queue pre-filled so
+    // further connects sit in SYN retry limbo — the shape of a dead or
+    // partitioned host, as opposed to a refused port.
+    let blackhole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let dark_addr = blackhole.local_addr().unwrap();
+    let mut filler = Vec::new();
+    for _ in 0..300 {
+        if let Ok((stream, _)) = sys::connect_nonblocking(&dark_addr) {
+            filler.push(stream);
+        }
+    }
+
+    let real = {
+        let service = Arc::new(QueryService::from_parts(
+            Arc::new(map.shard_graph(&g, 1)),
+            Arc::new(labelling.clone()),
+            1 << 10,
+        ));
+        Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    };
+    let config = RouterConfig {
+        park_timeout: std::time::Duration::from_millis(200),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(map, &[dark_addr, real.local_addr()], "127.0.0.1:0", config).unwrap();
+
+    // The reactor is mid-connect to the blackhole right now; an
+    // unrelated connection must not feel it. (The old blocking
+    // `connect_timeout` stalled the whole reactor for 500 ms per
+    // attempt.)
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let mut probe_client = Client::connect(router.local_addr()).unwrap();
+        probe_client.ping().unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(50),
+            "PING stalled {elapsed:?} behind a blackholed connect"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    // Shard-0 queries degrade to a tagged upper bound via shard 1's
+    // labels — bounded latency, no ERR, never an under-report.
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let t0 = std::time::Instant::now();
+    let (bound, approx) = client.query_tagged(10, 20).unwrap();
+    assert!(t0.elapsed() < std::time::Duration::from_secs(3), "degrade not bounded");
+    assert!(approx, "unreachable home shard must tag the answer approximate");
+    let truth = oracle.query(10, 20);
+    match (bound, truth) {
+        (Some(b), Some(t)) => assert!(b >= t, "under-report: bound {b} < true {t}"),
+        (None, _) => {}
+        (Some(b), None) => panic!("bound {b} for a disconnected pair"),
+    }
+    // The healthy shard still answers exactly, untagged.
+    assert_eq!(client.query_tagged(200, 210).unwrap(), (oracle.query(200, 210), false));
+    let json = client.metrics().unwrap();
+    assert!(metric(&json, "degraded") >= 1, "{json}");
+    drop(filler);
+}
+
+/// Single-replica shards with no sibling: a dead shard *degrades* its
+/// queries (tagged upper bounds from the surviving shard's labels)
+/// instead of erroring; control-plane requests report the failure; and
+/// once every shard is gone queries finally fail with `ERR`.
+#[test]
+fn dead_shard_degrades_queries_and_errs_the_control_plane() {
     let (g, hubs) = bridged_communities(5);
     let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
     let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
@@ -368,37 +642,73 @@ fn dead_shard_fails_fast_with_err_and_spares_the_other_shard() {
     let mut client = deployment.client();
     client.ping().unwrap();
 
-    // Kill shard 0. Requests owned by it must be answered with an ERR
-    // line promptly — never left hanging in an unresolved slot (the
-    // synchronous-submit-failure path: the router reconnect fails while
-    // the client's Conn is held on the reactor's stack).
+    // Kill shard 0. Early queries may still ride the not-yet-torn-down
+    // socket and answer exactly; once the router notices the EOF they
+    // must degrade — promptly, never hanging in an unresolved slot.
     deployment.shards[0].shutdown();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let truth = oracle.query(10, 20);
     loop {
-        // (10, 20): both owned by shard 0. The first attempts may still
-        // ride the not-yet-torn-down socket; once the router notices the
-        // EOF every attempt must fail fast.
-        match client.query(10, 20) {
-            Err(e) => {
-                let msg = e.to_string();
-                assert!(msg.contains("shard 0 unavailable"), "{msg}");
-                break;
+        // (10, 20): both owned by the dead shard 0.
+        let (d, approx) = client.query_tagged(10, 20).unwrap();
+        if approx {
+            if let (Some(b), Some(t)) = (d, truth) {
+                assert!(b >= t, "degraded bound {b} under-reports true {t}");
             }
-            Ok(_) if std::time::Instant::now() > deadline => {
-                panic!("queries to the dead shard kept succeeding");
-            }
-            Ok(_) => std::thread::yield_now(),
+            break;
         }
-        assert!(std::time::Instant::now() < deadline, "no ERR before deadline");
+        assert_eq!(d, truth, "exact answers must stay exact");
+        assert!(std::time::Instant::now() < deadline, "queries to the dead shard never degraded");
+        std::thread::yield_now();
     }
 
-    // The connection is still usable and the healthy shard still answers.
+    // The connection is still usable and the healthy shard is exact.
     client.ping().unwrap();
     let (s, t) = (200, 210); // both owned by shard 1
-    assert_eq!(client.query(s, t).unwrap(), oracle.query(s, t));
-    // Scattered queries touching the dead shard also fail with ERR.
-    let err = client.query(10, 200).unwrap_err();
+    assert_eq!(client.query_tagged(s, t).unwrap(), (oracle.query(s, t), false));
+    // Scattered queries touching the dead shard degrade too: the healthy
+    // half plus a label bound for the dead half is still an upper bound.
+    let (d, approx) = client.query_tagged(10, 200).unwrap();
+    assert!(approx, "scatter with a dead half must be tagged");
+    if let (Some(b), Some(t)) = (d, oracle.query(10, 200)) {
+        assert!(b >= t, "scattered bound {b} under-reports true {t}");
+    }
+    // The control plane does not degrade: STATS reports the failure.
+    let err = client.stats().unwrap_err();
     assert!(err.to_string().contains("shard 0 unavailable"), "{err}");
+    assert!(metric(&client.metrics().unwrap(), "degraded") >= 1);
+
+    // With every shard gone there is no label holder left to bound the
+    // answer: now — and only now — queries fail.
+    deployment.shards[1].shutdown();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match client.query_tagged(200, 210) {
+            Err(e) => {
+                assert!(e.to_string().contains("unavailable"), "{e}");
+                break;
+            }
+            Ok(_) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "queries kept answering with every shard dead"
+                );
+                std::thread::yield_now();
+            }
+        }
+    }
+    client.ping().unwrap();
+}
+
+#[test]
+fn router_rejects_empty_replica_groups() {
+    let (g, hubs) = hub_star();
+    let map = PartitionMap::hash(g.num_vertices(), 2, &hubs);
+    let groups: Vec<Vec<String>> = vec![vec!["127.0.0.1:1".to_string()], vec![]];
+    let err = Router::bind_replicated(map, &groups, "127.0.0.1:0", RouterConfig::default())
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.to_string().contains("empty replica group"), "{err}");
 }
 
 #[test]

@@ -74,10 +74,24 @@ impl Client {
         Ok(line)
     }
 
-    /// One exact distance (`None` = unreachable).
+    /// One exact distance (`None` = unreachable). A router may answer
+    /// degraded (`DIST~`, an upper bound); use
+    /// [`query_tagged`](Self::query_tagged) to observe the flag.
     pub fn query(&mut self, s: VertexId, t: VertexId) -> Result<Option<u32>, ClientError> {
         self.send(&format!("QUERY {s} {t}"))?;
         Ok(protocol::parse_query_response(&self.receive()?)?)
+    }
+
+    /// One distance plus whether the answer was degraded (`DIST~`: the
+    /// landmark upper bound from a surviving replica, not guaranteed
+    /// exact — but never an under-report).
+    pub fn query_tagged(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+    ) -> Result<(Option<u32>, bool), ClientError> {
+        self.send(&format!("QUERY {s} {t}"))?;
+        Ok(protocol::parse_query_response_tagged(&self.receive()?)?)
     }
 
     /// Pipelines one `QUERY` per pair — every request is written before
@@ -120,6 +134,12 @@ impl Client {
             Some(body) => Ok(body.to_string()),
             None => Err(ClientError::Response(ResponseError::Malformed(line))),
         }
+    }
+
+    /// The raw single-line JSON body of a `METRICS` response.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        Ok(protocol::parse_metrics_response(&self.receive()?)?)
     }
 
     /// The server's current index epoch.

@@ -6,12 +6,19 @@
 //! -> BATCH <k>              (followed by k lines "<s> <t>")
 //!                           <- DISTS <d1> <d2> … <dk>   (INF for unreachable)
 //! -> STATS                  <- STATS key=value key=value …
+//! -> METRICS                <- METRICS {json}  (machine-readable state)
 //! -> PING                   <- PONG
 //! -> EPOCH                  <- EPOCH <e>  (current index generation)
 //! -> RELOAD <graph> [<idx>] <- RELOADED <e>  (hot index swap; paths are
 //!                              server-side and must not contain spaces)
 //! -> SHUTDOWN               <- BYE       (server then drains and stops)
 //! ```
+//!
+//! A router may answer a distance request **degraded** — `DIST~` /
+//! `DISTS~` instead of `DIST` / `DISTS` — when a shard had no healthy
+//! replica and the answer is the landmark upper bound from another
+//! shard's replica (still never an under-report). The client-side parsers
+//! accept both forms; the `*_tagged` variants surface the flag.
 //!
 //! Any malformed request line gets `ERR <message>` and the connection stays
 //! usable. Both codec directions live here so the server, the bundled
@@ -47,6 +54,8 @@ pub enum Request {
     Batch(usize),
     /// `STATS` — serving counters.
     Stats,
+    /// `METRICS` — machine-readable (JSON) process state.
+    Metrics,
     /// `PING` — liveness probe.
     Ping,
     /// `EPOCH` — current index generation.
@@ -147,11 +156,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             };
             Request::Reload { graph: graph.to_string(), index: index.map(str::to_string) }
         }
-        "STATS" | "PING" | "EPOCH" | "SHUTDOWN" => {
+        "STATS" | "METRICS" | "PING" | "EPOCH" | "SHUTDOWN" => {
             if tokens.next().is_some() {
                 return Err(ProtocolError::BadArity {
                     command: match command {
                         "STATS" => "STATS",
+                        "METRICS" => "METRICS",
                         "PING" => "PING",
                         "EPOCH" => "EPOCH",
                         _ => "SHUTDOWN",
@@ -161,6 +171,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             }
             match command {
                 "STATS" => Request::Stats,
+                "METRICS" => Request::Metrics,
                 "PING" => Request::Ping,
                 "EPOCH" => Request::Epoch,
                 _ => Request::Shutdown,
@@ -193,6 +204,8 @@ pub enum Frame {
     Batch(Vec<(VertexId, VertexId)>),
     /// Serving counters request.
     Stats,
+    /// Machine-readable process-state request.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Current index generation request.
@@ -452,6 +465,7 @@ impl Decoder {
             }
             Ok(Request::Query(s, t)) => Some(Frame::Query(s, t)),
             Ok(Request::Stats) => Some(Frame::Stats),
+            Ok(Request::Metrics) => Some(Frame::Metrics),
             Ok(Request::Ping) => Some(Frame::Ping),
             Ok(Request::Epoch) => Some(Frame::Epoch),
             Ok(Request::Reload { graph, index }) => Some(Frame::Reload { graph, index }),
@@ -489,15 +503,27 @@ fn push_distance(out: &mut String, d: Option<u32>) {
 
 /// Renders a `QUERY` response: `DIST <d>` / `DIST INF`.
 pub fn format_query_response(d: Option<u32>) -> String {
-    let mut out = String::from("DIST ");
+    format_query_response_tagged(d, false)
+}
+
+/// Renders a `QUERY` response, `DIST~` (degraded upper bound) when
+/// `approx` is set.
+pub fn format_query_response_tagged(d: Option<u32>, approx: bool) -> String {
+    let mut out = String::from(if approx { "DIST~ " } else { "DIST " });
     push_distance(&mut out, d);
     out
 }
 
 /// Renders a `BATCH` response: `DISTS <d1> … <dk>`.
 pub fn format_batch_response(distances: &[Option<u32>]) -> String {
-    let mut out = String::with_capacity(6 + distances.len() * 4);
-    out.push_str("DISTS");
+    format_batch_response_tagged(distances, false)
+}
+
+/// Renders a `BATCH` response, `DISTS~` (degraded upper bounds) when
+/// `approx` is set.
+pub fn format_batch_response_tagged(distances: &[Option<u32>], approx: bool) -> String {
+    let mut out = String::with_capacity(7 + distances.len() * 4);
+    out.push_str(if approx { "DISTS~" } else { "DISTS" });
     for &d in distances {
         out.push(' ');
         push_distance(&mut out, d);
@@ -505,25 +531,35 @@ pub fn format_batch_response(distances: &[Option<u32>]) -> String {
     out
 }
 
+/// Renders a `METRICS` response around a single-line JSON body.
+pub fn format_metrics_response(json: &str) -> String {
+    format!("METRICS {json}")
+}
+
 /// Renders the `STATS` response: one line of `key=value` pairs.
 /// `sizes` describes the index generation currently serving (labelling
 /// bytes plus the sparsified-view CSR the query path traverses;
 /// `store_bytes`/`plain_index_bytes` describe the packed on-disk format —
 /// 0 / the projected plain size when serving from memory). `load_us` is
-/// the wall-clock microseconds of the last disk reload. All values are
-/// unsigned integers so router aggregation can sum them.
+/// the wall-clock microseconds of the last disk reload.
+/// `max_connections`/`idle_timeout_ms` echo the serving configuration.
+/// All values are unsigned integers so router aggregation can combine
+/// them per key (counters sum; epochs min; gauges and config values keep
+/// a max or first value — see `hcl-router`'s aggregation classes).
 pub fn format_stats_response(
     metrics: &MetricsSnapshot,
     cache: &CacheStats,
     epoch: u64,
     sizes: &IndexSizes,
     load_us: u64,
+    max_connections: u64,
+    idle_timeout_ms: u64,
 ) -> String {
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
          epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} store_bytes={} \
-         plain_index_bytes={} load_us={} cache_hits={} \
+         plain_index_bytes={} load_us={} max_connections={} idle_timeout_ms={} cache_hits={} \
          cache_misses={} cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
         metrics.queries,
         metrics.batch_requests,
@@ -541,6 +577,8 @@ pub fn format_stats_response(
         sizes.store_bytes,
         sizes.plain_index_bytes,
         load_us,
+        max_connections,
+        idle_timeout_ms,
         cache.hits,
         cache.misses,
         cache.stale,
@@ -600,12 +638,24 @@ fn split_err(line: &str) -> Result<&str, ResponseError> {
     }
 }
 
-/// Client side: interprets a `QUERY` response line.
+/// Client side: interprets a `QUERY` response line, accepting both the
+/// exact (`DIST`) and degraded (`DIST~`) forms.
 pub fn parse_query_response(line: &str) -> Result<Option<u32>, ResponseError> {
+    parse_query_response_tagged(line).map(|(d, _)| d)
+}
+
+/// Client side: interprets a `QUERY` response line, surfacing whether the
+/// answer was degraded (`DIST~` — an upper bound, not guaranteed exact).
+pub fn parse_query_response_tagged(line: &str) -> Result<(Option<u32>, bool), ResponseError> {
     let line = split_err(line)?;
-    let rest =
-        line.strip_prefix("DIST ").ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
-    parse_distance_token(rest.trim())
+    let (rest, approx) = if let Some(rest) = line.strip_prefix("DIST~ ") {
+        (rest, true)
+    } else if let Some(rest) = line.strip_prefix("DIST ") {
+        (rest, false)
+    } else {
+        return Err(ResponseError::Malformed(line.to_string()));
+    };
+    Ok((parse_distance_token(rest.trim())?, approx))
 }
 
 fn parse_tagged_number(line: &str, prefix: &str) -> Result<u64, ResponseError> {
@@ -627,13 +677,28 @@ pub fn parse_epoch_response(line: &str) -> Result<u64, ResponseError> {
 }
 
 /// Client side: interprets a `BATCH` response line, checking the count.
+/// Accepts both the exact (`DISTS`) and degraded (`DISTS~`) forms.
 pub fn parse_batch_response(
     line: &str,
     expected: usize,
 ) -> Result<Vec<Option<u32>>, ResponseError> {
+    parse_batch_response_tagged(line, expected).map(|(d, _)| d)
+}
+
+/// Client side: interprets a `BATCH` response line, surfacing whether the
+/// answers were degraded (`DISTS~` — upper bounds, not guaranteed exact).
+pub fn parse_batch_response_tagged(
+    line: &str,
+    expected: usize,
+) -> Result<(Vec<Option<u32>>, bool), ResponseError> {
     let line = split_err(line)?;
-    let rest =
-        line.strip_prefix("DISTS").ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
+    let (rest, approx) = if let Some(rest) = line.strip_prefix("DISTS~") {
+        (rest, true)
+    } else if let Some(rest) = line.strip_prefix("DISTS") {
+        (rest, false)
+    } else {
+        return Err(ResponseError::Malformed(line.to_string()));
+    };
     let distances: Vec<Option<u32>> =
         rest.split_ascii_whitespace().map(parse_distance_token).collect::<Result<_, _>>()?;
     if distances.len() != expected {
@@ -642,7 +707,16 @@ pub fn parse_batch_response(
             distances.len()
         )));
     }
-    Ok(distances)
+    Ok((distances, approx))
+}
+
+/// Client side: interprets a `METRICS` response line, returning the raw
+/// JSON body.
+pub fn parse_metrics_response(line: &str) -> Result<String, ResponseError> {
+    let line = split_err(line)?;
+    line.strip_prefix("METRICS ")
+        .map(str::to_string)
+        .ok_or_else(|| ResponseError::Malformed(line.to_string()))
 }
 
 #[cfg(test)]
@@ -655,6 +729,7 @@ mod tests {
         assert_eq!(parse_request("  QUERY  3   9  "), Ok(Request::Query(3, 9)));
         assert_eq!(parse_request("BATCH 128"), Ok(Request::Batch(128)));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
         assert_eq!(parse_request("EPOCH"), Ok(Request::Epoch));
         assert_eq!(
@@ -679,6 +754,7 @@ mod tests {
         assert!(matches!(parse_request("QUERY -1 2"), Err(ProtocolError::BadNumber(_))));
         assert!(matches!(parse_request("BATCH"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("STATS now"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("METRICS all"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("EPOCH 3"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("RELOAD"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("RELOAD a b c"), Err(ProtocolError::BadArity { .. })));
@@ -708,6 +784,36 @@ mod tests {
         assert_eq!(parse_epoch_response(&format_epoch_response(0)), Ok(0));
         assert!(parse_reload_response("RELOADED x").is_err());
         assert!(parse_epoch_response(&format_reload_response(1)).is_err());
+        assert_eq!(
+            parse_metrics_response(&format_metrics_response("{\"role\":\"server\"}")),
+            Ok("{\"role\":\"server\"}".to_string())
+        );
+        assert!(parse_metrics_response("PONG").is_err());
+    }
+
+    #[test]
+    fn degraded_responses_round_trip_and_stay_client_compatible() {
+        let line = format_query_response_tagged(Some(9), true);
+        assert_eq!(line, "DIST~ 9");
+        assert_eq!(parse_query_response_tagged(&line), Ok((Some(9), true)));
+        // Plain parsers accept the degraded form transparently.
+        assert_eq!(parse_query_response(&line), Ok(Some(9)));
+        assert_eq!(
+            parse_query_response_tagged(&format_query_response_tagged(None, false)),
+            Ok((None, false))
+        );
+
+        let batch = vec![Some(0), None, Some(7)];
+        let line = format_batch_response_tagged(&batch, true);
+        assert_eq!(line, "DISTS~ 0 INF 7");
+        assert_eq!(parse_batch_response_tagged(&line, 3), Ok((batch.clone(), true)));
+        assert_eq!(parse_batch_response(&line, 3), Ok(batch.clone()));
+        assert_eq!(
+            parse_batch_response_tagged(&format_batch_response(&batch), 3),
+            Ok((batch, false))
+        );
+        // `DIST~` never downgrades an ERR.
+        assert!(parse_query_response_tagged("ERR shard 0 unavailable: x").is_err());
     }
 
     #[test]
@@ -854,6 +960,8 @@ mod tests {
             4,
             &sizes,
             777,
+            1024,
+            600_000,
         );
         let body = line.strip_prefix("STATS ").unwrap();
         for kv in body.split_ascii_whitespace() {
@@ -869,6 +977,8 @@ mod tests {
         assert!(body.contains("store_bytes=4096"));
         assert!(body.contains("plain_index_bytes=1500"));
         assert!(body.contains("load_us=777"));
+        assert!(body.contains("max_connections=1024"));
+        assert!(body.contains("idle_timeout_ms=600000"));
         assert!(body.contains("cache_stale=0"));
         assert!(body.contains("rejected_connections=0"));
         assert!(body.contains("timed_out_connections=0"));

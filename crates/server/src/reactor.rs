@@ -1,15 +1,17 @@
 //! The single-threaded epoll reactor driving every connection.
 //!
 //! One thread owns the listener, every client socket, and an eventfd, all
-//! registered in one (level-triggered) epoll set. Sockets are nonblocking;
-//! the reactor reads fragments into the incremental
-//! [`Decoder`](crate::protocol::Decoder), turns frames into response slots
-//! on the connection, and hands computation to the [`BatchExecutor`]
-//! worker pool. Workers never touch a socket: they push the formatted
-//! response onto the [`CompletionQueue`] and signal the eventfd, and the
-//! reactor writes it out in request order on its next pass. Thread count
-//! is therefore fixed — one reactor plus the worker pool — regardless of
-//! how many connections are open.
+//! registered in one (level-triggered) epoll set. The accept gate,
+//! read/decode loop, ordered settle, and idle/drain expiry live in the
+//! shared [`ClientDriver`](crate::transport::ClientDriver); this module
+//! supplies the serving policy through
+//! [`DriverHooks`](crate::transport::DriverHooks): frames become response
+//! slots, and computation goes to the [`BatchExecutor`] worker pool.
+//! Workers never touch a socket: they push the formatted response onto
+//! the [`CompletionQueue`] and signal the eventfd, and the reactor writes
+//! it out in request order on its next pass. Thread count is therefore
+//! fixed — one reactor plus the worker pool — regardless of how many
+//! connections are open.
 //!
 //! Timers (idle timeout, shutdown drain grace, accept backoff) are epoll
 //! timeouts computed from the nearest deadline; with no deadline pending
@@ -21,31 +23,17 @@ use crate::metrics::ServeMetrics;
 use crate::protocol::{self, Frame};
 use crate::server::Shared;
 use crate::transport::conn::Conn;
-use crate::transport::sys::{self, Epoll, EpollEvent, EventFd};
-use std::collections::HashMap;
+use crate::transport::driver::{
+    deadline_to_timeout_ms, ClientDriver, DriverConfig, DriverHooks, TOKEN_LISTENER, TOKEN_WAKE,
+};
+use crate::transport::sys::{Epoll, EpollEvent, EventFd};
 use std::io;
 use std::net::TcpListener;
-use std::os::fd::AsRawFd;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// epoll token for the listener.
-const TOKEN_LISTENER: u64 = 0;
-/// epoll token for the completion-queue eventfd.
-const TOKEN_WAKE: u64 = 1;
-/// First connection id; ids are never reused, so a completion for a
-/// closed connection just misses the map.
+/// First connection id, above the listener and wake tokens.
 const FIRST_CONN_ID: u64 = 2;
-
-/// Reads the reactor performs per readiness event before letting other
-/// connections run (level-triggered epoll re-reports leftover data).
-const MAX_READS_PER_EVENT: usize = 16;
-/// Scratch read-buffer size.
-const READ_CHUNK: usize = 16 * 1024;
-/// How long the listener stays deregistered after a persistent accept
-/// failure (e.g. fd exhaustion under a connection flood) so the reactor
-/// doesn't busy-spin on a level-triggered error.
-const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 
 /// One finished unit of asynchronous work, addressed to a response slot.
 pub(crate) struct Completion {
@@ -91,212 +79,54 @@ impl CompletionQueue {
     }
 }
 
-/// The event loop; owned by the one reactor thread.
-pub(crate) struct Reactor {
+/// The serving policy plugged into the shared connection driver.
+struct ServerHooks {
     shared: Arc<Shared>,
-    epoll: Epoll,
-    /// `None` once shutdown has begun (the port closes immediately) or
-    /// while accept errors are backing off.
-    listener: Option<TcpListener>,
-    /// Set while the listener is parked after a persistent accept error.
-    relisten_at: Option<Instant>,
-    conns: HashMap<u64, Conn>,
-    next_id: u64,
-    draining: bool,
-    drain_deadline: Option<Instant>,
-    scratch: Vec<u8>,
 }
 
-impl Reactor {
-    /// Registers the listener and wake fd; the listener must already be
-    /// nonblocking.
-    pub fn new(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Reactor> {
-        let epoll = Epoll::new()?;
-        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
-        epoll.add(shared.queue.wake_fd(), sys::EPOLLIN, TOKEN_WAKE)?;
-        Ok(Reactor {
-            shared,
-            epoll,
-            listener: Some(listener),
-            relisten_at: None,
-            conns: HashMap::new(),
-            next_id: FIRST_CONN_ID,
-            draining: false,
-            drain_deadline: None,
-            scratch: vec![0u8; READ_CHUNK],
-        })
+impl ServerHooks {
+    /// Builds the single-line JSON body of a `METRICS` response.
+    fn metrics_json(&self) -> String {
+        let service = &self.shared.service;
+        let m = service.metrics_snapshot();
+        let cache = service.cache_stats();
+        let sizes = service.index_sizes();
+        format!(
+            "{{\"role\":\"server\",\"epoch\":{},\"queries\":{},\"batch_requests\":{},\
+             \"batch_queries\":{},\"connections\":{},\"active_connections\":{},\
+             \"rejected_connections\":{},\"timed_out_connections\":{},\"errors\":{},\
+             \"reloads\":{},\"load_us\":{},\"index_bytes\":{},\"sparse_bytes\":{},\
+             \"store_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
+             \"max_connections\":{},\"idle_timeout_ms\":{},\"drain_grace_ms\":{}}}",
+            service.epoch(),
+            m.queries,
+            m.batch_requests,
+            m.batch_queries,
+            m.connections,
+            m.active_connections,
+            m.rejected_connections,
+            m.timed_out_connections,
+            m.errors,
+            m.reloads,
+            service.last_load_micros(),
+            sizes.index_bytes,
+            sizes.sparse_bytes,
+            sizes.store_bytes,
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            self.shared.config.max_connections,
+            self.shared.config.idle_timeout.as_millis(),
+            self.shared.config.drain_grace.as_millis(),
+        )
     }
+}
 
-    /// Runs until shutdown has begun and every connection has drained.
-    pub fn run(mut self) {
-        let mut events = vec![EpollEvent::default(); 256];
-        let mut completions: Vec<Completion> = Vec::new();
-        loop {
-            let timeout = self.poll_timeout();
-            let fired = self.epoll.wait(&mut events, timeout).unwrap_or_default();
-            let now = Instant::now();
-            for event in &events[..fired] {
-                // Copy out of the (packed) event before use.
-                let (token, bits) = (event.data, event.events);
-                match token {
-                    TOKEN_LISTENER => self.accept_ready(now),
-                    TOKEN_WAKE => self.shared.queue.clear_signal(),
-                    id => self.conn_event(id, bits, now),
-                }
-            }
-            self.shared.queue.drain_into(&mut completions);
-            for completion in completions.drain(..) {
-                self.apply_completion(completion, now);
-            }
-            if self.shared.shutting_down() && !self.draining {
-                self.begin_drain(now);
-            }
-            self.expire(now);
-            if self.draining && self.conns.is_empty() {
-                return;
-            }
-        }
-    }
-
-    /// Milliseconds until the nearest deadline, or −1 to block forever.
-    fn poll_timeout(&self) -> i32 {
-        let mut deadline: Option<Instant> = self.drain_deadline;
-        if let Some(at) = self.relisten_at {
-            deadline = Some(deadline.map_or(at, |d| d.min(at)));
-        }
-        let idle = self.shared.config.idle_timeout;
-        if !idle.is_zero() && !self.draining {
-            // Mirror the expire() filter: a connection awaiting its own
-            // in-flight work is exempt from the idle deadline, so its
-            // (possibly past) deadline must not drive the poll timeout.
-            let soonest = self
-                .conns
-                .values()
-                .filter(|c| !c.awaiting_completions())
-                .map(|c| c.last_activity + idle)
-                .min();
-            if let Some(soonest) = soonest {
-                deadline = Some(deadline.map_or(soonest, |d| d.min(soonest)));
-            }
-        }
-        match deadline {
-            // +1ms so the wakeup lands at-or-after the deadline, not a
-            // hair before it (which would spin once).
-            Some(at) => {
-                let ms = at.saturating_duration_since(Instant::now()).as_millis() as i64 + 1;
-                ms.min(i32::MAX as i64) as i32
-            }
-            None => -1,
-        }
-    }
-
-    fn accept_ready(&mut self, now: Instant) {
-        let metrics = self.shared.service.metrics();
-        loop {
-            let Some(listener) = &self.listener else { return };
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    if self.conns.len() >= self.shared.config.max_connections {
-                        ServeMetrics::bump(&metrics.rejected_connections);
-                        // Best-effort courtesy line; the close is the
-                        // real signal.
-                        let _ = stream.set_nonblocking(true);
-                        use std::io::Write;
-                        let _ = (&stream).write(b"ERR server at connection capacity\n");
-                        continue;
-                    }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    stream.set_nodelay(true).ok();
-                    let id = self.next_id;
-                    self.next_id += 1;
-                    let mut conn = Conn::new(stream, now);
-                    let interest = conn.desired_interest();
-                    if self.epoll.add(conn.stream.as_raw_fd(), interest, id).is_err() {
-                        continue;
-                    }
-                    conn.registered = interest;
-                    ServeMetrics::bump(&metrics.connections);
-                    ServeMetrics::bump(&metrics.active_connections);
-                    self.conns.insert(id, conn);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // Persistent accept failure: park the listener briefly
-                    // instead of spinning on a level-triggered error.
-                    let listener = self.listener.take().expect("listener present");
-                    let _ = self.epoll.delete(listener.as_raw_fd());
-                    self.listener = Some(listener);
-                    self.relisten_at = Some(now + ACCEPT_BACKOFF);
-                    return;
-                }
-            }
-        }
-    }
-
-    fn conn_event(&mut self, id: u64, bits: u32, now: Instant) {
-        let Some(mut conn) = self.conns.remove(&id) else { return };
-        let mut alive = true;
-        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
-            alive = self.read_and_decode(&mut conn, id, now);
-        }
-        if alive {
-            alive = self.settle(&mut conn, id, now);
-        }
-        if alive {
-            self.conns.insert(id, conn);
-        } else {
-            self.destroy(conn);
-        }
-    }
-
-    /// Reads available bytes, decodes frames, dispatches them. Returns
-    /// `false` when the connection is already unusable (read error).
-    fn read_and_decode(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
-        for _ in 0..MAX_READS_PER_EVENT {
-            if !conn.wants_read() {
-                break;
-            }
-            match conn.try_read(&mut self.scratch) {
-                Ok(Some(0)) => {
-                    // Peer EOF: what was received still gets answered
-                    // (including a trailing unterminated line), then the
-                    // connection drains and closes.
-                    conn.decoder.finish();
-                    conn.draining = true;
-                }
-                Ok(Some(n)) => {
-                    conn.last_activity = now;
-                    conn.decoder.feed(&self.scratch[..n]);
-                }
-                Ok(None) => break,
-                Err(_) => return false,
-            }
-            while let Some(frame) = conn.decoder.next_frame() {
-                self.handle_frame(conn, id, frame);
-                if conn.draining {
-                    break;
-                }
-            }
-            if conn.draining {
-                break;
-            }
-            conn.promote_ready();
-            conn.update_backpressure();
-        }
-        // A drain (EOF / SHUTDOWN / corrupt framing) may leave final
-        // frames decoded but unprocessed only when `draining` stopped the
-        // loop — the decoder is either dead or empty then, nothing is
-        // lost.
-        true
-    }
-
+impl DriverHooks for ServerHooks {
     /// Dispatches one decoded frame: inline responses fill their slot now,
     /// work goes to the executor (or a reload thread) with a completion
     /// keyed to this connection.
-    fn handle_frame(&self, conn: &mut Conn, id: u64, frame: Frame) {
+    fn on_frame(&mut self, _epoll: &Epoll, conn: &mut Conn, id: u64, frame: Frame) {
         let shared = &self.shared;
         let metrics = shared.service.metrics();
         match frame {
@@ -314,7 +144,12 @@ impl Reactor {
                     shared.service.epoch(),
                     &sizes,
                     shared.service.last_load_micros(),
+                    shared.config.max_connections as u64,
+                    shared.config.idle_timeout.as_millis() as u64,
                 ));
+            }
+            Frame::Metrics => {
+                conn.push_ready(protocol::format_metrics_response(&self.metrics_json()));
             }
             Frame::Query(s, t) => {
                 let seq = conn.push_waiting();
@@ -411,117 +246,93 @@ impl Reactor {
         }
     }
 
-    /// Promotes/flushes responses and re-syncs epoll interest. Returns
-    /// `false` when the connection should be closed.
-    fn settle(&mut self, conn: &mut Conn, id: u64, now: Instant) -> bool {
-        conn.promote_ready();
-        if conn.write_pending() > 0 {
-            match conn.try_write() {
-                Ok(written) => {
-                    if written > 0 {
-                        conn.last_activity = now;
-                    }
-                }
-                Err(_) => return false,
-            }
-        }
-        conn.update_backpressure();
-        if conn.draining && !conn.has_work() {
-            return false;
-        }
-        let want = conn.desired_interest();
-        if want != conn.registered && self.epoll.modify(conn.stream.as_raw_fd(), want, id).is_err()
-        {
-            return false;
-        }
-        conn.registered = want;
-        true
+    fn on_accepted(&mut self) {
+        let metrics = self.shared.service.metrics();
+        ServeMetrics::bump(&metrics.connections);
+        ServeMetrics::bump(&metrics.active_connections);
     }
 
-    fn apply_completion(&mut self, completion: Completion, now: Instant) {
-        let Some(mut conn) = self.conns.remove(&completion.conn) else {
-            return; // connection closed while the work was in flight
-        };
-        let id = completion.conn;
-        conn.complete(completion.seq, completion.line);
-        if self.settle(&mut conn, id, now) {
-            self.conns.insert(id, conn);
-        } else {
-            self.destroy(conn);
-        }
+    fn on_rejected(&mut self) {
+        ServeMetrics::bump(&self.shared.service.metrics().rejected_connections);
     }
 
-    /// Stops accepting, closes the port, and puts every connection into
-    /// draining: outstanding requests finish, buffers flush, then each
-    /// socket closes. `drain_grace` bounds how long a stuck client can
-    /// hold this up.
-    fn begin_drain(&mut self, now: Instant) {
-        self.draining = true;
-        self.drain_deadline = Some(now + self.shared.config.drain_grace);
-        self.relisten_at = None;
-        if let Some(listener) = self.listener.take() {
-            let _ = self.epoll.delete(listener.as_raw_fd());
-        }
-        let ids: Vec<u64> = self.conns.keys().copied().collect();
-        for id in ids {
-            let Some(mut conn) = self.conns.remove(&id) else { continue };
-            conn.draining = true;
-            if self.settle(&mut conn, id, now) {
-                self.conns.insert(id, conn);
-            } else {
-                self.destroy(conn);
-            }
-        }
+    fn on_reaped(&mut self) {
+        ServeMetrics::bump(&self.shared.service.metrics().timed_out_connections);
     }
 
-    /// Fires timer-driven transitions: accept-backoff expiry, idle
-    /// timeouts, and the shutdown drain deadline.
-    fn expire(&mut self, now: Instant) {
-        if let Some(at) = self.relisten_at {
-            if now >= at && !self.draining {
-                self.relisten_at = None;
-                if let Some(listener) = &self.listener {
-                    let _ = self.epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER);
-                }
-            }
-        }
-        if self.draining {
-            if self.drain_deadline.is_some_and(|at| now >= at) {
-                // Grace expired: force-close whatever is left.
-                for (_, conn) in std::mem::take(&mut self.conns) {
-                    self.destroy(conn);
-                }
-            }
-            return;
-        }
-        let idle = self.shared.config.idle_timeout;
-        if idle.is_zero() {
-            return;
-        }
-        // A connection waiting on its own in-flight work (e.g. a slow
-        // RELOAD rebuild) shows no socket progress through no fault of the
-        // client — only reap when nothing is pending server-side.
-        let expired: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                now.saturating_duration_since(c.last_activity) >= idle && !c.awaiting_completions()
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
-            if let Some(conn) = self.conns.remove(&id) {
-                ServeMetrics::bump(&self.shared.service.metrics().timed_out_connections);
-                self.destroy(conn);
-            }
-        }
-    }
-
-    /// Deregisters and drops a connection (the close happens on drop).
-    fn destroy(&mut self, conn: Conn) {
-        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+    fn on_closed(&mut self) {
         ServeMetrics::drop_one(&self.shared.service.metrics().active_connections);
-        drop(conn);
+    }
+}
+
+/// The event loop; owned by the one reactor thread.
+pub(crate) struct Reactor {
+    epoll: Epoll,
+    driver: ClientDriver,
+    hooks: ServerHooks,
+}
+
+impl Reactor {
+    /// Registers the listener and wake fd; the listener must already be
+    /// nonblocking.
+    pub fn new(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        epoll.add(shared.queue.wake_fd(), crate::transport::sys::EPOLLIN, TOKEN_WAKE)?;
+        let driver = ClientDriver::new(
+            &epoll,
+            listener,
+            FIRST_CONN_ID,
+            DriverConfig {
+                max_connections: shared.config.max_connections,
+                idle_timeout: shared.config.idle_timeout,
+                drain_grace: shared.config.drain_grace,
+                // A server completion can legitimately take minutes (a
+                // RELOAD rebuild), so the exemption stays unbounded here;
+                // the router, whose completions have a retry budget,
+                // bounds it.
+                completion_deadline: None,
+                capacity_line: "ERR server at connection capacity\n",
+            },
+        )?;
+        Ok(Reactor { epoll, driver, hooks: ServerHooks { shared } })
+    }
+
+    /// Runs until shutdown has begun and every connection has drained.
+    pub fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); 256];
+        let mut completions: Vec<Completion> = Vec::new();
+        loop {
+            let timeout = deadline_to_timeout_ms(self.driver.next_deadline());
+            let fired = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let now = Instant::now();
+            for event in &events[..fired] {
+                // Copy out of the (packed) event before use.
+                let (token, bits) = (event.data, event.events);
+                match token {
+                    TOKEN_LISTENER => self.driver.accept_ready(&self.epoll, now, &mut self.hooks),
+                    TOKEN_WAKE => self.hooks.shared.queue.clear_signal(),
+                    id => self.driver.conn_event(&self.epoll, id, bits, now, &mut self.hooks),
+                }
+            }
+            self.hooks.shared.queue.drain_into(&mut completions);
+            for completion in completions.drain(..) {
+                self.driver.complete(
+                    &self.epoll,
+                    completion.conn,
+                    completion.seq,
+                    completion.line,
+                    now,
+                    &mut self.hooks,
+                );
+            }
+            if self.hooks.shared.shutting_down() && !self.driver.is_draining() {
+                self.driver.begin_drain(&self.epoll, now, &mut self.hooks);
+            }
+            self.driver.expire(&self.epoll, now, &mut self.hooks);
+            if self.driver.is_drained() {
+                return;
+            }
+        }
     }
 }
 

@@ -66,6 +66,12 @@ pub struct Conn {
     pub draining: bool,
     /// Last read or write progress (idle-timeout bookkeeping).
     pub last_activity: Instant,
+    /// When the oldest stretch of unresolved waiting slots began —
+    /// `Some` while [`awaiting_completions`](Self::awaiting_completions)
+    /// with no completion progress since. The driver refreshes it on
+    /// every completion and uses it to bound the idle-reap exemption:
+    /// a completion lost forever must not pin the connection forever.
+    pub waiting_since: Option<Instant>,
     /// epoll interest bits currently registered for this socket.
     pub registered: u32,
 }
@@ -82,6 +88,7 @@ impl Conn {
             reads_paused: false,
             draining: false,
             last_activity: now,
+            waiting_since: None,
             registered: 0,
         }
     }

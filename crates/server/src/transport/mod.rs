@@ -10,16 +10,20 @@
 //!
 //! | Item | Contents |
 //! |------|----------|
-//! | [`sys`] | hand-rolled, std-only Linux `epoll` / `eventfd` bindings ([`Epoll`], [`EventFd`]) |
+//! | [`sys`] | hand-rolled, std-only Linux `epoll` / `eventfd` / socket bindings ([`Epoll`], [`EventFd`], [`connect_nonblocking`](sys::connect_nonblocking)) |
 //! | [`conn`] | [`Conn`]: one nonblocking connection — incremental [`Decoder`](crate::protocol::Decoder), ordered response slots, write buffer with backpressure |
+//! | [`driver`] | [`ClientDriver`]: the whole client-connection loop (accept gate, read/decode, frame dispatch via [`DriverHooks`], ordered settle, idle/drain expiry) |
 //!
 //! The pieces compose with [`protocol`](crate::protocol) (the shared
 //! codec) but carry no serving policy: what a decoded frame *means* is up
-//! to the event loop that owns the connection (`hcl-server` submits work
-//! to its executor pool; `hcl-router` forwards lines upstream).
+//! to the [`DriverHooks`] implementation of the event loop that owns the
+//! connections (`hcl-server` submits work to its executor pool;
+//! `hcl-router` forwards lines upstream).
 
 pub mod conn;
+pub mod driver;
 pub mod sys;
 
 pub use conn::{Conn, MAX_INFLIGHT, WRITE_HIGH_WATER, WRITE_LOW_WATER};
+pub use driver::{ClientDriver, DriverConfig, DriverHooks};
 pub use sys::{Epoll, EpollEvent, EventFd};

@@ -1,12 +1,17 @@
-//! Minimal Linux `epoll` / `eventfd` bindings, declared by hand so the
-//! workspace stays std-only (std already links libc; these four syscalls
-//! are the only thing the reactor needs beyond what std exposes).
+//! Minimal Linux `epoll` / `eventfd` / socket bindings, declared by hand
+//! so the workspace stays std-only (std already links libc; these few
+//! syscalls are the only thing the reactors need beyond what std
+//! exposes).
 //!
 //! Everything is wrapped in two tiny RAII types — [`Epoll`] and
-//! [`EventFd`] — so the rest of the crate never touches a raw fd except to
-//! register sockets it already owns.
+//! [`EventFd`] — plus two free functions for the one socket operation std
+//! hides: starting a TCP connect *without blocking*
+//! ([`connect_nonblocking`]) and collecting its verdict once epoll
+//! reports the socket writable ([`socket_error`]). The rest of the crate
+//! never touches a raw fd except to register sockets it already owns.
 
 use std::io;
+use std::net::{SocketAddr, TcpStream};
 use std::os::fd::RawFd;
 use std::os::raw::{c_int, c_uint, c_void};
 
@@ -28,6 +33,35 @@ const EPOLL_CLOEXEC: c_int = 0o2000000;
 const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o4000;
 
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_ERROR: c_int = 4;
+const EINPROGRESS: i32 = 115;
+
+/// `struct sockaddr_in` (Linux layout; port and address in network byte
+/// order).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (Linux layout).
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
 /// One readiness event. The kernel ABI packs this struct on x86_64 and
 /// uses natural alignment everywhere else — mirror that exactly.
 #[repr(C)]
@@ -48,6 +82,15 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const c_void, len: c_uint) -> c_int;
+    fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut c_uint,
+    ) -> c_int;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -55,6 +98,88 @@ fn cvt(ret: c_int) -> io::Result<c_int> {
         Err(io::Error::last_os_error())
     } else {
         Ok(ret)
+    }
+}
+
+/// Starts a TCP connect to `addr` without blocking.
+///
+/// Returns the (nonblocking, close-on-exec) socket plus `true` when the
+/// handshake is still in flight (`EINPROGRESS`): register the fd for
+/// `EPOLLOUT`, and when it fires call [`socket_error`] for the verdict.
+/// `false` means the connect completed synchronously (common on
+/// loopback). Address-family mismatches and synchronous refusals report
+/// as `Err`.
+///
+/// std has no equivalent — `TcpStream::connect_timeout` parks the calling
+/// thread in `poll(2)`, which is exactly the reactor stall this function
+/// exists to avoid.
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(TcpStream, bool)> {
+    use std::os::fd::{AsRawFd, FromRawFd};
+
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // Owned from here on: any error path below closes the fd on drop.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port_be: v4.port().to_be(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    stream.as_raw_fd(),
+                    (&sa as *const SockAddrIn).cast(),
+                    std::mem::size_of::<SockAddrIn>() as c_uint,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port_be: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    stream.as_raw_fd(),
+                    (&sa as *const SockAddrIn6).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as c_uint,
+                )
+            }
+        }
+    };
+    if rc == 0 {
+        return Ok((stream, false));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        Ok((stream, true))
+    } else {
+        Err(err)
+    }
+}
+
+/// Collects and clears the pending error on a socket (`SO_ERROR`) — the
+/// verdict of an in-progress [`connect_nonblocking`] once epoll reports
+/// the fd writable. `Ok(())` means the connection is established.
+pub fn socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: c_int = 0;
+    let mut len = std::mem::size_of::<c_int>() as c_uint;
+    cvt(unsafe {
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, (&mut err as *mut c_int).cast(), &mut len)
+    })?;
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
     }
 }
 
@@ -202,6 +327,47 @@ mod tests {
         // Blocks until the other thread signals (bounded for test safety).
         assert_eq!(epoll.wait(&mut events, 10_000).unwrap(), 1);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_epollout() {
+        use std::os::fd::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let (stream, in_progress) = connect_nonblocking(&addr).unwrap();
+        if in_progress {
+            let epoll = Epoll::new().unwrap();
+            epoll.add(stream.as_raw_fd(), EPOLLOUT, 9).unwrap();
+            let mut events = [EpollEvent::default(); 1];
+            assert_eq!(epoll.wait(&mut events, 5_000).unwrap(), 1);
+        }
+        socket_error(stream.as_raw_fd()).unwrap();
+        // The handshake really happened: the listener sees the peer.
+        let (_peer, peer_addr) = listener.accept().unwrap();
+        assert_eq!(peer_addr, stream.local_addr().unwrap());
+    }
+
+    #[test]
+    fn nonblocking_connect_to_closed_port_reports_the_refusal() {
+        use std::os::fd::AsRawFd;
+        // Bind-then-drop: the port is free, so nothing is listening.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match connect_nonblocking(&addr) {
+            // Loopback refusals usually surface synchronously.
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused),
+            Ok((stream, true)) => {
+                let epoll = Epoll::new().unwrap();
+                epoll.add(stream.as_raw_fd(), EPOLLOUT, 0).unwrap();
+                let mut events = [EpollEvent::default(); 1];
+                assert_eq!(epoll.wait(&mut events, 5_000).unwrap(), 1);
+                socket_error(stream.as_raw_fd()).unwrap_err();
+            }
+            Ok((_, false)) => panic!("connect to a closed port cannot succeed"),
+        }
     }
 
     #[test]

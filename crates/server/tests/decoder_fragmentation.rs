@@ -79,6 +79,7 @@ fn reference_frames(input: &[u8]) -> Vec<Frame> {
             }
             Ok(protocol::Request::Query(s, t)) => frames.push(Frame::Query(s, t)),
             Ok(protocol::Request::Stats) => frames.push(Frame::Stats),
+            Ok(protocol::Request::Metrics) => frames.push(Frame::Metrics),
             Ok(protocol::Request::Ping) => frames.push(Frame::Ping),
             Ok(protocol::Request::Epoch) => frames.push(Frame::Epoch),
             Ok(protocol::Request::Reload { graph, index }) => {
