@@ -15,6 +15,10 @@
 //! * **queries/sec, packed** — the same sequential workload answered by a
 //!   [`hcl_store::PackedOracle`] decoding delta-varint labels straight out
 //!   of the mmapped `.hclx` container (no deserialisation);
+//! * **merge-vs-search phase split** — per-query nanoseconds spent in the
+//!   Lemma 5.1 label merge vs the bounded bidirectional search, from one
+//!   instrumented pass (`distance_with_timed`), plus per-entry label byte
+//!   stats (`avg_label_entries`, packed `label_bytes_per_entry`);
 //! * **reload latency** — deserialising reload (graph + plain index from
 //!   disk, rebuild the sparsified view) vs packed reload (map the `.hclx`
 //!   and validate), best of several runs each;
@@ -122,6 +126,7 @@ fn main() {
     let packed = hcl_store::PackedOracle::open(&packed_path).unwrap();
     let packed_index_bytes = packed.view().packed_index_bytes();
     let plain_index_bytes = packed.view().plain_index_bytes();
+    let label_data_bytes = packed.view().label_data_bytes();
     let mut seq_secs = 0.0f64;
     let mut packed_secs = 0.0f64;
     let mut passes = 0u32;
@@ -145,6 +150,20 @@ fn main() {
         let _ = std::fs::remove_file(p);
     }
 
+    // Merge-vs-search phase split: one instrumented pass with the timed
+    // query path. The two `Instant` reads per query keep this off the raw
+    // throughput loops above; here they *are* the measurement.
+    let mut merge_ns = 0u64;
+    let mut search_ns = 0u64;
+    for &(s, t) in &pairs {
+        let (d, phases) = oracle.distance_with_timed(&mut ctx, s, t);
+        black_box(d);
+        merge_ns += phases.merge_ns;
+        search_ns += phases.search_ns;
+    }
+    let merge_ns_per_query = merge_ns as f64 / pairs.len() as f64;
+    let bfs_ns_per_query = search_ns as f64 / pairs.len() as f64;
+
     // Batched queries/sec through the pooled fan-out (all cores).
     let mut batch_passes = 0u32;
     let batch_start = Instant::now();
@@ -166,6 +185,8 @@ fn main() {
          \"build_seconds\": {:.3},\n  \"queries_per_sec_sequential\": {:.0},\n  \
          \"queries_per_sec_batched\": {:.0},\n  \"queries_per_sec_packed\": {:.0},\n  \
          \"upper_bound_exact_rate\": {:.4},\n  \
+         \"merge_ns_per_query\": {:.0},\n  \"bfs_ns_per_query\": {:.0},\n  \
+         \"avg_label_entries\": {:.2},\n  \"label_bytes_per_entry\": {:.3},\n  \
          \"index_bytes\": {},\n  \"sparse_view_bytes\": {},\n  \"sparse_view_edges\": {},\n  \
          \"graph_bytes\": {},\n  \"store_bytes\": {},\n  \"packed_index_bytes\": {},\n  \
          \"plain_index_bytes\": {},\n  \"packed_over_plain_ratio\": {:.4},\n  \
@@ -183,6 +204,10 @@ fn main() {
         batch_qps,
         packed_qps,
         ub_exact_rate,
+        merge_ns_per_query,
+        bfs_ns_per_query,
+        labelling.labels().avg_label_size(),
+        label_data_bytes as f64 / labelling.labels().total_entries().max(1) as f64,
         labelling.index_bytes(),
         view.memory_bytes(),
         view.num_edges(),

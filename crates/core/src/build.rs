@@ -19,7 +19,7 @@
 //! comes from.
 
 use crate::highway::Highway;
-use crate::labels::{HighwayLabels, LabelEntry};
+use crate::labels::HighwayLabels;
 use crate::BuildError;
 use hcl_graph::{CsrGraph, VertexId};
 use std::time::{Duration, Instant};
@@ -123,8 +123,9 @@ pub(crate) fn validate_landmarks(g: &CsrGraph, landmarks: &[VertexId]) -> Result
 }
 
 /// Merges per-landmark `(vertex, dist)` outputs into the flat CSR label
-/// store. Iterating landmarks in rank order keeps every per-vertex list
-/// sorted by rank, so queries can merge labels in one pass.
+/// store (separate rank and dist lanes). Iterating landmarks in rank order
+/// keeps every per-vertex list sorted by rank, so queries can merge labels
+/// in one pass.
 pub(crate) fn assemble_labels(n: usize, per_landmark: &[Vec<(VertexId, u16)>]) -> HighwayLabels {
     let mut counts = vec![0u32; n + 1];
     for batch in per_landmark {
@@ -137,16 +138,18 @@ pub(crate) fn assemble_labels(n: usize, per_landmark: &[Vec<(VertexId, u16)>]) -
     }
     let offsets = counts;
     let total = offsets[n] as usize;
-    let mut entries = vec![LabelEntry { landmark: 0, dist: 0 }; total];
+    let mut ranks = vec![0u16; total];
+    let mut dists = vec![0u16; total];
     let mut cursor: Vec<u32> = offsets[..n].to_vec();
     for (rank, batch) in per_landmark.iter().enumerate() {
         for &(v, d) in batch {
             let c = &mut cursor[v as usize];
-            entries[*c as usize] = LabelEntry { landmark: rank as u16, dist: d };
+            ranks[*c as usize] = rank as u16;
+            dists[*c as usize] = d;
             *c += 1;
         }
     }
-    HighwayLabels::from_parts(offsets, entries)
+    HighwayLabels::from_parts(offsets, ranks, dists)
 }
 
 /// Reusable state for one pruned BFS (Algorithm 1 body). A worker is sized

@@ -7,7 +7,7 @@
 
 use crate::build::HighwayCoverLabelling;
 use crate::highway::Highway;
-use crate::labels::{HighwayLabels, LabelEntry};
+use crate::labels::HighwayLabels;
 use hcl_graph::GraphError;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -85,14 +85,16 @@ pub fn read_labelling<R: Read>(reader: R) -> Result<HighwayCoverLabelling, Graph
         return Err(GraphError::Format("non-monotone label offsets".to_string()));
     }
     let total = *offsets.last().unwrap() as usize;
-    let mut entries = Vec::with_capacity(total.min(1 << 20));
+    let mut ranks = Vec::with_capacity(total.min(1 << 20));
+    let mut dists = Vec::with_capacity(total.min(1 << 20));
     for _ in 0..total {
         let landmark = read_u16(&mut r)?;
         let dist = read_u16(&mut r)?;
         if landmark as usize >= num_landmarks {
             return Err(GraphError::Format("label entry rank out of range".to_string()));
         }
-        entries.push(LabelEntry { landmark, dist });
+        ranks.push(landmark);
+        dists.push(dist);
     }
     if offsets.len() != n + 1 {
         return Err(GraphError::Format("offset table length mismatch".to_string()));
@@ -106,7 +108,7 @@ pub fn read_labelling<R: Read>(reader: R) -> Result<HighwayCoverLabelling, Graph
             }
         }
     }
-    Ok(HighwayCoverLabelling::from_parts(highway, HighwayLabels::from_parts(offsets, entries)))
+    Ok(HighwayCoverLabelling::from_parts(highway, HighwayLabels::from_parts(offsets, ranks, dists)))
 }
 
 /// Saves a labelling to a file.

@@ -1,9 +1,16 @@
 //! The distance label store.
 //!
 //! Labels live in a flat CSR-like layout: one offset array indexed by
-//! vertex, one contiguous entry array. Each entry is a `(landmark rank,
-//! distance)` pair packed into four bytes; per-vertex entry lists are sorted
-//! by rank so queries can merge two labels with a single linear pass.
+//! vertex, plus two contiguous **lanes** — one `u16` lane of landmark ranks
+//! and one `u16` lane of distances (structure-of-arrays). Per-vertex label
+//! slices are sorted by rank so queries can merge two labels with a single
+//! linear pass, and the split lanes let the Lemma 5.1 merge loops run over
+//! dense same-type data the compiler can autovectorize.
+//!
+//! [`LabelEntry`] remains the logical unit — [`HighwayLabels::label`]
+//! returns a [`LabelRef`] that yields entries by value — but nothing in the
+//! hot path materialises `(rank, dist)` pairs; the merge reads the lanes
+//! directly via [`HighwayLabels::label_lanes`].
 //!
 //! §5.2 of the paper compares a 32-bit-vertex/8-bit-distance encoding ("HL")
 //! with an 8-bit/8-bit one ("HL(8)"); [`HighwayLabels::encoded_bytes`]
@@ -24,12 +31,82 @@ pub struct LabelEntry {
     pub dist: u16,
 }
 
+/// Borrowed view of one vertex's label: parallel rank and dist lanes of
+/// equal length, sorted strictly by rank.
+///
+/// Iteration yields [`LabelEntry`] values, so code written against the old
+/// `&[LabelEntry]` slice keeps its shape; the lanes themselves are exposed
+/// for the vectorized merge.
+#[derive(Clone, Copy)]
+pub struct LabelRef<'a> {
+    /// Landmark ranks, strictly increasing.
+    pub ranks: &'a [u16],
+    /// Distances, parallel to `ranks`.
+    pub dists: &'a [u16],
+}
+
+impl<'a> LabelRef<'a> {
+    /// Number of entries in the label.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the label has no entries (landmarks, isolated vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The `i`-th entry, assembled from the lanes.
+    #[inline]
+    pub fn get(&self, i: usize) -> LabelEntry {
+        LabelEntry { landmark: self.ranks[i], dist: self.dists[i] }
+    }
+
+    /// Iterates the entries by value, sorted by rank.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = LabelEntry> + 'a {
+        self.ranks
+            .iter()
+            .zip(self.dists.iter())
+            .map(|(&landmark, &dist)| LabelEntry { landmark, dist })
+    }
+
+    /// Collects the entries into a `Vec` (test / debug helper).
+    pub fn to_vec(&self) -> Vec<LabelEntry> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for LabelRef<'a> {
+    type Item = LabelEntry;
+    type IntoIter = std::iter::Map<
+        std::iter::Zip<std::slice::Iter<'a, u16>, std::slice::Iter<'a, u16>>,
+        fn((&'a u16, &'a u16)) -> LabelEntry,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ranks
+            .iter()
+            .zip(self.dists.iter())
+            .map(|(&landmark, &dist)| LabelEntry { landmark, dist })
+    }
+}
+
+impl std::fmt::Debug for LabelRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// Flat per-vertex label store. Landmark vertices have empty labels — their
 /// distances live in the [`Highway`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HighwayLabels {
     offsets: Vec<u32>,
-    entries: Vec<LabelEntry>,
+    ranks: Vec<u16>,
+    dists: Vec<u16>,
 }
 
 /// Label size accounting schemes from §5.2 / Table 3 of the paper.
@@ -44,10 +121,11 @@ pub enum LabelEncoding {
 }
 
 impl HighwayLabels {
-    pub(crate) fn from_parts(offsets: Vec<u32>, entries: Vec<LabelEntry>) -> Self {
+    pub(crate) fn from_parts(offsets: Vec<u32>, ranks: Vec<u16>, dists: Vec<u16>) -> Self {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap() as usize, entries.len());
-        HighwayLabels { offsets, entries }
+        debug_assert_eq!(*offsets.last().unwrap() as usize, ranks.len());
+        debug_assert_eq!(ranks.len(), dists.len());
+        HighwayLabels { offsets, ranks, dists }
     }
 
     /// Number of vertices the store covers.
@@ -58,15 +136,26 @@ impl HighwayLabels {
 
     /// The label of `v`, sorted by landmark rank.
     #[inline]
-    pub fn label(&self, v: VertexId) -> &[LabelEntry] {
+    pub fn label(&self, v: VertexId) -> LabelRef<'_> {
+        let (ranks, dists) = self.label_lanes(v);
+        LabelRef { ranks, dists }
+    }
+
+    /// The raw rank and dist lanes of `v`'s label (parallel slices, sorted
+    /// strictly by rank). This is the merge's entry point: the two lanes are
+    /// contiguous `u16` runs the autovectorizer can stream.
+    #[inline]
+    pub fn label_lanes(&self, v: VertexId) -> (&[u16], &[u16]) {
         let v = v as usize;
-        &self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (&self.ranks[lo..hi], &self.dists[lo..hi])
     }
 
     /// Total number of entries `size(L)` (the paper's labelling size "LS").
     #[inline]
     pub fn total_entries(&self) -> usize {
-        self.entries.len()
+        self.ranks.len()
     }
 
     /// Average entries per vertex ("ALS" in Table 2).
@@ -74,7 +163,7 @@ impl HighwayLabels {
         if self.num_vertices() == 0 {
             0.0
         } else {
-            self.entries.len() as f64 / self.num_vertices() as f64
+            self.ranks.len() as f64 / self.num_vertices() as f64
         }
     }
 
@@ -89,7 +178,17 @@ impl HighwayLabels {
     /// Actual bytes used by the in-memory representation.
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u32>()
-            + self.entries.len() * std::mem::size_of::<LabelEntry>()
+            + (self.ranks.len() + self.dists.len()) * std::mem::size_of::<u16>()
+    }
+
+    /// Bytes in the rank lane alone (observability: STATS counters).
+    pub fn rank_lane_bytes(&self) -> usize {
+        self.ranks.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Bytes in the dist lane alone (observability: STATS counters).
+    pub fn dist_lane_bytes(&self) -> usize {
+        self.dists.len() * std::mem::size_of::<u16>()
     }
 
     /// Size in bytes of this labelling under the given Table 3 encoding
@@ -100,29 +199,27 @@ impl HighwayLabels {
     pub fn encoded_bytes(&self, encoding: LabelEncoding) -> Option<usize> {
         let per_entry = match encoding {
             LabelEncoding::Wide32 => {
-                if self.entries.iter().any(|e| e.dist > u8::MAX as u16) {
+                if self.dists.iter().any(|&d| d > u8::MAX as u16) {
                     return None;
                 }
                 5
             }
             LabelEncoding::Compact8 => {
-                if self
-                    .entries
-                    .iter()
-                    .any(|e| e.landmark > u8::MAX as u16 || e.dist > u8::MAX as u16)
+                if self.ranks.iter().any(|&r| r > u8::MAX as u16)
+                    || self.dists.iter().any(|&d| d > u8::MAX as u16)
                 {
                     return None;
                 }
                 2
             }
         };
-        Some(self.entries.len() * per_entry + self.offsets.len() * std::mem::size_of::<u32>())
+        Some(self.ranks.len() * per_entry + self.offsets.len() * std::mem::size_of::<u32>())
     }
 
     /// Iterates `(vertex, entry)` over all labels (test / debug helper).
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, LabelEntry)> + '_ {
         (0..self.num_vertices())
-            .flat_map(move |v| self.label(v as VertexId).iter().map(move |&e| (v as VertexId, e)))
+            .flat_map(move |v| self.label(v as VertexId).iter().map(move |e| (v as VertexId, e)))
     }
 
     /// Checks internal invariants: sorted, duplicate-free labels whose ranks
@@ -131,18 +228,18 @@ impl HighwayLabels {
     pub fn validate(&self, highway: &Highway) -> Result<(), String> {
         let r = highway.num_landmarks() as u16;
         for v in 0..self.num_vertices() as VertexId {
-            let label = self.label(v);
-            if highway.is_landmark(v) && !label.is_empty() {
+            let (ranks, _) = self.label_lanes(v);
+            if highway.is_landmark(v) && !ranks.is_empty() {
                 return Err(format!("landmark {v} has a non-empty label"));
             }
-            for w in label.windows(2) {
-                if w[0].landmark >= w[1].landmark {
+            for w in ranks.windows(2) {
+                if w[0] >= w[1] {
                     return Err(format!("label of {v} not strictly sorted by rank"));
                 }
             }
-            for e in label {
-                if e.landmark >= r {
-                    return Err(format!("label of {v} references rank {} >= |R|", e.landmark));
+            for &rank in ranks {
+                if rank >= r {
+                    return Err(format!("label of {v} references rank {rank} >= |R|"));
                 }
             }
         }
@@ -156,14 +253,7 @@ mod tests {
 
     fn sample() -> HighwayLabels {
         // v0: [(0,1),(2,3)]; v1: []; v2: [(1,2)]
-        HighwayLabels::from_parts(
-            vec![0, 2, 2, 3],
-            vec![
-                LabelEntry { landmark: 0, dist: 1 },
-                LabelEntry { landmark: 2, dist: 3 },
-                LabelEntry { landmark: 1, dist: 2 },
-            ],
-        )
+        HighwayLabels::from_parts(vec![0, 2, 2, 3], vec![0, 2, 1], vec![1, 3, 2])
     }
 
     #[test]
@@ -172,10 +262,20 @@ mod tests {
         assert_eq!(l.num_vertices(), 3);
         assert_eq!(l.label(0).len(), 2);
         assert!(l.label(1).is_empty());
-        assert_eq!(l.label(2)[0], LabelEntry { landmark: 1, dist: 2 });
+        assert_eq!(l.label(2).get(0), LabelEntry { landmark: 1, dist: 2 });
         assert_eq!(l.total_entries(), 3);
         assert!((l.avg_label_size() - 1.0).abs() < 1e-12);
         assert_eq!(l.max_label_size(), 2);
+    }
+
+    #[test]
+    fn lanes_are_parallel_slices() {
+        let l = sample();
+        let (ranks, dists) = l.label_lanes(0);
+        assert_eq!(ranks, &[0, 2]);
+        assert_eq!(dists, &[1, 3]);
+        assert_eq!(l.rank_lane_bytes(), 6);
+        assert_eq!(l.dist_lane_bytes(), 6);
     }
 
     #[test]
@@ -189,8 +289,7 @@ mod tests {
 
     #[test]
     fn encoded_rejects_overflow() {
-        let l =
-            HighwayLabels::from_parts(vec![0, 1], vec![LabelEntry { landmark: 300, dist: 300 }]);
+        let l = HighwayLabels::from_parts(vec![0, 1], vec![300], vec![300]);
         assert_eq!(l.encoded_bytes(LabelEncoding::Compact8), None);
         assert_eq!(l.encoded_bytes(LabelEncoding::Wide32), None);
     }

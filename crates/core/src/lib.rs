@@ -67,7 +67,7 @@ pub use partition::{PartitionMap, PartitionStrategy, ShardRoute};
 pub use query::{HlOracle, QueryContext};
 pub use shared::{ContextPool, PooledContext, SharedOracle};
 pub use sparse::SparseView;
-pub use storage::{LabelStorage, MemIndex, SparseNeighbors};
+pub use storage::{LabelStorage, MemIndex, QueryPhases, SparseNeighbors};
 pub use weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
 
 /// Errors produced while constructing a highway cover labelling.

@@ -26,29 +26,69 @@ use crate::build::HighwayCoverLabelling;
 use hcl_graph::oracle::DistanceOracle;
 use hcl_graph::{CsrGraph, SearchSpace, VertexId, INF};
 
-/// Reusable per-thread query state: the epoch-versioned search buffers for
-/// One side's label-exclusive `(rank, dist)` remainder in the Lemma 5.1
-/// merge scratch.
-pub(crate) type MergeBuffer = Vec<(u32, u32)>;
-
-/// Algorithm 2 plus scratch for the Lemma 5.1 label merge.
+/// Algorithm 2 plus lane scratch for the Lemma 5.1 label merge.
+///
+/// The merge in [`crate::storage`] works on structure-of-arrays label
+/// lanes: `dec_*` are decode targets for backends that don't store lanes
+/// natively (the packed `IndexView` expands its varint streams here;
+/// in-memory backends leave them untouched and lend their own slices), and
+/// `only_*` hold the label-exclusive remainders that feed the cross-term
+/// min-reduction.
 #[derive(Clone, Debug)]
 pub struct QueryContext {
     space: SearchSpace,
-    only_s: MergeBuffer,
-    only_t: MergeBuffer,
+    dec_s_ranks: Vec<u16>,
+    dec_s_dists: Vec<u16>,
+    dec_t_ranks: Vec<u16>,
+    dec_t_dists: Vec<u16>,
+    only_s_ranks: Vec<u16>,
+    only_s_dists: Vec<u16>,
+    only_t_ranks: Vec<u16>,
+    only_t_dists: Vec<u16>,
+}
+
+/// All of a [`QueryContext`]'s merge lanes, mutably borrowed at once so the
+/// generic merge can hold decode lanes and remainder lanes simultaneously.
+pub(crate) struct LaneScratch<'a> {
+    pub dec_s_ranks: &'a mut Vec<u16>,
+    pub dec_s_dists: &'a mut Vec<u16>,
+    pub dec_t_ranks: &'a mut Vec<u16>,
+    pub dec_t_dists: &'a mut Vec<u16>,
+    pub only_s_ranks: &'a mut Vec<u16>,
+    pub only_s_dists: &'a mut Vec<u16>,
+    pub only_t_ranks: &'a mut Vec<u16>,
+    pub only_t_dists: &'a mut Vec<u16>,
 }
 
 impl QueryContext {
     /// A context for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
-        QueryContext { space: SearchSpace::new(n), only_s: Vec::new(), only_t: Vec::new() }
+        QueryContext {
+            space: SearchSpace::new(n),
+            dec_s_ranks: Vec::new(),
+            dec_s_dists: Vec::new(),
+            dec_t_ranks: Vec::new(),
+            dec_t_dists: Vec::new(),
+            only_s_ranks: Vec::new(),
+            only_s_dists: Vec::new(),
+            only_t_ranks: Vec::new(),
+            only_t_dists: Vec::new(),
+        }
     }
 
-    /// The label-merge scratch vectors `(only_s, only_t)` for the generic
-    /// Lemma 5.1 merge in [`crate::storage`].
-    pub(crate) fn merge_buffers(&mut self) -> (&mut MergeBuffer, &mut MergeBuffer) {
-        (&mut self.only_s, &mut self.only_t)
+    /// The label-merge lane scratch for the generic Lemma 5.1 merge in
+    /// [`crate::storage`].
+    pub(crate) fn lanes(&mut self) -> LaneScratch<'_> {
+        LaneScratch {
+            dec_s_ranks: &mut self.dec_s_ranks,
+            dec_s_dists: &mut self.dec_s_dists,
+            dec_t_ranks: &mut self.dec_t_ranks,
+            dec_t_dists: &mut self.dec_t_dists,
+            only_s_ranks: &mut self.only_s_ranks,
+            only_s_dists: &mut self.only_s_dists,
+            only_t_ranks: &mut self.only_t_ranks,
+            only_t_dists: &mut self.only_t_dists,
+        }
     }
 
     /// The reusable search buffers for Algorithm 2.
@@ -155,6 +195,18 @@ impl HighwayCoverLabelling {
         t: VertexId,
     ) -> Option<u32> {
         crate::storage::distance_on(&crate::storage::MemIndex::new(self, view), ctx, s, t)
+    }
+
+    /// [`distance_sparse`](Self::distance_sparse) with per-phase wall-clock
+    /// accounting (label merge vs bounded search) for observability.
+    pub fn distance_sparse_timed(
+        &self,
+        view: &crate::SparseView,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Option<u32>, crate::storage::QueryPhases) {
+        crate::storage::distance_on_timed(&crate::storage::MemIndex::new(self, view), ctx, s, t)
     }
 
     /// Answers a batch of queries across `num_threads` worker threads

@@ -206,6 +206,18 @@ impl<G: Borrow<CsrGraph>> SharedOracle<G> {
         self.labelling.distance_sparse(&self.sparse, ctx, s, t)
     }
 
+    /// [`distance_with`](Self::distance_with) plus per-phase wall-clock
+    /// accounting (label merge vs bounded search), for the server's
+    /// cumulative `METRICS` phase counters.
+    pub fn distance_with_timed(
+        &self,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Option<u32>, crate::storage::QueryPhases) {
+        self.labelling.distance_sparse_timed(&self.sparse, ctx, s, t)
+    }
+
     /// The query upper bound `d⊤(s, t)` (Equation 4), using a pooled
     /// context.
     pub fn upper_bound(&self, s: VertexId, t: VertexId) -> u32 {

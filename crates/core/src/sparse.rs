@@ -7,51 +7,119 @@
 //! targets: landmarks are top-degree hubs, so the unfiltered search both
 //! scans the largest adjacency lists in the graph and pays a branchy rank
 //! lookup on every neighbour examination. A [`SparseView`] materialises
-//! `G[V∖R]` **once** — at index build/load time — in the *original* vertex
-//! id space (landmarks simply become isolated), so queries traverse it
-//! directly: no skip predicate, no rank lookups, no id translation, and
-//! smaller frontiers because hub adjacencies are gone.
+//! `G[V∖R]` **once** — at index build/load time — so queries traverse it
+//! directly with no skip predicate and no rank lookups.
 //!
-//! The view is derived state: it is a function of the graph and the
-//! landmark set, rebuilt whenever either changes.
+//! On top of the sparsification, the view is **degree-ordered**: the
+//! materialised CSR is renumbered by decreasing degree
+//! ([`hcl_graph::subgraph::relabel_by_degree`]), so the high-degree
+//! vertices that dominate BFS frontiers sit in adjacent cache lines.
+//! Queries still address original vertex ids — [`SparseView::view_of`]
+//! translates the two endpoints once at the query boundary, and the search
+//! then runs entirely in view space. Landmarks have degree zero in
+//! `G[V∖R]`, so the degree order sends them to the tail of the id space,
+//! still isolated.
+//!
+//! The view is derived state: it is a deterministic function of the graph
+//! and the landmark set (degree order breaks ties by original id), rebuilt
+//! whenever either changes — the packed `IndexView` rebuilds the *same*
+//! view from its on-disk original-space CSR at open time.
 //! [`SharedOracle`](crate::SharedOracle) owns one per index generation, so
 //! a hot reload swaps the view atomically with the labelling.
 
 use crate::highway::Highway;
-use hcl_graph::CsrGraph;
+use hcl_graph::{CsrGraph, VertexId};
 
-/// A compacted CSR of the sparsified graph `G[V∖R]`, ids unchanged.
+/// A compacted, degree-ordered CSR of the sparsified graph `G[V∖R]`, plus
+/// the two id translation arrays between original and view space.
 ///
 /// Memory cost: one extra CSR of at most `2m` 32-bit adjacency entries plus
-/// the `n + 1` offset array — never larger than the input graph (equal only
-/// in the degenerate no-landmark case), and in practice much smaller on
+/// the `n + 1` offset array and two `n`-entry permutations — never larger
+/// than the input graph plus `8n` bytes, and in practice much smaller on
 /// power-law graphs because the removed landmark rows are the largest ones.
 /// [`memory_bytes`](SparseView::memory_bytes) reports the exact figure
 /// (surfaced by the server's `STATS`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SparseView {
+    /// The sparsified graph in view (degree-ordered) id space.
     graph: CsrGraph,
+    /// `to_view[original] = view` (total permutation).
+    to_view: Vec<VertexId>,
+    /// `to_orig[view] = original` (inverse permutation).
+    to_orig: Vec<VertexId>,
     /// Edges of the original graph dropped because an endpoint is a
     /// landmark.
     removed_edges: usize,
 }
 
 impl SparseView {
-    /// Materialises `G[V∖R]` for `graph` under `highway`'s landmark set.
-    /// One `O(n + m)` pass; no re-sorting.
+    /// Materialises the degree-ordered `G[V∖R]` for `graph` under
+    /// `highway`'s landmark set: one `O(n + m)` sparsification pass, then
+    /// the deterministic degree relabelling.
     pub fn build(graph: &CsrGraph, highway: &Highway) -> Self {
         let sparse = graph.without_vertices(highway.landmarks());
-        SparseView { removed_edges: graph.num_edges() - sparse.num_edges(), graph: sparse }
+        let removed_edges = graph.num_edges() - sparse.num_edges();
+        Self::from_original_space(sparse, removed_edges)
     }
 
-    /// The sparsified graph, in the original vertex id space.
+    /// Builds the view from an already-sparsified graph in **original** id
+    /// space (landmarks isolated, ids unchanged). This is the constructor
+    /// the packed `IndexView` uses at open time: the on-disk sparse CSR is
+    /// stored in original ids, and because the degree relabelling is
+    /// deterministic (ties broken by ascending original id), the packed and
+    /// in-memory paths reconstruct byte-identical views from it.
+    pub fn from_original_space(sparse: CsrGraph, removed_edges: usize) -> Self {
+        let n = sparse.num_vertices();
+        let (relabelled, to_orig) = hcl_graph::subgraph::relabel_by_degree(&sparse);
+        let to_view = hcl_graph::order::ranks(n, &to_orig);
+        SparseView { graph: relabelled, to_view, to_orig, removed_edges }
+    }
+
+    /// The identity-order reference view: same sparsification, **no**
+    /// degree relabelling (view space == original space). The property
+    /// tests drive the fast path against this to isolate the relabelling
+    /// as a pure layout change.
+    pub fn identity(graph: &CsrGraph, highway: &Highway) -> Self {
+        let sparse = graph.without_vertices(highway.landmarks());
+        let removed_edges = graph.num_edges() - sparse.num_edges();
+        let ident: Vec<VertexId> = (0..sparse.num_vertices() as VertexId).collect();
+        SparseView { graph: sparse, to_view: ident.clone(), to_orig: ident, removed_edges }
+    }
+
+    /// The sparsified graph in **view** (degree-ordered) id space.
     #[inline]
     pub fn graph(&self) -> &CsrGraph {
         &self.graph
     }
 
+    /// Maps an original vertex id to its view-space id.
+    #[inline]
+    pub fn view_of(&self, v: VertexId) -> VertexId {
+        self.to_view[v as usize]
+    }
+
+    /// Maps a view-space id back to the original vertex id.
+    #[inline]
+    pub fn original_of(&self, v: VertexId) -> VertexId {
+        self.to_orig[v as usize]
+    }
+
+    /// The sorted neighbour list of *original-space* vertex `v`, translated
+    /// back to original ids. Cold-path helper for the packer, which stores
+    /// the sparse CSR on disk in original id space (see `docs/FORMAT.md`).
+    pub fn original_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut row: Vec<VertexId> = self
+            .graph
+            .neighbors(self.to_view[v as usize])
+            .iter()
+            .map(|&w| self.to_orig[w as usize])
+            .collect();
+        row.sort_unstable();
+        row
+    }
+
     /// Vertices in the view (equal to the source graph's count; landmarks
-    /// are isolated, not renumbered).
+    /// are isolated, not dropped).
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.graph.num_vertices()
@@ -69,9 +137,11 @@ impl SparseView {
         self.removed_edges
     }
 
-    /// Bytes of the materialised view (adjacency + offsets).
+    /// Bytes of the materialised view (adjacency + offsets + the two id
+    /// translation arrays).
     pub fn memory_bytes(&self) -> usize {
         self.graph.memory_bytes()
+            + (self.to_view.len() + self.to_orig.len()) * std::mem::size_of::<VertexId>()
     }
 }
 
@@ -82,7 +152,7 @@ mod tests {
     use hcl_graph::generate;
 
     #[test]
-    fn view_isolates_landmarks_and_keeps_ids() {
+    fn view_isolates_landmarks_and_translates_ids() {
         let g = generate::barabasi_albert(200, 4, 3);
         let landmarks = hcl_graph::order::top_degree(&g, 8);
         let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
@@ -90,22 +160,84 @@ mod tests {
         assert_eq!(view.num_vertices(), g.num_vertices());
         assert_eq!(view.num_edges() + view.removed_edges(), g.num_edges());
         for &r in &landmarks {
-            assert_eq!(view.graph().degree(r), 0, "landmark {r} must be isolated");
+            assert_eq!(view.graph().degree(view.view_of(r)), 0, "landmark {r} must be isolated");
         }
-        for v in g.vertices().filter(|v| !hcl.highway().is_landmark(*v)) {
+        for v in g.vertices() {
+            // Round-trip permutations.
+            assert_eq!(view.original_of(view.view_of(v)), v);
+            if hcl.highway().is_landmark(v) {
+                continue;
+            }
             let expect: Vec<u32> =
                 g.neighbors(v).iter().copied().filter(|&w| !hcl.highway().is_landmark(w)).collect();
-            assert_eq!(view.graph().neighbors(v), expect.as_slice(), "vertex {v}");
+            assert_eq!(view.original_neighbors(v), expect, "vertex {v}");
         }
     }
 
     #[test]
-    fn empty_landmark_set_view_is_the_graph() {
+    fn view_is_degree_ordered() {
+        let g = generate::barabasi_albert(300, 4, 5);
+        let landmarks = hcl_graph::order::top_degree(&g, 10);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let view = SparseView::build(&g, hcl.highway());
+        for v in 1..view.num_vertices() as VertexId {
+            assert!(
+                view.graph().degree(v - 1) >= view.graph().degree(v),
+                "view ids must be sorted by decreasing degree at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn relabelling_keeps_landmarks_isolated() {
+        // The unit test the degree reorder must never break: landmarks have
+        // degree 0 in G[V∖R], so they land at the tail of the view id space
+        // and stay neighbour-free there.
+        let g = generate::watts_strogatz(150, 6, 0.1, 7);
+        let landmarks = hcl_graph::order::top_degree(&g, 12);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let view = SparseView::build(&g, hcl.highway());
+        for &r in &landmarks {
+            let vr = view.view_of(r);
+            assert!(view.graph().neighbors(vr).is_empty(), "landmark {r} (view {vr})");
+            assert!(view.original_neighbors(r).is_empty(), "landmark {r}");
+            // No other vertex may list a landmark as a neighbour.
+            for v in 0..view.num_vertices() as VertexId {
+                assert!(!view.graph().neighbors(v).contains(&vr), "{v} links landmark {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_view_matches_original_space() {
+        let g = generate::barabasi_albert(120, 3, 9);
+        let landmarks = hcl_graph::order::top_degree(&g, 6);
+        let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let ident = SparseView::identity(&g, hcl.highway());
+        let fast = SparseView::build(&g, hcl.highway());
+        assert_eq!(ident.num_edges(), fast.num_edges());
+        assert_eq!(ident.removed_edges(), fast.removed_edges());
+        for v in g.vertices() {
+            assert_eq!(ident.view_of(v), v);
+            assert_eq!(ident.original_of(v), v);
+            assert_eq!(ident.original_neighbors(v), fast.original_neighbors(v), "vertex {v}");
+            // Identity view's graph rows ARE original-space rows.
+            assert_eq!(ident.graph().neighbors(v), ident.original_neighbors(v).as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_landmark_set_view_is_a_relabelled_graph() {
         let g = generate::cycle(12);
         let (hcl, _) = HighwayCoverLabelling::build(&g, &[]).unwrap();
         let view = SparseView::build(&g, hcl.highway());
-        assert_eq!(view.graph(), &g);
+        assert_eq!(view.num_edges(), g.num_edges());
         assert_eq!(view.removed_edges(), 0);
         assert!(view.memory_bytes() > 0);
+        for v in g.vertices() {
+            let mut expect: Vec<u32> = g.neighbors(v).to_vec();
+            expect.sort_unstable();
+            assert_eq!(view.original_neighbors(v), expect);
+        }
     }
 }

@@ -11,28 +11,31 @@
 //! Corollary 3.8 landmark-endpoint shortcut, and the Algorithm 2 bounded
 //! search over any backend.
 //!
-//! Two backends exist:
+//! # Data layout of the hot path
 //!
-//! * the in-memory index — [`HighwayCoverLabelling`] implements
-//!   [`LabelStorage`] directly (labels come straight off `&[LabelEntry]`
-//!   slices), and [`MemIndex`] pairs it with a
-//!   [`SparseView`] to add [`SparseNeighbors`]. The
-//!   public query entry points
-//!   ([`upper_bound_with`](HighwayCoverLabelling::upper_bound_with),
-//!   [`distance_sparse`](HighwayCoverLabelling::distance_sparse)) are thin
-//!   wrappers over the generic functions, so the fast path *is* the generic
-//!   path, monomorphised for slices.
-//! * `hcl-store`'s `IndexView` — labels are decoded on the fly from
-//!   delta-varint bytes in a memory-mapped file ("decode-on-merge"): the
-//!   label iterator type absorbs the difference and the merge logic,
-//!   pruning included, is shared verbatim.
+//! The merge runs over **label lanes**: two parallel `&[u16]` slices (ranks
+//! and distances) per endpoint, obtained through
+//! [`LabelStorage::label_into`]. The in-memory backends return their stored
+//! lanes by reference with zero copying; the packed `IndexView` decodes its
+//! delta-varint streams into per-[`QueryContext`] scratch lanes, after
+//! which both backends monomorphise the *same* branch-light merge loops —
+//! a sorted two-pointer intersection for the common-landmark direct sums,
+//! then a dense min-reduction over the highway rows for the s-only/t-only
+//! cross terms, with saturating adds standing in for `INF` branches so the
+//! compiler can autovectorize.
+//!
+//! The bounded search runs in the sparse view's **degree-ordered id
+//! space**: [`SparseNeighbors::view_of`] translates the two endpoints once
+//! at the query boundary, and every frontier expansion then touches the
+//! relabelled CSR, where high-degree vertices share cache lines (labels,
+//! cache keys, and all public APIs stay in original ids).
 //!
 //! Because both backends run the same monomorphised code, packed-vs-memory
 //! equivalence reduces to the storage traits returning the same sequences —
 //! which is exactly what `hcl-store`'s round-trip property tests check.
 
 use crate::build::HighwayCoverLabelling;
-use crate::query::QueryContext;
+use crate::query::{LaneScratch, QueryContext};
 use crate::sparse::SparseView;
 use hcl_graph::{Adjacency, VertexId, INF};
 
@@ -73,18 +76,48 @@ pub trait LabelStorage {
 
     /// The label of `v` in rank order.
     fn label(&self, v: VertexId) -> Self::LabelIter<'_>;
+
+    /// The label of `v` as parallel rank/dist lanes, using `ranks`/`dists`
+    /// as decode scratch when the backend does not store lanes natively.
+    ///
+    /// The in-memory backends override this to return their stored lanes
+    /// by reference (the scratch is untouched); the packed backend decodes
+    /// its varint stream into the scratch. Either way the merge sees two
+    /// contiguous `u16` runs.
+    fn label_into<'a>(
+        &'a self,
+        v: VertexId,
+        ranks: &'a mut Vec<u16>,
+        dists: &'a mut Vec<u16>,
+    ) -> (&'a [u16], &'a [u16]) {
+        ranks.clear();
+        dists.clear();
+        for (r, d) in self.label(v) {
+            ranks.push(r as u16);
+            dists.push(d as u16);
+        }
+        (ranks, dists)
+    }
 }
 
 /// Adjacency access to the sparsified graph `G[V∖R]` of the same index
-/// generation (original vertex ids; landmarks isolated).
+/// generation, in the view's (degree-ordered) id space.
+///
+/// [`view_of`](Self::view_of) is the single translation point between the
+/// original id space (labels, caches, the public API) and the relabelled
+/// space the bounded search traverses.
 pub trait SparseNeighbors {
-    /// Neighbours of `v` in `G[V∖R]` (sorted, duplicate-free).
+    /// Maps an original vertex id into the sparse view's id space.
+    fn view_of(&self, v: VertexId) -> VertexId;
+
+    /// Neighbours of *view-space* vertex `v` in `G[V∖R]` (sorted,
+    /// duplicate-free, view-space ids; landmarks isolated).
     fn sparse_neighbors(&self, v: VertexId) -> &[VertexId];
 }
 
 /// Adapter presenting a backend's sparsified graph as
 /// [`hcl_graph::Adjacency`] so [`SearchSpace::bounded_bibfs_sparse`]
-/// traverses it directly.
+/// traverses it directly (in view-space ids).
 ///
 /// [`SearchSpace`]: hcl_graph::SearchSpace
 struct SparseAdj<'a, S: ?Sized>(&'a S);
@@ -104,10 +137,11 @@ impl<S: LabelStorage + SparseNeighbors + ?Sized> Adjacency for SparseAdj<'_, S> 
 /// The upper bound `d⊤(s, t)` of Equation 4 over any [`LabelStorage`],
 /// using the Lemma 5.1 merge: landmarks common to both labels contribute
 /// their direct sum, cross terms run only between the label-exclusive
-/// remainders (buffered in `ctx`), and the inner loop prunes on the
-/// best-so-far (`da + db + 1 >= best` skips the matrix lookup when even a
-/// via-distance of 1 loses). Landmark endpoints are answered from the
-/// highway / Corollary 3.8.
+/// remainders (buffered as lanes in `ctx`), and each cross row is pruned on
+/// the best-so-far (`da + min_dt + 1 >= best` skips the whole row when even
+/// the cheapest partner through a via-distance of 1 loses — valid because
+/// the remainders' rank sets are disjoint, so every via is `>= 1`).
+/// Landmark endpoints are answered from the highway / Corollary 3.8.
 pub fn upper_bound_on<S: LabelStorage + ?Sized>(
     index: &S,
     ctx: &mut QueryContext,
@@ -122,67 +156,82 @@ pub fn upper_bound_on<S: LabelStorage + ?Sized>(
         (Some(a), None) => bound_from_landmark_on(index, a, t),
         (None, Some(b)) => bound_from_landmark_on(index, b, s),
         (None, None) => {
+            let LaneScratch {
+                dec_s_ranks,
+                dec_s_dists,
+                dec_t_ranks,
+                dec_t_dists,
+                only_s_ranks,
+                only_s_dists,
+                only_t_ranks,
+                only_t_dists,
+            } = ctx.lanes();
+            let (s_ranks, s_dists) = index.label_into(s, dec_s_ranks, dec_s_dists);
+            let (t_ranks, t_dists) = index.label_into(t, dec_t_ranks, dec_t_dists);
+
+            only_s_ranks.clear();
+            only_s_dists.clear();
+            only_t_ranks.clear();
+            only_t_dists.clear();
+
+            // One two-pointer pass over both rank-sorted lanes: equal ranks
+            // are direct sums, unmatched entries spill into the cross-term
+            // remainder lanes.
             let mut best = INF;
-            let (only_s, only_t) = ctx.merge_buffers();
-            only_s.clear();
-            only_t.clear();
-            let mut ls = index.label(s);
-            let mut lt = index.label(t);
-            let mut es = ls.next();
-            let mut et = lt.next();
-            // One linear pass over both rank-sorted labels: equal ranks are
-            // direct sums, unmatched entries become cross-term candidates.
-            loop {
-                match (es, et) {
-                    (Some((ra, da)), Some((rb, db))) => match ra.cmp(&rb) {
-                        std::cmp::Ordering::Equal => {
-                            let cand = da + db;
-                            if cand < best {
-                                best = cand;
-                            }
-                            es = ls.next();
-                            et = lt.next();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < s_ranks.len() && j < t_ranks.len() {
+                let ra = s_ranks[i];
+                let rb = t_ranks[j];
+                match ra.cmp(&rb) {
+                    std::cmp::Ordering::Equal => {
+                        let cand = s_dists[i] as u32 + t_dists[j] as u32;
+                        if cand < best {
+                            best = cand;
                         }
-                        std::cmp::Ordering::Less => {
-                            only_s.push((ra, da));
-                            es = ls.next();
-                        }
-                        std::cmp::Ordering::Greater => {
-                            only_t.push((rb, db));
-                            et = lt.next();
-                        }
-                    },
-                    (Some(e), None) => {
-                        only_s.push(e);
-                        only_s.extend(ls);
-                        break;
+                        i += 1;
+                        j += 1;
                     }
-                    (None, Some(e)) => {
-                        only_t.push(e);
-                        only_t.extend(lt);
-                        break;
+                    std::cmp::Ordering::Less => {
+                        only_s_ranks.push(ra);
+                        only_s_dists.push(s_dists[i]);
+                        i += 1;
                     }
-                    (None, None) => break,
+                    std::cmp::Ordering::Greater => {
+                        only_t_ranks.push(rb);
+                        only_t_dists.push(t_dists[j]);
+                        j += 1;
+                    }
                 }
             }
-            for &(ra, da) in only_s.iter() {
-                // Distinct landmarks are at distance >= 1, so no pair in
-                // this row can beat `best` once `da + 1 >= best`.
-                if da.saturating_add(1) >= best {
-                    continue;
+            only_s_ranks.extend_from_slice(&s_ranks[i..]);
+            only_s_dists.extend_from_slice(&s_dists[i..]);
+            only_t_ranks.extend_from_slice(&t_ranks[j..]);
+            only_t_dists.extend_from_slice(&t_dists[j..]);
+
+            if !only_s_ranks.is_empty() && !only_t_ranks.is_empty() {
+                // The cheapest possible t-side partner bounds every row.
+                let mut min_dt = u16::MAX;
+                for &d in only_t_dists.iter() {
+                    min_dt = min_dt.min(d);
                 }
-                let row = index.highway_row(ra);
-                for &(rb, db) in only_t.iter() {
-                    // Best-so-far pruning: skip the matrix lookup when even
-                    // the minimum possible via-distance (1) loses.
-                    if da + db + 1 >= best {
+                let min_dt = min_dt as u32;
+                for (k, &ra) in only_s_ranks.iter().enumerate() {
+                    let da = only_s_dists[k] as u32;
+                    // Disjoint rank sets mean every via-distance is >= 1,
+                    // so no pair in this row can beat `best`.
+                    if da + min_dt + 1 >= best {
                         continue;
                     }
-                    let via = row[rb as usize];
-                    if via == INF {
-                        continue;
+                    let row = index.highway_row(ra as u32);
+                    // Branch-free inner reduction: a saturating add turns a
+                    // disconnected `INF` via into a candidate that can
+                    // never win the min, so the loop is a pure min-scan the
+                    // compiler can vectorize.
+                    let mut row_best = u32::MAX;
+                    for (&rb, &db) in only_t_ranks.iter().zip(only_t_dists.iter()) {
+                        row_best = row_best.min(row[rb as usize].saturating_add(db as u32));
                     }
-                    let cand = da + via + db;
+                    let cand = da.saturating_add(row_best);
                     if cand < best {
                         best = cand;
                     }
@@ -217,7 +266,8 @@ pub fn bound_from_landmark_on<S: LabelStorage + ?Sized>(index: &S, rank: u32, v:
 /// Exact distance via the full framework over any backend implementing both
 /// storage traits: label upper bound, Corollary 3.8 shortcut for landmark
 /// endpoints, then the distance-bounded bidirectional BFS (Algorithm 2) on
-/// the backend's sparsified graph.
+/// the backend's sparsified graph. The endpoints are translated into the
+/// view's degree-ordered id space exactly once, here.
 pub fn distance_on<S: LabelStorage + SparseNeighbors + ?Sized>(
     index: &S,
     ctx: &mut QueryContext,
@@ -235,7 +285,8 @@ pub fn distance_on<S: LabelStorage + SparseNeighbors + ?Sized>(
         // search must not run.
         return if bound == INF { None } else { Some(bound) };
     }
-    let d = ctx.search_space().bounded_bibfs_sparse(&SparseAdj(index), s, t, bound);
+    let (vs, vt) = (index.view_of(s), index.view_of(t));
+    let d = ctx.search_space().bounded_bibfs_sparse(&SparseAdj(index), vs, vt, bound);
     if d == INF {
         None
     } else {
@@ -243,23 +294,69 @@ pub fn distance_on<S: LabelStorage + SparseNeighbors + ?Sized>(
     }
 }
 
-/// Label iterator over the in-memory store: a slice walk mapping
-/// [`LabelEntry`](crate::LabelEntry) to `(rank, dist)`. Kept as a named
-/// type (not a closure `Map`) so the generic merge monomorphises to the
-/// same code the hand-written slice merge compiled to.
-pub struct MemLabelIter<'a>(std::slice::Iter<'a, crate::labels::LabelEntry>);
+/// Per-query phase timings from [`distance_on_timed`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryPhases {
+    /// Nanoseconds in the label merge (Equation 4 upper bound).
+    pub merge_ns: u64,
+    /// Nanoseconds in the bounded bidirectional search (0 when the bound
+    /// alone answered the query).
+    pub search_ns: u64,
+    /// Whether the bounded search ran at all.
+    pub searched: bool,
+}
+
+/// [`distance_on`] with per-phase wall-clock accounting, for observability
+/// (server `METRICS`) and the committed benchmark's merge-vs-BFS split.
+/// Semantically identical to [`distance_on`]; the two `Instant` reads per
+/// query keep it off the raw throughput loops.
+pub fn distance_on_timed<S: LabelStorage + SparseNeighbors + ?Sized>(
+    index: &S,
+    ctx: &mut QueryContext,
+    s: VertexId,
+    t: VertexId,
+) -> (Option<u32>, QueryPhases) {
+    let mut phases = QueryPhases::default();
+    if s == t {
+        return (Some(0), phases);
+    }
+    let landmark_endpoint = index.is_landmark(s) || index.is_landmark(t);
+    let start = std::time::Instant::now();
+    let bound = upper_bound_on(index, ctx, s, t);
+    phases.merge_ns = start.elapsed().as_nanos() as u64;
+    if landmark_endpoint {
+        return (if bound == INF { None } else { Some(bound) }, phases);
+    }
+    let (vs, vt) = (index.view_of(s), index.view_of(t));
+    let start = std::time::Instant::now();
+    let d = ctx.search_space().bounded_bibfs_sparse(&SparseAdj(index), vs, vt, bound);
+    phases.search_ns = start.elapsed().as_nanos() as u64;
+    phases.searched = true;
+    (if d == INF { None } else { Some(d) }, phases)
+}
+
+/// Label iterator over the in-memory store: a lock-step walk of the rank
+/// and dist lanes mapping to `(rank, dist)` pairs. Kept as a named type
+/// (not a closure `Map`) so the generic merge monomorphises to the same
+/// code the hand-written slice merge compiled to.
+pub struct MemLabelIter<'a> {
+    ranks: std::slice::Iter<'a, u16>,
+    dists: std::slice::Iter<'a, u16>,
+}
 
 impl Iterator for MemLabelIter<'_> {
     type Item = (u32, u32);
 
     #[inline]
     fn next(&mut self) -> Option<(u32, u32)> {
-        self.0.next().map(|e| (e.landmark as u32, e.dist as u32))
+        let r = self.ranks.next()?;
+        let d = self.dists.next()?;
+        Some((*r as u32, *d as u32))
     }
 
     #[inline]
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+        self.ranks.size_hint()
     }
 }
 
@@ -298,7 +395,18 @@ impl LabelStorage for HighwayCoverLabelling {
 
     #[inline]
     fn label(&self, v: VertexId) -> MemLabelIter<'_> {
-        MemLabelIter(self.labels().label(v).iter())
+        let (ranks, dists) = self.labels().label_lanes(v);
+        MemLabelIter { ranks: ranks.iter(), dists: dists.iter() }
+    }
+
+    #[inline]
+    fn label_into<'a>(
+        &'a self,
+        v: VertexId,
+        _ranks: &'a mut Vec<u16>,
+        _dists: &'a mut Vec<u16>,
+    ) -> (&'a [u16], &'a [u16]) {
+        self.labels().label_lanes(v)
     }
 }
 
@@ -358,11 +466,27 @@ impl LabelStorage for MemIndex<'_> {
 
     #[inline]
     fn label(&self, v: VertexId) -> MemLabelIter<'_> {
-        MemLabelIter(self.labelling.labels().label(v).iter())
+        let (ranks, dists) = self.labelling.labels().label_lanes(v);
+        MemLabelIter { ranks: ranks.iter(), dists: dists.iter() }
+    }
+
+    #[inline]
+    fn label_into<'b>(
+        &'b self,
+        v: VertexId,
+        _ranks: &'b mut Vec<u16>,
+        _dists: &'b mut Vec<u16>,
+    ) -> (&'b [u16], &'b [u16]) {
+        self.labelling.labels().label_lanes(v)
     }
 }
 
 impl SparseNeighbors for MemIndex<'_> {
+    #[inline]
+    fn view_of(&self, v: VertexId) -> VertexId {
+        self.sparse.view_of(v)
+    }
+
     #[inline]
     fn sparse_neighbors(&self, v: VertexId) -> &[VertexId] {
         self.sparse.graph().neighbors(v)
@@ -423,5 +547,72 @@ mod tests {
             assert_eq!(distance_on(&index, &mut ctx, r, t), expect, "{r}->{t}");
             assert_eq!(distance_on(&index, &mut ctx, t, r), expect, "{t}->{r}");
         }
+    }
+
+    #[test]
+    fn default_label_into_decodes_through_the_iterator() {
+        // Exercise the trait's default (scratch-decoding) path against the
+        // overridden zero-copy one: both must produce identical lanes.
+        struct IterOnly<'a>(&'a HighwayCoverLabelling);
+        impl LabelStorage for IterOnly<'_> {
+            type LabelIter<'b>
+                = MemLabelIter<'b>
+            where
+                Self: 'b;
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn num_landmarks(&self) -> usize {
+                LabelStorage::num_landmarks(self.0)
+            }
+            fn rank(&self, v: VertexId) -> Option<u32> {
+                self.0.rank(v)
+            }
+            fn highway_distance(&self, a: u32, b: u32) -> u32 {
+                self.0.highway_distance(a, b)
+            }
+            fn highway_row(&self, rank: u32) -> &[u32] {
+                self.0.highway_row(rank)
+            }
+            fn label(&self, v: VertexId) -> MemLabelIter<'_> {
+                self.0.label(v)
+            }
+        }
+
+        let (g, hcl) = build(150, 8, 7);
+        let wrapped = IterOnly(&hcl);
+        let mut ctx = QueryContext::new(g.num_vertices());
+        for s in g.vertices().step_by(3) {
+            for t in g.vertices().step_by(5) {
+                assert_eq!(
+                    upper_bound_on(&wrapped, &mut ctx, s, t),
+                    hcl.upper_bound(s, t),
+                    "{s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timed_distance_matches_untimed() {
+        let (g, hcl) = build(180, 8, 4);
+        let sparse = SparseView::build(&g, hcl.highway());
+        let index = MemIndex::new(&hcl, &sparse);
+        let mut ctx = QueryContext::new(g.num_vertices());
+        let mut searched_any = false;
+        for s in g.vertices().step_by(5) {
+            for t in g.vertices().step_by(7) {
+                let (d, phases) = distance_on_timed(&index, &mut ctx, s, t);
+                assert_eq!(d, distance_on(&index, &mut ctx, s, t), "{s}->{t}");
+                if s != t && !hcl.highway().is_landmark(s) && !hcl.highway().is_landmark(t) {
+                    assert!(phases.searched);
+                    searched_any = true;
+                } else {
+                    assert!(!phases.searched);
+                    assert_eq!(phases.search_ns, 0);
+                }
+            }
+        }
+        assert!(searched_any);
     }
 }

@@ -1,28 +1,39 @@
 //! The sparsified-view fast path is a pure constant-factor rewrite of the
-//! skip-closure search: `distance_sparse` over the precomputed `G[V∖R]` CSR
-//! must agree with the reference `distance_with` (per-edge landmark filter)
-//! on every input — every generator family, disconnected graphs, landmark
-//! endpoints, and every landmark-set size including zero.
+//! skip-closure search: `distance_sparse` over the precomputed,
+//! **degree-ordered** `G[V∖R]` CSR must agree with the identity-order view
+//! (same sparsification, no relabelling) and with the reference
+//! `distance_with` (per-edge landmark filter) on every input — every
+//! generator family, disconnected graphs, single-vertex components,
+//! landmark endpoints, and every landmark-set size including zero. The
+//! three-way check isolates the degree relabelling as a pure layout change:
+//! any disagreement pins the bug to either the sparsification or the
+//! reordering.
 
 use hcl_core::{HighwayCoverLabelling, QueryContext, SharedOracle, SparseView};
 use hcl_graph::{generate, CsrGraph, VertexId};
 use proptest::prelude::*;
 
-/// Compares the fast path against the reference on a grid of pairs that
-/// always includes every landmark as an endpoint.
+/// Compares the degree-ordered fast path against the identity-order view
+/// and the skip-closure reference on a grid of pairs that always includes
+/// every landmark as an endpoint.
 fn assert_paths_agree(g: &CsrGraph, landmarks: &[VertexId], tag: &str) {
     let (hcl, _) = HighwayCoverLabelling::build(g, landmarks).unwrap();
     let view = SparseView::build(g, hcl.highway());
+    let ident = SparseView::identity(g, hcl.highway());
     assert_eq!(view.num_edges() + view.removed_edges(), g.num_edges(), "{tag}: edge accounting");
+    assert_eq!(ident.num_edges(), view.num_edges(), "{tag}: views sparsify identically");
     let mut reference = QueryContext::new(g.num_vertices());
     let mut fast = QueryContext::new(g.num_vertices());
+    let mut unordered = QueryContext::new(g.num_vertices());
     let n = g.num_vertices() as VertexId;
     let sources: Vec<VertexId> = g.vertices().step_by(7).chain(landmarks.iter().copied()).collect();
     for &s in &sources {
         for t in (0..n).step_by(3).chain(landmarks.iter().copied()) {
             let want = hcl.distance_with(g, &mut reference, s, t);
+            let via_ident = hcl.distance_sparse(&ident, &mut unordered, s, t);
             let got = hcl.distance_sparse(&view, &mut fast, s, t);
-            assert_eq!(got, want, "{tag}: {s}->{t}");
+            assert_eq!(via_ident, want, "{tag}: identity view {s}->{t}");
+            assert_eq!(got, want, "{tag}: degree-ordered view {s}->{t}");
         }
     }
 }
@@ -42,6 +53,11 @@ fn sparse_path_matches_reference_on_all_families() {
             "disconnected",
             CsrGraph::from_edges(12, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7), (9, 10)]),
         ),
+        // Every vertex its own component: the degree order has nothing but
+        // ties, so this pins down the by-id tiebreak on all-zero degrees.
+        ("edgeless", CsrGraph::from_edges(6, &[])),
+        // One non-trivial component surrounded by single-vertex components.
+        ("mostly_isolated", CsrGraph::from_edges(10, &[(4, 5), (5, 6)])),
     ];
     for (name, g) in &families {
         for k in [0usize, 1, 4, 10] {
@@ -82,22 +98,32 @@ fn shared_oracle_view_agrees_with_reference_labelling_path() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Random Erdős–Rényi instances with random landmark counts: the fast
-    /// path and the reference agree on a random sample of pairs (landmark
-    /// endpoints included by construction).
+    /// Random instances across generator families with random landmark
+    /// counts: the degree-ordered fast path, the identity-order view, and
+    /// the skip-closure reference agree on a random sample of pairs
+    /// (landmark endpoints included by construction). Erdős–Rényi draws
+    /// below the connectivity threshold, so disconnected graphs and
+    /// single-vertex components arise organically.
     #[test]
     fn sparse_path_matches_reference_on_random_instances(
         n in 10usize..120,
         extra_edges in 0usize..200,
         k in 0usize..12,
+        family in 0u8..3,
         seed in 0u64..1000,
     ) {
-        let g = generate::erdos_renyi(n, n / 2 + extra_edges, seed);
+        let g = match family {
+            0 => generate::erdos_renyi(n, n / 2 + extra_edges, seed),
+            1 => generate::barabasi_albert(n, 1 + extra_edges % 4, seed),
+            _ => generate::random_tree(n, seed),
+        };
         let landmarks = hcl_graph::order::top_degree(&g, k.min(n));
         let (hcl, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
         let view = SparseView::build(&g, hcl.highway());
+        let ident = SparseView::identity(&g, hcl.highway());
         let mut reference = QueryContext::new(g.num_vertices());
         let mut fast = QueryContext::new(g.num_vertices());
+        let mut unordered = QueryContext::new(g.num_vertices());
         let nv = g.num_vertices() as u64;
         for i in 0..64u64 {
             // Deterministic pair stream biased to touch landmarks.
@@ -108,8 +134,10 @@ proptest! {
             };
             let t = ((i.wrapping_mul(40503).wrapping_add(seed * 7 + 1)) % nv) as u32;
             let want = hcl.distance_with(&g, &mut reference, s, t);
+            let via_ident = hcl.distance_sparse(&ident, &mut unordered, s, t);
             let got = hcl.distance_sparse(&view, &mut fast, s, t);
-            prop_assert_eq!(got, want, "n={} k={} seed={} {}->{}", n, k, seed, s, t);
+            prop_assert_eq!(via_ident, want, "identity: n={} k={} seed={} {}->{}", n, k, seed, s, t);
+            prop_assert_eq!(got, want, "ordered: n={} k={} seed={} {}->{}", n, k, seed, s, t);
         }
     }
 }

@@ -48,24 +48,30 @@ pub fn bfs_distances_into(g: &CsrGraph, src: VertexId, dist: &mut Vec<u32>) {
 #[derive(Clone, Debug)]
 pub struct SearchSpace {
     epoch: u32,
-    mark_fwd: Vec<u32>,
-    mark_rev: Vec<u32>,
-    dist_fwd: Vec<u32>,
-    dist_rev: Vec<u32>,
+    /// Fused per-vertex visit words for the forward search:
+    /// `epoch << 32 | dist`. Packing the mark and the distance into one
+    /// word means the inner BFS loop touches a single cache line per
+    /// neighbour examination and side (mark test, distance read on a
+    /// meet, and mark+distance write are all one load or one store),
+    /// where separate mark/dist arrays cost two.
+    visit_fwd: Vec<u64>,
+    /// Fused visit words for the reverse search (same layout).
+    visit_rev: Vec<u64>,
     frontier: Vec<VertexId>,
     frontier_other: Vec<VertexId>,
     next: Vec<VertexId>,
 }
+
+/// Low 32 bits of a fused visit word: the BFS level the vertex settled at.
+const DIST_MASK: u64 = 0xFFFF_FFFF;
 
 impl SearchSpace {
     /// Creates a search space for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
         SearchSpace {
             epoch: 0,
-            mark_fwd: vec![0; n],
-            mark_rev: vec![0; n],
-            dist_fwd: vec![0; n],
-            dist_rev: vec![0; n],
+            visit_fwd: vec![0; n],
+            visit_rev: vec![0; n],
             frontier: Vec::new(),
             frontier_other: Vec::new(),
             next: Vec::new(),
@@ -74,24 +80,27 @@ impl SearchSpace {
 
     /// Grows the buffers to accommodate `n` vertices (no-op if large enough).
     pub fn ensure(&mut self, n: usize) {
-        if self.mark_fwd.len() < n {
-            self.mark_fwd.resize(n, 0);
-            self.mark_rev.resize(n, 0);
-            self.dist_fwd.resize(n, 0);
-            self.dist_rev.resize(n, 0);
+        if self.visit_fwd.len() < n {
+            self.visit_fwd.resize(n, 0);
+            self.visit_rev.resize(n, 0);
         }
     }
 
-    fn next_epoch(&mut self) -> u32 {
-        // On wrap-around, reset the mark arrays; with 32-bit epochs this
+    /// Bumps the epoch and returns the visit-word *stamp* of the new query:
+    /// `epoch << 32`. A vertex counts as visited this query iff its word is
+    /// `>= stamp` — epochs only grow, so any word from an earlier query
+    /// compares below every stamp of a later one, and `stamp | dist`
+    /// settles a vertex at `dist` in a single store.
+    fn next_stamp(&mut self) -> u64 {
+        // On wrap-around, reset the visit words; with 32-bit epochs this
         // happens once every 4 billion queries.
         if self.epoch == u32::MAX {
-            self.mark_fwd.iter_mut().for_each(|m| *m = 0);
-            self.mark_rev.iter_mut().for_each(|m| *m = 0);
+            self.visit_fwd.iter_mut().for_each(|m| *m = 0);
+            self.visit_rev.iter_mut().for_each(|m| *m = 0);
             self.epoch = 0;
         }
         self.epoch += 1;
-        self.epoch
+        (self.epoch as u64) << 32
     }
 
     /// Unidirectional early-exit BFS distance from `s` to `t`.
@@ -100,21 +109,21 @@ impl SearchSpace {
         if s == t {
             return Some(0);
         }
-        let epoch = self.next_epoch();
+        let stamp = self.next_stamp();
         self.frontier.clear();
         self.frontier.push(s);
-        self.mark_fwd[s as usize] = epoch;
+        self.visit_fwd[s as usize] = stamp;
         let mut d = 0u32;
         while !self.frontier.is_empty() {
             self.next.clear();
             for i in 0..self.frontier.len() {
                 let u = self.frontier[i];
                 for &v in g.neighbors(u) {
-                    if self.mark_fwd[v as usize] != epoch {
+                    if self.visit_fwd[v as usize] < stamp {
                         if v == t {
                             return Some(d + 1);
                         }
-                        self.mark_fwd[v as usize] = epoch;
+                        self.visit_fwd[v as usize] = stamp;
                         self.next.push(v);
                     }
                 }
@@ -169,17 +178,15 @@ impl SearchSpace {
         if bound == 0 {
             return 0;
         }
-        let epoch = self.next_epoch();
+        let stamp = self.next_stamp();
 
         self.frontier.clear();
         self.frontier.push(s);
-        self.mark_fwd[s as usize] = epoch;
-        self.dist_fwd[s as usize] = 0;
+        self.visit_fwd[s as usize] = stamp;
 
         self.frontier_other.clear();
         self.frontier_other.push(t);
-        self.mark_rev[t as usize] = epoch;
-        self.dist_rev[t as usize] = 0;
+        self.visit_rev[t as usize] = stamp;
 
         let mut d_fwd = 0u32;
         let mut d_rev = 0u32;
@@ -201,28 +208,11 @@ impl SearchSpace {
             }
 
             let forward = settled_fwd <= settled_rev;
-            let (frontier, mark_same, dist_same, mark_other, dist_other, d_same, d_other) =
-                if forward {
-                    (
-                        &mut self.frontier,
-                        &mut self.mark_fwd,
-                        &mut self.dist_fwd,
-                        &self.mark_rev,
-                        &self.dist_rev,
-                        &mut d_fwd,
-                        d_rev,
-                    )
-                } else {
-                    (
-                        &mut self.frontier_other,
-                        &mut self.mark_rev,
-                        &mut self.dist_rev,
-                        &self.mark_fwd,
-                        &self.dist_fwd,
-                        &mut d_rev,
-                        d_fwd,
-                    )
-                };
+            let (frontier, visit_same, visit_other, d_same, d_other) = if forward {
+                (&mut self.frontier, &mut self.visit_fwd, &self.visit_rev, &mut d_fwd, d_rev)
+            } else {
+                (&mut self.frontier_other, &mut self.visit_rev, &self.visit_fwd, &mut d_rev, d_fwd)
+            };
 
             self.next.clear();
             let mut settled_this_level = 0usize;
@@ -232,18 +222,19 @@ impl SearchSpace {
                     if skip(v) {
                         continue;
                     }
-                    if mark_other[vi] == epoch {
+                    if visit_other[vi] >= stamp {
                         // The searches met. Level-synchronous expansion
-                        // guarantees dist_other[v] == d_other here (a closer
-                        // meeting point would have been found in an earlier
-                        // level), so this is the exact filtered distance.
-                        let met = (*d_same + 1).saturating_add(dist_other[vi]);
-                        debug_assert_eq!(dist_other[vi], d_other);
+                        // guarantees the other side settled `v` at `d_other`
+                        // (a closer meeting point would have been found in
+                        // an earlier level), so this is the exact filtered
+                        // distance.
+                        let met =
+                            (*d_same + 1).saturating_add((visit_other[vi] & DIST_MASK) as u32);
+                        debug_assert_eq!((visit_other[vi] & DIST_MASK) as u32, d_other);
                         return met.min(bound);
                     }
-                    if mark_same[vi] != epoch {
-                        mark_same[vi] = epoch;
-                        dist_same[vi] = *d_same + 1;
+                    if visit_same[vi] < stamp {
+                        visit_same[vi] = stamp | (*d_same + 1) as u64;
                         self.next.push(v);
                         settled_this_level += 1;
                     }
@@ -294,17 +285,15 @@ impl SearchSpace {
         if bound == 0 {
             return 0;
         }
-        let epoch = self.next_epoch();
+        let stamp = self.next_stamp();
 
         self.frontier.clear();
         self.frontier.push(s);
-        self.mark_fwd[s as usize] = epoch;
-        self.dist_fwd[s as usize] = 0;
+        self.visit_fwd[s as usize] = stamp;
 
         self.frontier_other.clear();
         self.frontier_other.push(t);
-        self.mark_rev[t as usize] = epoch;
-        self.dist_rev[t as usize] = 0;
+        self.visit_rev[t as usize] = stamp;
 
         let mut d_fwd = 0u32;
         let mut d_rev = 0u32;
@@ -327,24 +316,10 @@ impl SearchSpace {
             }
 
             let forward = edges_fwd <= edges_rev;
-            let (frontier, mark_same, dist_same, mark_other, dist_other, d_same) = if forward {
-                (
-                    &mut self.frontier,
-                    &mut self.mark_fwd,
-                    &mut self.dist_fwd,
-                    &self.mark_rev,
-                    &self.dist_rev,
-                    &mut d_fwd,
-                )
+            let (frontier, visit_same, visit_other, d_same) = if forward {
+                (&mut self.frontier, &mut self.visit_fwd, &self.visit_rev, &mut d_fwd)
             } else {
-                (
-                    &mut self.frontier_other,
-                    &mut self.mark_rev,
-                    &mut self.dist_rev,
-                    &self.mark_fwd,
-                    &self.dist_fwd,
-                    &mut d_rev,
-                )
+                (&mut self.frontier_other, &mut self.visit_rev, &self.visit_fwd, &mut d_rev)
             };
 
             self.next.clear();
@@ -352,15 +327,15 @@ impl SearchSpace {
             for &u in frontier.iter() {
                 for &v in g.neighbors(u) {
                     let vi = v as usize;
-                    if mark_other[vi] == epoch {
+                    if visit_other[vi] >= stamp {
                         // The searches met; as in the reference, the
                         // disjoint-ball invariant makes this exact.
-                        let met = (*d_same + 1).saturating_add(dist_other[vi]);
+                        let met =
+                            (*d_same + 1).saturating_add((visit_other[vi] & DIST_MASK) as u32);
                         return met.min(bound);
                     }
-                    if mark_same[vi] != epoch {
-                        mark_same[vi] = epoch;
-                        dist_same[vi] = *d_same + 1;
+                    if visit_same[vi] < stamp {
+                        visit_same[vi] = stamp | (*d_same + 1) as u64;
                         next_edges += g.degree(v) as u64;
                         self.next.push(v);
                     }

@@ -139,7 +139,10 @@ pub fn stat_class(key: &str) -> StatClass {
     match key {
         "epoch" => StatClass::Min,
         "load_us" | "index_bytes" | "plain_index_bytes" => StatClass::Max,
-        "max_connections" | "idle_timeout_ms" => StatClass::First,
+        // `sparse_relabelled` is a format flag, not a quantity: every
+        // shard reports the same 1, and a fleet-wide sum would read as a
+        // shard count.
+        "max_connections" | "idle_timeout_ms" | "sparse_relabelled" => StatClass::First,
         // Counters, cache totals, `sparse_bytes`/`store_bytes` (each
         // shard holds a distinct slice, so fleet totals add), and
         // anything future shards report that we don't know: Sum keeps

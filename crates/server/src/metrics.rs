@@ -26,6 +26,15 @@ pub struct ServeMetrics {
     /// Successful hot index reloads (the current epoch equals this count
     /// while every reload succeeds).
     pub reloads: AtomicU64,
+    /// Cumulative nanoseconds single `QUERY` cache misses spent in the
+    /// label merge (Equation 4 upper bound).
+    pub merge_ns: AtomicU64,
+    /// Cumulative nanoseconds single `QUERY` cache misses spent in the
+    /// bounded bidirectional search.
+    pub search_ns: AtomicU64,
+    /// Single `QUERY` cache misses whose bounded search actually ran (the
+    /// rest were answered by the label merge alone).
+    pub searched_queries: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -57,6 +66,9 @@ impl ServeMetrics {
             timed_out_connections: self.timed_out_connections.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
+            merge_ns: self.merge_ns.load(Ordering::Relaxed),
+            search_ns: self.search_ns.load(Ordering::Relaxed),
+            searched_queries: self.searched_queries.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +94,12 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Successful hot index reloads.
     pub reloads: u64,
+    /// Cumulative label-merge nanoseconds across single-`QUERY` misses.
+    pub merge_ns: u64,
+    /// Cumulative bounded-search nanoseconds across single-`QUERY` misses.
+    pub search_ns: u64,
+    /// Single-`QUERY` misses whose bounded search ran.
+    pub searched_queries: u64,
 }
 
 impl MetricsSnapshot {

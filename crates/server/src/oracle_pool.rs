@@ -104,6 +104,12 @@ pub struct IndexSizes {
     /// Bytes the same index occupies in the plain `HCLIDX01` serialisation
     /// — the baseline for the packed compression ratio.
     pub plain_index_bytes: usize,
+    /// Bytes of the contiguous label rank lane (`u16` per entry). For a
+    /// packed generation this is the lane footprint the delta-varint
+    /// streams decode into at query time.
+    pub rank_lane_bytes: usize,
+    /// Bytes of the contiguous label distance lane (`u16` per entry).
+    pub dist_lane_bytes: usize,
 }
 
 /// Shared per-process serving state; see the module docs.
@@ -230,9 +236,8 @@ impl QueryService {
                 return Ok(hit);
             }
         }
-        let index = snap.index();
-        let mut ctx = index.context_pool().checkout();
-        let d = index.distance_with(&mut ctx, s, t);
+        let mut ctx = snap.index().context_pool().checkout();
+        let d = self.timed_distance(&snap, &mut ctx, s, t);
         if let Some(cache) = &self.cache {
             cache.insert(s, t, snap.epoch(), d);
         }
@@ -255,12 +260,33 @@ impl QueryService {
             if let Some(hit) = cache.get(s, t, snap.epoch()) {
                 return hit;
             }
-            let d = snap.index().distance_with(ctx, s, t);
+            let d = self.timed_distance(snap, ctx, s, t);
             cache.insert(s, t, snap.epoch(), d);
             d
         } else {
-            snap.index().distance_with(ctx, s, t)
+            self.timed_distance(snap, ctx, s, t)
         }
+    }
+
+    /// Uncached distance with the merge/search phase split folded into the
+    /// cumulative [`ServeMetrics`] counters. Every wire query that misses
+    /// the cache — single `QUERY` and `BATCH` members alike — funnels
+    /// through here, so `METRICS` reports the real phase mix of served
+    /// traffic.
+    fn timed_distance(
+        &self,
+        snap: &OracleEpoch<ServingIndex>,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<u32> {
+        let (d, phases) = snap.index().distance_with_timed(ctx, s, t);
+        ServeMetrics::add(&self.metrics.merge_ns, phases.merge_ns);
+        ServeMetrics::add(&self.metrics.search_ns, phases.search_ns);
+        if phases.searched {
+            ServeMetrics::bump(&self.metrics.searched_queries);
+        }
+        d
     }
 
     /// Swaps in a freshly built in-memory oracle as the next index

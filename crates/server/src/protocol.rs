@@ -558,7 +558,8 @@ pub fn format_stats_response(
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
-         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} store_bytes={} \
+         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} \
+         sparse_relabelled=1 rank_lane_bytes={} dist_lane_bytes={} store_bytes={} \
          plain_index_bytes={} load_us={} max_connections={} idle_timeout_ms={} cache_hits={} \
          cache_misses={} cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
         metrics.queries,
@@ -574,6 +575,8 @@ pub fn format_stats_response(
         sizes.index_bytes,
         sizes.sparse_bytes,
         sizes.sparse_edges,
+        sizes.rank_lane_bytes,
+        sizes.dist_lane_bytes,
         sizes.store_bytes,
         sizes.plain_index_bytes,
         load_us,
@@ -953,6 +956,8 @@ mod tests {
             sparse_edges: 96,
             store_bytes: 4096,
             plain_index_bytes: 1500,
+            rank_lane_bytes: 192,
+            dist_lane_bytes: 192,
         };
         let line = format_stats_response(
             &MetricsSnapshot::default(),
@@ -974,6 +979,9 @@ mod tests {
         assert!(body.contains("index_bytes=1024"));
         assert!(body.contains("sparse_bytes=2048"));
         assert!(body.contains("sparse_edges=96"));
+        assert!(body.contains("sparse_relabelled=1"));
+        assert!(body.contains("rank_lane_bytes=192"));
+        assert!(body.contains("dist_lane_bytes=192"));
         assert!(body.contains("store_bytes=4096"));
         assert!(body.contains("plain_index_bytes=1500"));
         assert!(body.contains("load_us=777"));

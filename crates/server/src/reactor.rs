@@ -95,7 +95,8 @@ impl ServerHooks {
             "{{\"role\":\"server\",\"epoch\":{},\"queries\":{},\"batch_requests\":{},\
              \"batch_queries\":{},\"connections\":{},\"active_connections\":{},\
              \"rejected_connections\":{},\"timed_out_connections\":{},\"errors\":{},\
-             \"reloads\":{},\"load_us\":{},\"index_bytes\":{},\"sparse_bytes\":{},\
+             \"reloads\":{},\"merge_ns\":{},\"search_ns\":{},\"searched_queries\":{},\
+             \"load_us\":{},\"index_bytes\":{},\"sparse_bytes\":{},\
              \"store_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
              \"max_connections\":{},\"idle_timeout_ms\":{},\"drain_grace_ms\":{}}}",
             service.epoch(),
@@ -108,6 +109,9 @@ impl ServerHooks {
             m.timed_out_connections,
             m.errors,
             m.reloads,
+            m.merge_ns,
+            m.search_ns,
+            m.searched_queries,
             service.last_load_micros(),
             sizes.index_bytes,
             sizes.sparse_bytes,
@@ -213,7 +217,7 @@ impl DriverHooks for ServerHooks {
                                     .store(false, std::sync::atomic::Ordering::Release);
                             }
                         }
-                        let _gate = Gate(Arc::clone(&shared));
+                        let gate = Gate(Arc::clone(&shared));
                         let line = match shared.service.reload_from_paths(
                             &graph,
                             index.as_deref(),
@@ -225,6 +229,10 @@ impl DriverHooks for ServerHooks {
                                 protocol::format_error(e)
                             }
                         };
+                        // Release the gate before the response is visible:
+                        // a client that pipelines its next RELOAD right
+                        // after reading this line must not race the drop.
+                        drop(gate);
                         queue.push(Completion { conn: id, seq, line });
                     });
                 }

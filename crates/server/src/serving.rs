@@ -17,6 +17,10 @@ use hcl_graph::VertexId;
 use hcl_store::PackedOracle;
 
 /// One queryable index generation; see the module docs.
+// Variant sizes differ because `PackedOracle` owns its reconstructed sparse
+// view inline; the enum exists one-per-generation inside an `OracleEpoch`,
+// never in bulk, so boxing would buy nothing and cost a deref per query.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ServingIndex {
     /// The classic heap-resident index (owned graph, labelling, and
@@ -50,6 +54,21 @@ impl ServingIndex {
         match self {
             ServingIndex::Memory(o) => o.distance_with(ctx, s, t),
             ServingIndex::Packed(o) => o.distance_with(ctx, s, t),
+        }
+    }
+
+    /// [`distance_with`](Self::distance_with) plus per-phase wall-clock
+    /// accounting, feeding the cumulative merge/search `METRICS` counters.
+    #[inline]
+    pub fn distance_with_timed(
+        &self,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Option<u32>, hcl_core::QueryPhases) {
+        match self {
+            ServingIndex::Memory(o) => o.distance_with_timed(ctx, s, t),
+            ServingIndex::Packed(o) => o.distance_with_timed(ctx, s, t),
         }
     }
 
@@ -111,16 +130,23 @@ impl ServingIndex {
                         o.labelling().num_landmarks(),
                         labels.total_entries(),
                     ),
+                    rank_lane_bytes: labels.rank_lane_bytes(),
+                    dist_lane_bytes: labels.dist_lane_bytes(),
                 }
             }
             ServingIndex::Packed(o) => {
                 let view = o.view();
+                // The packed labels stay delta-varint on disk; the lanes
+                // are what each entry decodes into (one u16 per lane).
+                let lane = view.total_label_entries() as usize * std::mem::size_of::<u16>();
                 IndexSizes {
                     index_bytes: view.packed_index_bytes(),
                     sparse_bytes: view.sparse_bytes(),
                     sparse_edges: view.sparse_edges(),
                     store_bytes: view.store_bytes(),
                     plain_index_bytes: view.plain_index_bytes(),
+                    rank_lane_bytes: lane,
+                    dist_lane_bytes: lane,
                 }
             }
         }

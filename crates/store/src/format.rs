@@ -136,16 +136,18 @@ pub fn pack(labelling: &HighwayCoverLabelling, sparse: &SparseView) -> Result<Ve
         .map_err(|_| StoreError::Invalid("label data exceeds 4 GiB".into()))?;
     push_u32(&mut label_offsets, total);
 
-    // Sections 5 + 6: sparsified CSR.
-    let sg = sparse.graph();
+    // Sections 5 + 6: sparsified CSR, stored in **original** id space
+    // regardless of the view's in-memory degree ordering (the relabelling
+    // is a decode-time representation — readers rebuild it at open, and
+    // keeping the file in original ids leaves the v1 layout unchanged).
     let mut sparse_offsets = Vec::with_capacity(4 * (n + 1));
-    let mut sparse_adj = Vec::with_capacity(8 * sg.num_edges());
+    let mut sparse_adj = Vec::with_capacity(8 * sparse.num_edges());
     let mut count: u64 = 0;
     for v in 0..n as u32 {
         let at = u32::try_from(count)
             .map_err(|_| StoreError::Invalid("sparse adjacency exceeds u32 entries".into()))?;
         push_u32(&mut sparse_offsets, at);
-        for &w in sg.neighbors(v) {
+        for w in sparse.original_neighbors(v) {
             push_u32(&mut sparse_adj, w);
             count += 1;
         }

@@ -59,6 +59,18 @@ impl PackedOracle {
         storage::distance_on(&self.view, ctx, s, t)
     }
 
+    /// [`distance_with`](Self::distance_with) plus per-phase wall-clock
+    /// accounting (label merge vs bounded search), for the server's
+    /// cumulative `METRICS` phase counters.
+    pub fn distance_with_timed(
+        &self,
+        ctx: &mut QueryContext,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Option<u32>, storage::QueryPhases) {
+        storage::distance_on_timed(&self.view, ctx, s, t)
+    }
+
     /// The query upper bound `d⊤(s, t)` (Equation 4) from the packed
     /// labels, using a pooled context.
     pub fn upper_bound(&self, s: VertexId, t: VertexId) -> u32 {

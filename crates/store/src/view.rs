@@ -21,8 +21,8 @@ use crate::format::{self, HEADER_BYTES, SECTION_COUNT, SECTION_ENTRY_BYTES};
 use crate::sys::Mmap;
 use crate::varint;
 use crate::StoreError;
-use hcl_core::{LabelStorage, SparseNeighbors};
-use hcl_graph::{VertexId, INF};
+use hcl_core::{LabelStorage, SparseNeighbors, SparseView};
+use hcl_graph::{CsrGraph, VertexId, INF};
 use std::ops::Range;
 use std::path::Path;
 
@@ -73,6 +73,12 @@ pub struct IndexView {
     /// `(vertex, rank)` pairs sorted by vertex — the O(r) replacement for
     /// the in-memory index's O(n) rank table; lookups binary-search it.
     rank_index: Vec<(VertexId, u32)>,
+    /// The degree-ordered sparse view, reconstructed at open time from the
+    /// original-id-space CSR sections. The bounded search traverses this
+    /// owned copy (cache-ordered), not the mapped sections; the on-disk
+    /// layout is unchanged, the relabelling is a decode-time
+    /// representation.
+    sparse: SparseView,
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> u32 {
@@ -217,6 +223,7 @@ impl IndexView {
             sparse_offsets,
             sparse_adj,
             rank_index: Vec::new(),
+            sparse: SparseView::from_original_space(CsrGraph::empty(0), 0),
         };
         view.validate_contents()
     }
@@ -353,6 +360,16 @@ impl IndexView {
                 prev = Some(w);
             }
         }
+
+        // Materialise the degree-ordered sparse view from the validated
+        // original-id CSR sections. The relabelling is deterministic, so
+        // the packed path reconstructs the exact view the in-memory path
+        // builds from the same graph — answers stay byte-identical.
+        let offsets: Vec<usize> = sparse_offsets.iter().map(|&o| o as usize).collect();
+        let adj: Vec<VertexId> = self.sparse_adj_slice().to_vec();
+        let graph = CsrGraph::from_csr_parts(offsets, adj)
+            .map_err(|e| StoreError::Corrupt(format!("sparse CSR rejected: {e}")))?;
+        self.sparse = SparseView::from_original_space(graph, 0);
         Ok(self)
     }
 
@@ -413,6 +430,14 @@ impl IndexView {
     /// `HCLIDX01` serialisation, which does not carry the sparsified CSR.
     pub fn packed_index_bytes(&self) -> usize {
         self.landmarks.len() + self.highway.len() + self.label_offsets.len() + self.label_data.len()
+    }
+
+    /// Bytes of the delta-varint label streams alone (the `LABEL_DATA`
+    /// section) — divided by [`total_label_entries`](Self::total_label_entries)
+    /// this is the on-disk bytes-per-entry figure the committed benchmark
+    /// reports.
+    pub fn label_data_bytes(&self) -> usize {
+        self.label_data.len()
     }
 
     /// Bytes the same index occupies in the plain `HCLIDX01` format.
@@ -507,9 +532,12 @@ impl LabelStorage for IndexView {
 
 impl SparseNeighbors for IndexView {
     #[inline]
+    fn view_of(&self, v: VertexId) -> VertexId {
+        self.sparse.view_of(v)
+    }
+
+    #[inline]
     fn sparse_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let offsets = self.sparse_offsets_slice();
-        let v = v as usize;
-        &self.sparse_adj_slice()[offsets[v] as usize..offsets[v + 1] as usize]
+        self.sparse.graph().neighbors(v)
     }
 }
