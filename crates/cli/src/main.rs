@@ -10,6 +10,7 @@
 //! hcl random-queries graph.hclg index.hcl [--count 1000] [--seed 7]
 //! hcl serve graph.hclg index.hcl [--port 7777] [--threads 0] [--cache 65536]
 //!           [--landmarks 20] [--max-conns 1024] [--idle-timeout 600]
+//!           [--max-pending 65536] [--request-deadline-ms 0]
 //! hcl serve index.hclx [same flags]      # packed: served zero-copy via mmap
 //! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
 //! hcl client 127.0.0.1:7777 stats|ping|epoch|shutdown
@@ -71,14 +72,15 @@ USAGE:
   hcl random-queries <graph file> <index file> [--count <c>] [--seed <s>]
   hcl serve <graph file> <index file> [--host <h>] [--port <p>] [--threads <t>]
             [--cache <entries>] [--landmarks <k>] [--max-conns <n>]
-            [--idle-timeout <secs>]
+            [--idle-timeout <secs>] [--max-pending <n>]
+            [--request-deadline-ms <ms>]
   hcl serve <packed .hclx file> [same flags]
   hcl partition <graph file> --shards <n> --out-dir <dir> [--strategy hash|range]
             [--landmarks <k>] [--threads <t>] [--format plain|packed]
             [--replicas <r>]
   hcl route --partition <file> --shards <addr>,<addr>,... [--replicas <r>]
             [--host <h>] [--port <p>] [--max-conns <n>] [--idle-timeout <secs>]
-            [--window <n>]
+            [--window <n>] [--max-parked <n>]
   hcl client <addr> query <s> <t> [<s> <t> ...]
   hcl client <addr> stats | metrics | ping | epoch | shutdown
   hcl client <addr> reload <graph file> [<index file>]
@@ -99,7 +101,14 @@ protocol until a client sends SHUTDOWN (--cache 0 disables the distance
 cache; --port 0 picks an ephemeral port, printed on startup). One epoll
 reactor thread drives every connection: --max-conns caps how many are
 open at once (overflow gets one ERR line and a close) and --idle-timeout
-closes connections quiet for that many seconds (0 disables).
+closes connections quiet for that many seconds (0 disables). Overload
+protection: --max-pending caps queued pair-lookups (a QUERY is 1, a
+BATCH k is k; overflow is shed with ERR busy, 0 removes the cap), and
+--request-deadline-ms answers requests still queued past that budget
+with ERR deadline expired instead of stale data (0, the default,
+disables). route --max-parked bounds how many requests wait per shard
+for a reconnecting replica group; overflow is shed with ERR busy
+(0 unbounds). See docs/PROTOCOL.md section 3.1.
 
 reload hot-swaps the serving index without dropping connections: the
 paths are read by the *server* process; in-flight queries finish on the
@@ -328,6 +337,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let defaults = hcl_server::ServerConfig::default();
     let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_connections)?;
     let idle_secs: u64 = parse_flag(args, "--idle-timeout", defaults.idle_timeout.as_secs())?;
+    let mut max_pending: usize = parse_flag(args, "--max-pending", defaults.max_pending)?;
+    if max_pending == 0 {
+        max_pending = usize::MAX; // 0 = uncapped
+    }
+    let deadline_ms: u64 = parse_flag(args, "--request-deadline-ms", 0)?;
 
     let service = if hcl_store::is_packed_path(graph_path) {
         let oracle = hcl_store::PackedOracle::open(graph_path)
@@ -375,6 +389,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         reload_landmarks: landmarks,
         max_connections: max_conns,
         idle_timeout: std::time::Duration::from_secs(idle_secs),
+        max_pending,
+        // 0 disables; a zero deadline proper would expire everything.
+        request_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         ..Default::default()
     };
     let vertices = service.num_vertices();
@@ -491,6 +508,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let max_conns: usize = parse_flag(args, "--max-conns", defaults.max_connections)?;
     let idle_secs: u64 = parse_flag(args, "--idle-timeout", defaults.idle_timeout.as_secs())?;
     let window: usize = parse_flag(args, "--window", defaults.shard_window)?;
+    let max_parked: usize = parse_flag(args, "--max-parked", defaults.max_parked)?;
 
     let map = hcl_core::PartitionMap::load(&map_path)
         .map_err(|e| format!("loading partition {map_path}: {e}"))?;
@@ -515,6 +533,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         max_connections: max_conns,
         idle_timeout: std::time::Duration::from_secs(idle_secs),
         shard_window: window,
+        max_parked,
         ..Default::default()
     };
     let handle = hcl_router::Router::bind_replicated(map, &groups, (host.as_str(), port), config)

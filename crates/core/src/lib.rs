@@ -44,6 +44,7 @@
 
 pub mod build;
 pub mod epoch;
+pub mod fault;
 pub mod fixture;
 pub mod highway;
 pub mod io;

@@ -179,6 +179,15 @@ impl Core {
             return;
         }
         if self.groups[shard].replicas.iter().any(Upstream::is_connecting) {
+            // Bounded parking: while a shard flaps, at most `max_parked`
+            // requests wait for its reconnect; the rest are refused
+            // `ERR busy` right away rather than queueing without bound.
+            let cap = self.shared.config.max_parked;
+            if cap != 0 && self.groups[shard].parked.len() >= cap {
+                RouterMetrics::bump(&self.shared.metrics.parked_dropped);
+                self.apply_response(format!("shard{shard}"), req, protocol::format_error("busy"));
+                return;
+            }
             let deadline = now + self.shared.config.park_timeout;
             self.groups[shard].parked.push_back((req, deadline));
             return;
@@ -890,7 +899,7 @@ impl Core {
              \"timed_out_connections\":{},\"queries\":{},\"scatter_queries\":{},\
              \"batch_requests\":{},\"errors\":{},\"reloads\":{},\"failovers\":{},\
              \"retries\":{},\"degraded\":{},\"probes\":{},\"probe_failures\":{},\
-             \"upstreams\":[{upstreams}]}}",
+             \"parked_dropped\":{},\"upstreams\":[{upstreams}]}}",
             self.shared.partition.num_shards(),
             m.connections.load(Ordering::Relaxed),
             m.active_connections.load(Ordering::Relaxed),
@@ -906,6 +915,7 @@ impl Core {
             m.degraded.load(Ordering::Relaxed),
             m.probes.load(Ordering::Relaxed),
             m.probe_failures.load(Ordering::Relaxed),
+            m.parked_dropped.load(Ordering::Relaxed),
         )
     }
 }

@@ -43,6 +43,11 @@ pub struct RouterConfig {
     /// the router-side cover for a completion lost beyond the retry and
     /// backoff budget. Zero leaves the exemption unbounded.
     pub completion_deadline: Duration,
+    /// Most requests parked per replica group while its replicas
+    /// reconnect; overflow is answered `ERR busy` immediately (counted
+    /// in `router_parked_dropped`) instead of growing the parked queue
+    /// without bound while a shard flaps. Zero disables the bound.
+    pub max_parked: usize,
 }
 
 impl Default for RouterConfig {
@@ -56,6 +61,7 @@ impl Default for RouterConfig {
             probe_timeout: Duration::from_secs(1),
             park_timeout: Duration::from_secs(3),
             completion_deadline: Duration::from_secs(15),
+            max_parked: 1024,
         }
     }
 }
@@ -95,6 +101,10 @@ pub struct RouterMetrics {
     pub probes: AtomicU64,
     /// Health probes that timed out (each fails its replica over).
     pub probe_failures: AtomicU64,
+    /// Requests refused `ERR busy` because their replica group's parked
+    /// queue was full (every replica reconnecting and `max_parked`
+    /// already waiting).
+    pub parked_dropped: AtomicU64,
 }
 
 impl RouterMetrics {
@@ -112,7 +122,7 @@ impl RouterMetrics {
             "router_connections={} router_active_connections={} \
              router_rejected_connections={} router_queries={} router_scatter_queries={} \
              router_batch_requests={} router_errors={} router_reloads={} \
-             router_failovers={} router_degraded={} shards={shards}",
+             router_failovers={} router_degraded={} router_parked_dropped={} shards={shards}",
             self.connections.load(Ordering::Relaxed),
             self.active_connections.load(Ordering::Relaxed),
             self.rejected_connections.load(Ordering::Relaxed),
@@ -123,6 +133,7 @@ impl RouterMetrics {
             self.reloads.load(Ordering::Relaxed),
             self.failovers.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
+            self.parked_dropped.load(Ordering::Relaxed),
         )
     }
 }

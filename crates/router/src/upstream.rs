@@ -29,7 +29,7 @@
 //! still owed an answer — **with the encoded bytes retained** — so the
 //! reactor can re-dispatch them verbatim to a sibling replica.
 
-use hcl_server::transport::sys;
+use hcl_server::transport::{fault, sys};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -349,7 +349,19 @@ impl Upstream {
     pub fn try_write(&mut self) -> io::Result<()> {
         let State::Connected(wire) = &mut self.state else { return Ok(()) };
         while wire.out_pos < wire.out.len() {
-            match (&wire.stream).write(&wire.out[wire.out_pos..]) {
+            // Fault hook at the syscall result, inside the retry loop, so
+            // injected EINTR/EAGAIN/resets take the same arms real ones do.
+            let pending = wire.out.len() - wire.out_pos;
+            let result = match fault::check(fault::Op::UpstreamWrite) {
+                fault::Verdict::Proceed => (&wire.stream).write(&wire.out[wire.out_pos..]),
+                fault::Verdict::Short(n) => {
+                    let n = n.clamp(1, pending);
+                    (&wire.stream).write(&wire.out[wire.out_pos..wire.out_pos + n])
+                }
+                fault::Verdict::Fail(e) => Err(e),
+                fault::Verdict::Eof => Ok(0),
+            };
+            match result {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => wire.out_pos += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -376,7 +388,16 @@ impl Upstream {
     ) -> io::Result<()> {
         let State::Connected(wire) = &mut self.state else { return Ok(()) };
         loop {
-            match (&wire.stream).read(scratch) {
+            let result = match fault::check(fault::Op::UpstreamRead) {
+                fault::Verdict::Proceed => (&wire.stream).read(scratch),
+                fault::Verdict::Short(n) => {
+                    let n = n.clamp(1, scratch.len());
+                    (&wire.stream).read(&mut scratch[..n])
+                }
+                fault::Verdict::Fail(e) => Err(e),
+                fault::Verdict::Eof => Ok(0),
+            };
+            match result {
                 Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
                 Ok(n) => wire.rbuf.extend_from_slice(&scratch[..n]),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

@@ -1,0 +1,157 @@
+//! Fault-injected router tests (`--features fault-injection`): a real
+//! replicated deployment driven through scripted faults on the
+//! router→shard legs — mid-stream resets, EINTR storms, 1-byte writes,
+//! failed connects — while every client answer must stay exact.
+//!
+//! Only the `Upstream*`/`Connect` fault ops are scripted here: the shard
+//! servers run in the same process, and server-side ops (`Read`/`Write`)
+//! would hit them too.
+
+#![cfg(feature = "fault-injection")]
+
+use hcl_core::fault::{exclusive, install_global, Fault, Op, Script, Trigger, ECONNRESET, EINTR};
+use hcl_core::partition::PartitionMap;
+use hcl_core::{HighwayCoverLabelling, HlOracle};
+use hcl_graph::{CsrGraph, VertexId};
+use hcl_router::{Router, RouterConfig, RouterHandle};
+use hcl_server::{Client, QueryService, Server, ServerConfig, ServerHandle};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Two communities bridged only through hub landmarks 0/1/2, so a range
+/// partition at the midpoint answers every query exactly (the same
+/// fixture shape as the main router suite).
+fn bridged_communities(seed: u64) -> (CsrGraph, Vec<VertexId>) {
+    let hubs: Vec<VertexId> = vec![0, 1, 2];
+    let n = 240u32;
+    let mut edges = BTreeSet::new();
+    let mut add = |a: u32, b: u32| {
+        if a != b {
+            edges.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    };
+    add(0, 1);
+    add(1, 2);
+    for (start, end) in [(3u32, 120u32), (120, 240)] {
+        let span = end - start;
+        for v in start..end {
+            add(v, start + (v + 1 - start) % span);
+            add(v, start + ((v - start) * 7 + seed as u32) % span);
+            if v % 5 == 0 {
+                add(v, hubs[(v % 3) as usize]);
+            }
+        }
+    }
+    let edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    (CsrGraph::from_edges(n as usize, &edges), hubs)
+}
+
+/// Same-shard, cross-shard, and landmark-touching pairs.
+fn mixed_pairs(n: u32, count: usize) -> Vec<(VertexId, VertexId)> {
+    (0..count as u32)
+        .map(|i| match i % 4 {
+            0 => (3 + (i * 7) % (n / 2 - 3), 3 + (i * 13 + 1) % (n / 2 - 3)),
+            1 => (n / 2 + (i * 5) % (n / 2), n / 2 + (i * 11 + 3) % (n / 2)),
+            2 => ((i * 3) % (n / 2), n / 2 + (i * 17 + 2) % (n / 2)),
+            _ => (i % 3, (i * 19) % n),
+        })
+        .collect()
+}
+
+/// Two shards × two replicas each, every replica a real `Server` on its
+/// shard graph with the replicated labelling. The full graph and
+/// labelling come back too, for building the ground-truth oracle.
+fn deploy(
+    config: RouterConfig,
+) -> (Vec<ServerHandle>, RouterHandle, CsrGraph, HighwayCoverLabelling) {
+    let (g, hubs) = bridged_communities(9);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    let mut shards = Vec::new();
+    let mut groups = Vec::new();
+    for shard in 0..2u32 {
+        let mut replicas = Vec::new();
+        for _ in 0..2 {
+            let service = Arc::new(QueryService::from_parts(
+                Arc::new(map.shard_graph(&g, shard)),
+                Arc::new(labelling.clone()),
+                1 << 10,
+            ));
+            let handle = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+            replicas.push(handle.local_addr());
+            shards.push(handle);
+        }
+        groups.push(replicas);
+    }
+    let router = Router::bind_replicated(map, &groups, "127.0.0.1:0", config).unwrap();
+    (shards, router, g, labelling)
+}
+
+fn metric(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("missing {key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Faults on both legs at once — a mid-stream reset on an upstream read
+/// plus EINTR/1-byte storms on upstream writes — and every answer, same
+/// shard or scattered, must stay exact: the reset replica's owed
+/// requests fail over to its sibling verbatim.
+#[test]
+fn upstream_faults_fail_over_and_answers_stay_exact() {
+    let _serial = exclusive();
+    let (_shards, router, g, labelling) = deploy(RouterConfig::default());
+    let mut oracle = HlOracle::new(&g, labelling);
+    let pairs = mixed_pairs(240, 32);
+
+    let guard = install_global(
+        Script::new()
+            .on(Op::UpstreamRead, Trigger::At(6), Fault::Errno(ECONNRESET))
+            .on(Op::UpstreamRead, Trigger::Every(4), Fault::Errno(EINTR))
+            .on(Op::UpstreamWrite, Trigger::Every(3), Fault::Errno(EINTR))
+            .on(Op::UpstreamWrite, Trigger::Always, Fault::Short(1)),
+    );
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    for &(s, t) in &pairs {
+        let (got, degraded) = client.query_tagged(s, t).unwrap();
+        assert_eq!(got, oracle.query(s, t), "d({s},{t}) under upstream faults");
+        assert!(!degraded, "failover to a same-shard sibling is exact, never degraded");
+    }
+    // The whole batch path crosses the faulted legs too.
+    let got = client.batch(&pairs).unwrap();
+    for (&(s, t), d) in pairs.iter().zip(&got) {
+        assert_eq!(*d, oracle.query(s, t), "batch d({s},{t}) under upstream faults");
+    }
+    let json = client.metrics().unwrap();
+    assert!(metric(&json, "failovers") >= 1, "the reset must have failed a replica over: {json}");
+    assert!(guard.calls(Op::UpstreamWrite) > pairs.len() as u64, "1-byte writes multiply calls");
+    drop(guard);
+}
+
+/// A replica's very first connect fails (injected refusal): the router
+/// backs it off, the sibling serves, and after the backoff the fleet is
+/// whole again — all without a single wrong or degraded answer.
+#[test]
+fn failed_connects_back_off_and_queries_stay_exact() {
+    let _serial = exclusive();
+    const ECONNREFUSED: i32 = 111;
+    let guard =
+        install_global(Script::new().on(Op::Connect, Trigger::At(0), Fault::Errno(ECONNREFUSED)));
+    let (_shards, router, g, labelling) = deploy(RouterConfig::default());
+    let mut oracle = HlOracle::new(&g, labelling);
+    let pairs = mixed_pairs(240, 24);
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    for &(s, t) in &pairs {
+        let (got, degraded) = client.query_tagged(s, t).unwrap();
+        assert_eq!(got, oracle.query(s, t), "d({s},{t}) after a refused connect");
+        assert!(!degraded, "a sibling replica serves exactly while one backs off");
+    }
+    assert!(guard.calls(Op::Connect) >= 2, "the refused connect was retried or a sibling used");
+    drop(guard);
+}

@@ -628,6 +628,65 @@ fn blackholed_shard_never_blocks_the_reactor_and_queries_degrade() {
     drop(filler);
 }
 
+/// Overload protection while a shard flaps: with every replica of a
+/// blackholed shard mid-connect, at most `max_parked` requests wait for
+/// the reconnect — the overflow is refused `ERR busy` immediately and
+/// counted in `parked_dropped`, instead of growing the parked queue
+/// without bound.
+#[test]
+fn parked_queue_is_bounded_and_overflow_is_refused_busy() {
+    use hcl_server::transport::sys;
+    use std::io::{BufRead, BufReader, Write};
+
+    let (g, hubs) = bridged_communities(4);
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+
+    // Every replica of every shard blackholed (SYN queue pre-filled):
+    // connects hang in progress, so incoming requests can only park.
+    let blackhole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let dark = blackhole.local_addr().unwrap();
+    let mut filler = Vec::new();
+    for _ in 0..300 {
+        if let Ok((stream, _)) = sys::connect_nonblocking(&dark) {
+            filler.push(stream);
+        }
+    }
+
+    let config = RouterConfig {
+        max_parked: 2,
+        park_timeout: std::time::Duration::from_millis(200),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(map, &[dark, dark], "127.0.0.1:0", config).unwrap();
+
+    // A pipelined flood of 10 same-shard queries: 2 park behind the
+    // in-progress connect, 8 overflow.
+    let mut stream = std::net::TcpStream::connect(router.local_addr()).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    stream.write_all("QUERY 10 20\n".repeat(10).as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let (mut busy, mut unavailable) = (0, 0);
+    for _ in 0..10 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line == "ERR busy" {
+            busy += 1;
+        } else if line.starts_with("ERR shard 0 unavailable") {
+            unavailable += 1;
+        } else {
+            panic!("unexpected response: {line:?}");
+        }
+    }
+    assert_eq!(busy, 8, "overflow past max_parked=2 is refused busy");
+    assert_eq!(unavailable, 2, "the parked pair expires to unavailable");
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let json = client.metrics().unwrap();
+    assert_eq!(metric(&json, "parked_dropped"), 8, "{json}");
+    drop(filler);
+}
+
 /// Single-replica shards with no sibling: a dead shard *degrades* its
 /// queries (tagged upper bounds from the surviving shard's labels)
 /// instead of erroring; control-plane requests report the failure; and

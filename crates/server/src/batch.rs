@@ -21,16 +21,23 @@ use crate::oracle_pool::{QueryError, QueryService};
 use crate::serving::ServingIndex;
 use hcl_core::{OracleEpoch, QueryContext};
 use hcl_graph::VertexId;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Queued-query cap applied by [`BatchExecutor::new`]: enough headroom for
+/// thousands of concurrent batches, small enough that a flood sheds (`ERR
+/// busy`) instead of growing the worker channel without bound.
+pub const DEFAULT_MAX_PENDING: usize = 1 << 16;
 
 /// Completion callback for an asynchronously submitted batch; receives the
-/// distances in input order. Runs on a worker thread.
-pub type BatchCallback = Box<dyn FnOnce(Vec<Option<u32>>) + Send + 'static>;
+/// distances in input order, or [`QueryError::DeadlineExpired`] when the
+/// job outlived its deadline on the queue. Runs on a worker thread.
+pub type BatchCallback = Box<dyn FnOnce(Result<Vec<Option<u32>>, QueryError>) + Send + 'static>;
 
 /// Completion callback for a single asynchronously submitted query.
-pub type QueryCallback = Box<dyn FnOnce(Option<u32>) + Send + 'static>;
+pub type QueryCallback = Box<dyn FnOnce(Result<Option<u32>, QueryError>) + Send + 'static>;
 
 /// One submitted batch: the input pairs, the index generation the whole
 /// batch is answered on, the in-progress results, and the completion
@@ -46,6 +53,11 @@ struct BatchJob {
     remaining: AtomicUsize,
     /// Taken exactly once, by the worker that completes the last chunk.
     on_done: Mutex<Option<BatchCallback>>,
+    /// Absolute wall-clock bound: a chunk picked up past it computes
+    /// nothing and the whole job resolves `DeadlineExpired`.
+    deadline: Option<Instant>,
+    /// Set by the first worker to observe the deadline passed.
+    expired: AtomicBool,
 }
 
 /// A contiguous slice of one job, claimed by a single worker.
@@ -62,22 +74,40 @@ pub struct BatchExecutor {
     injector: Option<mpsc::Sender<Chunk>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Queries accepted but not yet computed (shared with the workers,
+    /// who decrement as chunks finish).
+    depth: Arc<AtomicUsize>,
+    /// Shed (`ERR busy`) any submission that would push `depth` past
+    /// this; 0 disables the bound.
+    max_pending: usize,
 }
 
 impl BatchExecutor {
-    /// Spawns `threads` workers over `service` (0 = all cores).
+    /// Spawns `threads` workers over `service` (0 = all cores) with the
+    /// [`DEFAULT_MAX_PENDING`] overload bound.
     pub fn new(service: Arc<QueryService>, threads: usize) -> Self {
+        Self::with_queue_cap(service, threads, DEFAULT_MAX_PENDING)
+    }
+
+    /// [`new`](Self::new) with an explicit queued-query cap (0 =
+    /// unbounded). Submissions that would exceed it are refused with
+    /// [`QueryError::Overloaded`] — typed `ERR busy` on the wire — and
+    /// counted in the `shed_requests` metric, instead of growing the
+    /// worker channel without bound.
+    pub fn with_queue_cap(service: Arc<QueryService>, threads: usize, max_pending: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
         } else {
             threads
         };
+        let depth = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel::<Chunk>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
+                let depth = Arc::clone(&depth);
                 std::thread::spawn(move || {
                     let mut ctx = QueryContext::new(service.num_vertices());
                     loop {
@@ -87,12 +117,12 @@ impl BatchExecutor {
                             Ok(chunk) => chunk,
                             Err(_) => return, // executor dropped
                         };
-                        Self::run_chunk(&service, &mut ctx, &chunk);
+                        Self::run_chunk(&service, &mut ctx, &chunk, &depth);
                     }
                 })
             })
             .collect();
-        BatchExecutor { service, injector: Some(tx), workers, threads }
+        BatchExecutor { service, injector: Some(tx), workers, threads, depth, max_pending }
     }
 
     /// Number of worker threads.
@@ -100,27 +130,79 @@ impl BatchExecutor {
         self.threads
     }
 
+    /// Queries accepted but not yet computed.
+    pub fn queued(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
     /// The service this pool queries.
     pub fn service(&self) -> &Arc<QueryService> {
         &self.service
     }
 
-    fn run_chunk(service: &QueryService, ctx: &mut QueryContext, chunk: &Chunk) {
+    fn run_chunk(
+        service: &QueryService,
+        ctx: &mut QueryContext,
+        chunk: &Chunk,
+        depth: &AtomicUsize,
+    ) {
         let job = &chunk.job;
-        // Compute outside the results lock; one short splice per chunk.
-        // The job's pinned generation supplies graph, labelling, and cache
-        // epoch (the context self-resizes across graph sizes).
-        let computed: Vec<Option<u32>> = job.pairs[chunk.start..chunk.end]
-            .iter()
-            .map(|&(s, t)| service.cached_distance_with(&job.index, ctx, s, t))
-            .collect();
-        job.results.lock().expect("batch results poisoned")[chunk.start..chunk.end]
-            .copy_from_slice(&computed);
+        // A chunk picked up past the job's deadline computes nothing, and
+        // poisons the job so sibling chunks stop computing too — a queue
+        // full of expired work drains at memcpy speed instead of search
+        // speed.
+        if job.deadline.is_some_and(|at| Instant::now() >= at)
+            && !job.expired.swap(true, Ordering::AcqRel)
+        {
+            ServeMetrics::bump(&service.metrics().deadline_expired);
+        }
+        if !job.expired.load(Ordering::Acquire) {
+            // Compute outside the results lock; one short splice per chunk.
+            // The job's pinned generation supplies graph, labelling, and
+            // cache epoch (the context self-resizes across graph sizes).
+            let computed: Vec<Option<u32>> = job.pairs[chunk.start..chunk.end]
+                .iter()
+                .map(|&(s, t)| service.cached_distance_with(&job.index, ctx, s, t))
+                .collect();
+            job.results.lock().expect("batch results poisoned")[chunk.start..chunk.end]
+                .copy_from_slice(&computed);
+        }
+        depth.fetch_sub(chunk.end - chunk.start, Ordering::AcqRel);
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let results = std::mem::take(&mut *job.results.lock().expect("batch results poisoned"));
             let on_done =
                 job.on_done.lock().expect("batch callback poisoned").take().expect("taken once");
-            on_done(results);
+            if job.expired.load(Ordering::Acquire) {
+                on_done(Err(QueryError::DeadlineExpired));
+            } else {
+                let results =
+                    std::mem::take(&mut *job.results.lock().expect("batch results poisoned"));
+                on_done(Ok(results));
+            }
+        }
+    }
+
+    /// Overload gate: reserves room for `count` queries or sheds. Runs
+    /// before validation so a flood is turned away at the door.
+    fn admit(&self, count: usize) -> Result<(), QueryError> {
+        if self.max_pending == 0 {
+            self.depth.fetch_add(count, Ordering::AcqRel);
+            return Ok(());
+        }
+        let mut current = self.depth.load(Ordering::Acquire);
+        loop {
+            if current + count > self.max_pending {
+                ServeMetrics::bump(&self.service.metrics().shed_requests);
+                return Err(QueryError::Overloaded);
+            }
+            match self.depth.compare_exchange_weak(
+                current,
+                current + count,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => current = seen,
+            }
         }
     }
 
@@ -136,15 +218,19 @@ impl BatchExecutor {
         pairs: Vec<(VertexId, VertexId)>,
         on_done: BatchCallback,
     ) -> Result<(), QueryError> {
+        self.admit(pairs.len())?;
         let index = self.service.snapshot();
         for &(s, t) in &pairs {
-            QueryService::check_pair_in(&index, s, t)?;
+            if let Err(e) = QueryService::check_pair_in(&index, s, t) {
+                self.depth.fetch_sub(pairs.len(), Ordering::AcqRel);
+                return Err(e);
+            }
         }
         let metrics = self.service.metrics();
         ServeMetrics::bump(&metrics.batch_requests);
         ServeMetrics::add(&metrics.batch_queries, pairs.len() as u64);
         if pairs.is_empty() {
-            on_done(Vec::new());
+            on_done(Ok(Vec::new()));
             return Ok(());
         }
         self.enqueue(pairs, index, on_done);
@@ -161,13 +247,17 @@ impl BatchExecutor {
         t: VertexId,
         on_done: QueryCallback,
     ) -> Result<(), QueryError> {
+        self.admit(1)?;
         let index = self.service.snapshot();
-        QueryService::check_pair_in(&index, s, t)?;
+        if let Err(e) = QueryService::check_pair_in(&index, s, t) {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(e);
+        }
         ServeMetrics::bump(&self.service.metrics().queries);
         self.enqueue(
             vec![(s, t)],
             index,
-            Box::new(move |results| on_done(results.first().copied().flatten())),
+            Box::new(move |results| on_done(results.map(|r| r.first().copied().flatten()))),
         );
         Ok(())
     }
@@ -190,6 +280,8 @@ impl BatchExecutor {
             results: Mutex::new(vec![None; len]),
             remaining: AtomicUsize::new(num_chunks),
             on_done: Mutex::new(Some(on_done)),
+            deadline: self.service.request_deadline().map(|d| Instant::now() + d),
+            expired: AtomicBool::new(false),
         });
         let injector = self.injector.as_ref().expect("executor not shut down");
         for i in 0..num_chunks {
@@ -205,7 +297,7 @@ impl BatchExecutor {
     /// input order, waiting on a condvar for the pool to finish. For
     /// offline callers and benches — the serving path never blocks.
     pub fn execute(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<Option<u32>>, QueryError> {
-        type Cell = (Mutex<Option<Vec<Option<u32>>>>, Condvar);
+        type Cell = (Mutex<Option<Result<Vec<Option<u32>>, QueryError>>>, Condvar);
         let cell: Arc<Cell> = Arc::new((Mutex::new(None), Condvar::new()));
         let signal = Arc::clone(&cell);
         self.submit(
@@ -220,7 +312,7 @@ impl BatchExecutor {
         while slot.is_none() {
             slot = cvar.wait(slot).expect("batch signal poisoned");
         }
-        Ok(slot.take().expect("slot filled"))
+        slot.take().expect("slot filled")
     }
 }
 
@@ -330,10 +422,10 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         executor.submit(pairs.clone(), Box::new(move |results| tx.send(results).unwrap())).unwrap();
         let got = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
-        assert_eq!(got, expect);
+        assert_eq!(got.unwrap(), expect);
 
         // Validation failures surface synchronously; the callback is dropped.
-        let (tx, rx) = mpsc::channel::<Vec<Option<u32>>>();
+        let (tx, rx) = mpsc::channel::<Result<Vec<Option<u32>>, QueryError>>();
         let err = executor.submit(vec![(0, 999)], Box::new(move |r| tx.send(r).unwrap()));
         assert!(err.is_err());
         assert!(rx.recv().is_err(), "callback must never fire on a rejected batch");
@@ -349,13 +441,44 @@ mod tests {
 
         let (tx, rx) = mpsc::channel();
         executor.submit_query(1, 42, Box::new(move |d| tx.send(d).unwrap())).unwrap();
-        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap(), offline);
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap().unwrap(), offline);
 
         assert!(executor.submit_query(0, 500, Box::new(|_| panic!("must not run"))).is_err());
 
         let snap = service.metrics_snapshot();
         assert_eq!(snap.queries, 1, "one accepted single query");
         assert_eq!(snap.batch_requests, 0, "single queries are not batches");
+    }
+
+    #[test]
+    fn oversized_submission_sheds_with_busy() {
+        let service = service(0);
+        let executor = BatchExecutor::with_queue_cap(Arc::clone(&service), 1, 2);
+        // Within the cap: served normally.
+        assert!(executor.execute(&pairs(2, 500)).is_ok());
+        // One more pair than the cap can ever hold: shed at the door.
+        let err = executor.execute(&pairs(3, 500)).unwrap_err();
+        assert_eq!(err, QueryError::Overloaded);
+        assert_eq!(err.to_string(), "busy", "wire form is `ERR busy`");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.shed_requests, 1);
+        assert_eq!(snap.batch_requests, 1, "the shed batch was never counted as accepted");
+        assert_eq!(executor.queued(), 0, "shed submissions leave no depth behind");
+    }
+
+    #[test]
+    fn zero_deadline_expires_queued_work() {
+        let service = service(0);
+        service.set_request_deadline(Some(std::time::Duration::ZERO));
+        let executor = BatchExecutor::new(Arc::clone(&service), 2);
+        let err = executor.execute(&pairs(50, 500)).unwrap_err();
+        assert_eq!(err, QueryError::DeadlineExpired);
+        assert_eq!(err.to_string(), "deadline expired");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.deadline_expired, 1, "counted once per job, not per chunk");
+        // Disabling the deadline restores normal service.
+        service.set_request_deadline(None);
+        assert!(executor.execute(&pairs(50, 500)).is_ok());
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct ServeMetrics {
     pub timed_out_connections: AtomicU64,
     /// Requests rejected with a protocol, range, or reload error.
     pub errors: AtomicU64,
+    /// Requests shed (`ERR busy`) because the worker queue was saturated.
+    pub shed_requests: AtomicU64,
+    /// Requests resolved `ERR deadline expired` because they outlived the
+    /// per-request deadline on the queue.
+    pub deadline_expired: AtomicU64,
     /// Successful hot index reloads (the current epoch equals this count
     /// while every reload succeeds).
     pub reloads: AtomicU64,
@@ -65,6 +70,8 @@ impl ServeMetrics {
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             timed_out_connections: self.timed_out_connections.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             merge_ns: self.merge_ns.load(Ordering::Relaxed),
             search_ns: self.search_ns.load(Ordering::Relaxed),
@@ -92,6 +99,10 @@ pub struct MetricsSnapshot {
     pub timed_out_connections: u64,
     /// Requests rejected with a protocol, range, or reload error.
     pub errors: u64,
+    /// Requests shed (`ERR busy`) at queue saturation.
+    pub shed_requests: u64,
+    /// Requests resolved `ERR deadline expired`.
+    pub deadline_expired: u64,
     /// Successful hot index reloads.
     pub reloads: u64,
     /// Cumulative label-merge nanoseconds across single-`QUERY` misses.

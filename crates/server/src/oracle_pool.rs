@@ -40,6 +40,13 @@ pub enum QueryError {
         /// The graph's vertex count.
         n: usize,
     },
+    /// The worker queue is saturated and the request was shed. On the
+    /// wire this is exactly `ERR busy` — clients should back off and
+    /// retry.
+    Overloaded,
+    /// The request sat on the queue past its deadline; the answer would
+    /// have arrived too late to be useful, so no work was done.
+    DeadlineExpired,
 }
 
 impl std::fmt::Display for QueryError {
@@ -48,6 +55,8 @@ impl std::fmt::Display for QueryError {
             QueryError::VertexOutOfRange { vertex, n } => {
                 write!(f, "vertex {vertex} out of range for graph with {n} vertices")
             }
+            QueryError::Overloaded => write!(f, "busy"),
+            QueryError::DeadlineExpired => write!(f, "deadline expired"),
         }
     }
 }
@@ -142,6 +151,10 @@ pub struct QueryService {
     /// until one happens) — `STATS load_us`, the number the mmap reload
     /// path exists to shrink.
     load_micros: AtomicU64,
+    /// Per-request deadline in nanoseconds (0 = none): work still queued
+    /// this long after submission resolves `ERR deadline expired` instead
+    /// of computing an answer nobody is waiting for.
+    deadline_nanos: AtomicU64,
 }
 
 impl QueryService {
@@ -162,6 +175,24 @@ impl QueryService {
             cache,
             metrics: ServeMetrics::default(),
             load_micros: AtomicU64::new(0),
+            deadline_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the per-request deadline (`None` disables it; `Some(ZERO)`
+    /// expires everything immediately — it is stored as 1 ns, not as the
+    /// disabled sentinel). Applies to requests submitted from then on;
+    /// `&self` so it can be configured after the service is shared.
+    pub fn set_request_deadline(&self, deadline: Option<std::time::Duration>) {
+        let nanos = deadline.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1));
+        self.deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The configured per-request deadline, if any.
+    pub fn request_deadline(&self) -> Option<std::time::Duration> {
+        match self.deadline_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            nanos => Some(std::time::Duration::from_nanos(nanos)),
         }
     }
 

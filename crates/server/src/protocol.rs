@@ -558,6 +558,7 @@ pub fn format_stats_response(
     format!(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
+         shed_requests={} deadline_expired={} \
          epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} \
          sparse_relabelled=1 rank_lane_bytes={} dist_lane_bytes={} store_bytes={} \
          plain_index_bytes={} load_us={} max_connections={} idle_timeout_ms={} cache_hits={} \
@@ -570,6 +571,8 @@ pub fn format_stats_response(
         metrics.rejected_connections,
         metrics.timed_out_connections,
         metrics.errors,
+        metrics.shed_requests,
+        metrics.deadline_expired,
         epoch,
         metrics.reloads,
         sizes.index_bytes,
@@ -990,5 +993,7 @@ mod tests {
         assert!(body.contains("cache_stale=0"));
         assert!(body.contains("rejected_connections=0"));
         assert!(body.contains("timed_out_connections=0"));
+        assert!(body.contains("shed_requests=0"));
+        assert!(body.contains("deadline_expired=0"));
     }
 }

@@ -95,6 +95,7 @@ impl ServerHooks {
             "{{\"role\":\"server\",\"epoch\":{},\"queries\":{},\"batch_requests\":{},\
              \"batch_queries\":{},\"connections\":{},\"active_connections\":{},\
              \"rejected_connections\":{},\"timed_out_connections\":{},\"errors\":{},\
+             \"shed_requests\":{},\"deadline_expired\":{},\
              \"reloads\":{},\"merge_ns\":{},\"search_ns\":{},\"searched_queries\":{},\
              \"load_us\":{},\"index_bytes\":{},\"sparse_bytes\":{},\
              \"store_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
@@ -108,6 +109,8 @@ impl ServerHooks {
             m.rejected_connections,
             m.timed_out_connections,
             m.errors,
+            m.shed_requests,
+            m.deadline_expired,
             m.reloads,
             m.merge_ns,
             m.search_ns,
@@ -158,15 +161,21 @@ impl DriverHooks for ServerHooks {
             Frame::Query(s, t) => {
                 let seq = conn.push_waiting();
                 let queue = Arc::clone(&shared.queue);
+                let owner = Arc::clone(shared);
                 let submitted = shared.executor.submit_query(
                     s,
                     t,
                     Box::new(move |d| {
-                        queue.push(Completion {
-                            conn: id,
-                            seq,
-                            line: protocol::format_query_response(d),
-                        });
+                        let line = match d {
+                            Ok(d) => protocol::format_query_response(d),
+                            // Deadline expiry: counted in deadline_expired
+                            // by the executor, and as an error response.
+                            Err(e) => {
+                                ServeMetrics::bump(&owner.service.metrics().errors);
+                                protocol::format_error(e)
+                            }
+                        };
+                        queue.push(Completion { conn: id, seq, line });
                     }),
                 );
                 if let Err(e) = submitted {
@@ -177,14 +186,18 @@ impl DriverHooks for ServerHooks {
             Frame::Batch(pairs) => {
                 let seq = conn.push_waiting();
                 let queue = Arc::clone(&shared.queue);
+                let owner = Arc::clone(shared);
                 let submitted = shared.executor.submit(
                     pairs,
                     Box::new(move |distances| {
-                        queue.push(Completion {
-                            conn: id,
-                            seq,
-                            line: protocol::format_batch_response(&distances),
-                        });
+                        let line = match distances {
+                            Ok(distances) => protocol::format_batch_response(&distances),
+                            Err(e) => {
+                                ServeMetrics::bump(&owner.service.metrics().errors);
+                                protocol::format_error(e)
+                            }
+                        };
+                        queue.push(Completion { conn: id, seq, line });
                     }),
                 );
                 if let Err(e) = submitted {

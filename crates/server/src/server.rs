@@ -40,6 +40,14 @@ pub struct ServerConfig {
     /// Landmarks used when a `RELOAD` names only a graph file and the
     /// labelling must be rebuilt in-process (top-degree selection).
     pub reload_landmarks: usize,
+    /// Most queries (single or batched pairs) allowed on the worker queue
+    /// at once; submissions past this are shed with `ERR busy` instead of
+    /// growing the queue without bound (0 = unbounded).
+    pub max_pending: usize,
+    /// Per-request deadline: work still queued this long after submission
+    /// resolves `ERR deadline expired` instead of computing a stale
+    /// answer. `None` disables it.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +58,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(600),
             drain_grace: Duration::from_secs(5),
             reload_landmarks: 20,
+            max_pending: crate::batch::DEFAULT_MAX_PENDING,
+            request_deadline: None,
         }
     }
 }
@@ -100,7 +110,12 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let queue = Arc::new(CompletionQueue::new()?);
-        let executor = BatchExecutor::new(Arc::clone(&service), config.batch_threads);
+        service.set_request_deadline(config.request_deadline);
+        let executor = BatchExecutor::with_queue_cap(
+            Arc::clone(&service),
+            config.batch_threads,
+            config.max_pending,
+        );
         let shared = Arc::new(Shared {
             service,
             executor,

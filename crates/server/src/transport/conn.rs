@@ -25,7 +25,7 @@
 //! thread-per-connection transport enforced implicitly. One fast or slow
 //! client therefore bounds its own memory and never stalls the reactor.
 
-use super::sys;
+use super::{fault, sys};
 use crate::protocol::Decoder;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -142,7 +142,19 @@ impl Conn {
     pub fn try_write(&mut self) -> io::Result<usize> {
         let start = self.out_pos;
         while self.out_pos < self.out.len() {
-            match (&self.stream).write(&self.out[self.out_pos..]) {
+            // The fault hook sits inside the loop so an injected EINTR or
+            // short write runs the very retry arm a real one would.
+            let pending = self.out.len() - self.out_pos;
+            let result = match fault::check(fault::Op::Write) {
+                fault::Verdict::Proceed => (&self.stream).write(&self.out[self.out_pos..]),
+                fault::Verdict::Short(n) => {
+                    let n = n.clamp(1, pending);
+                    (&self.stream).write(&self.out[self.out_pos..self.out_pos + n])
+                }
+                fault::Verdict::Fail(e) => Err(e),
+                fault::Verdict::Eof => Ok(0),
+            };
+            match result {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => self.out_pos += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -166,7 +178,16 @@ impl Conn {
     /// One nonblocking read into `scratch`. `Ok(None)` = would block.
     pub fn try_read(&mut self, scratch: &mut [u8]) -> io::Result<Option<usize>> {
         loop {
-            match (&self.stream).read(scratch) {
+            let result = match fault::check(fault::Op::Read) {
+                fault::Verdict::Proceed => (&self.stream).read(scratch),
+                fault::Verdict::Short(n) => {
+                    let n = n.clamp(1, scratch.len());
+                    (&self.stream).read(&mut scratch[..n])
+                }
+                fault::Verdict::Fail(e) => Err(e),
+                fault::Verdict::Eof => Ok(0),
+            };
+            match result {
                 Ok(n) => return Ok(Some(n)),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

@@ -29,6 +29,7 @@
 //! longer arrive.
 
 use super::conn::Conn;
+use super::fault;
 use super::sys::{self, Epoll};
 use crate::protocol::Frame;
 use std::collections::HashMap;
@@ -145,7 +146,16 @@ impl ClientDriver {
     pub fn accept_ready<H: DriverHooks>(&mut self, epoll: &Epoll, now: Instant, hooks: &mut H) {
         loop {
             let Some(listener) = &self.listener else { return };
-            match listener.accept() {
+            // Injected accept failures (EMFILE floods, EINTR) take the
+            // same arms a real kernel verdict would.
+            let accepted = match fault::check(fault::Op::Accept) {
+                fault::Verdict::Proceed => listener.accept(),
+                fault::Verdict::Fail(e) => Err(e),
+                fault::Verdict::Short(_) | fault::Verdict::Eof => {
+                    Err(io::ErrorKind::WouldBlock.into())
+                }
+            };
+            match accepted {
                 Ok((stream, _peer)) => {
                     if self.conns.len() >= self.config.max_connections {
                         hooks.on_rejected();

@@ -1,0 +1,26 @@
+//! Fault-injection surface for the transport layer.
+//!
+//! This is a re-export of [`hcl_core::fault`] — the script table lives in
+//! `hcl-core` so `hcl-store` (which cannot depend on this crate) can
+//! route `mmap` through the same [`check`] hook the transport uses for
+//! `read`/`write`/`accept`/`epoll_wait`/`connect`/eventfd operations.
+//!
+//! # Where the hooks sit
+//!
+//! | [`Op`] lane | call site |
+//! |-------------|-----------|
+//! | `Read` / `Write` | [`Conn`](super::Conn) stream I/O, inside the retry loop so injected `EINTR` exercises the retry arm |
+//! | `Accept` | [`ClientDriver::accept_ready`](super::ClientDriver), before `listener.accept()` |
+//! | `EpollWait` | [`Epoll::wait`](super::Epoll), at the syscall-result level |
+//! | `Connect` | [`connect_nonblocking`](super::sys::connect_nonblocking) |
+//! | `EventFdRead` / `EventFdWrite` | [`EventFd::drain`/`signal`](super::EventFd) retry loops |
+//! | `UpstreamRead` / `UpstreamWrite` | `hcl-router`'s upstream wires |
+//! | `Mmap` | `hcl-store`'s `Mmap::map_file` |
+//!
+//! Enable with the `fault-injection` cargo feature (`hcl-server`'s
+//! feature forwards to `hcl-core`'s and `hcl-store`'s); without it every
+//! hook is an inlined no-op. See the module docs of [`hcl_core::fault`]
+//! for the scripting API and docs/ARCHITECTURE.md for how to write a
+//! chaos test.
+
+pub use hcl_core::fault::*;

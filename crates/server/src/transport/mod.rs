@@ -22,6 +22,7 @@
 
 pub mod conn;
 pub mod driver;
+pub mod fault;
 pub mod sys;
 
 pub use conn::{Conn, MAX_INFLIGHT, WRITE_HIGH_WATER, WRITE_LOW_WATER};

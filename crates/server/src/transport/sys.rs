@@ -10,6 +10,7 @@
 //! reports the socket writable ([`socket_error`]). The rest of the crate
 //! never touches a raw fd except to register sockets it already owns.
 
+use hcl_core::fault;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::RawFd;
@@ -116,6 +117,15 @@ fn cvt(ret: c_int) -> io::Result<c_int> {
 pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(TcpStream, bool)> {
     use std::os::fd::{AsRawFd, FromRawFd};
 
+    match fault::check(fault::Op::Connect) {
+        fault::Verdict::Proceed => {}
+        // An injected failure behaves like a synchronous refusal: no
+        // socket is created and the caller's error path runs unchanged.
+        fault::Verdict::Fail(e) => return Err(e),
+        fault::Verdict::Short(_) | fault::Verdict::Eof => {
+            return Err(io::Error::from(io::ErrorKind::ConnectionRefused));
+        }
+    }
     let family = match addr {
         SocketAddr::V4(_) => AF_INET,
         SocketAddr::V6(_) => AF_INET6,
@@ -221,16 +231,26 @@ impl Epoll {
     /// a signal interruption simply reports zero so the caller's loop
     /// re-evaluates its deadlines.
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
-        let n =
-            unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
-        if n < 0 {
-            let e = io::Error::last_os_error();
-            if e.kind() == io::ErrorKind::Interrupted {
-                return Ok(0);
+        // Injection happens at the syscall-result level so a scripted
+        // `EINTR` exercises the same interrupted-wait mapping below.
+        let raw = match fault::check(fault::Op::EpollWait) {
+            fault::Verdict::Proceed => {
+                let n = unsafe {
+                    epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+                };
+                if n < 0 {
+                    Err(io::Error::last_os_error())
+                } else {
+                    Ok(n as usize)
+                }
             }
-            return Err(e);
+            fault::Verdict::Fail(e) => Err(e),
+            fault::Verdict::Short(_) | fault::Verdict::Eof => Ok(0),
+        };
+        match raw {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            other => other,
         }
-        Ok(n as usize)
     }
 }
 
@@ -263,19 +283,45 @@ impl EventFd {
         self.fd
     }
 
-    /// Adds one to the counter, waking any epoll waiting on it. A full
+    /// Adds one to the counter, waking any epoll waiting on it, retrying
+    /// an interrupted write — an `EINTR` swallowed here would be a lost
+    /// wakeup and a reactor that sleeps on queued completions. A full
     /// counter (`EAGAIN`) already guarantees a pending wakeup, so every
-    /// outcome is a successful wake.
+    /// non-interrupted outcome is a successful wake.
     pub fn signal(&self) {
         let one: u64 = 1;
-        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        loop {
+            match fault::check(fault::Op::EventFdWrite) {
+                fault::Verdict::Proceed => {}
+                fault::Verdict::Fail(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                fault::Verdict::Fail(_) | fault::Verdict::Short(_) | fault::Verdict::Eof => return,
+            }
+            let rc = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+            if rc < 0 && io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return;
+        }
     }
 
     /// Zeroes the counter so the (level-triggered) fd stops reporting
-    /// readable.
+    /// readable, retrying an interrupted read — leaving the counter
+    /// nonzero would spin the level-triggered reactor until a later drain
+    /// succeeds.
     pub fn drain(&self) {
         let mut value: u64 = 0;
-        unsafe { read(self.fd, (&mut value as *mut u64).cast(), 8) };
+        loop {
+            match fault::check(fault::Op::EventFdRead) {
+                fault::Verdict::Proceed => {}
+                fault::Verdict::Fail(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                fault::Verdict::Fail(_) | fault::Verdict::Short(_) | fault::Verdict::Eof => return,
+            }
+            let rc = unsafe { read(self.fd, (&mut value as *mut u64).cast(), 8) };
+            if rc < 0 && io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return;
+        }
     }
 }
 

@@ -236,6 +236,11 @@ fn oversized_line_gets_one_err_and_a_close_with_bounded_memory() {
     use std::io::{Read, Write};
     use std::sync::Arc;
 
+    // Under the chaos feature the sibling module below installs global
+    // fault scripts; don't let its 1-byte reads slow this 4 MiB flood.
+    #[cfg(feature = "fault-injection")]
+    let _serial = hcl_core::fault::exclusive();
+
     // Decoder level: the buffer cannot outgrow the limit by more than one
     // fragment, no matter how much garbage is poured in.
     let mut decoder = Decoder::new();
@@ -279,4 +284,125 @@ fn oversized_line_gets_one_err_and_a_close_with_bounded_memory() {
     let mut good = Client::connect(handle.local_addr()).unwrap();
     good.ping().unwrap();
     handle.shutdown();
+}
+
+/// The same fragmentation-equivalence property, pushed down to the
+/// wire (`--features fault-injection`): scripted 1-byte reads plus
+/// EAGAIN/EINTR storms chop the byte stream at the *syscall* level, so
+/// the live server's decoder sees maximally hostile fragmentation —
+/// and the full response stream must be byte-identical to a fault-free
+/// exchange, one line per reference frame.
+#[cfg(feature = "fault-injection")]
+mod faulted_wire {
+    use super::*;
+    use hcl_core::fault::{exclusive, install_global, Fault, Op, Script, Trigger, EAGAIN, EINTR};
+    use hcl_server::{QueryService, Server, ServerConfig, ServerHandle};
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, TcpStream};
+    use std::sync::{Arc, OnceLock};
+    use std::time::Duration;
+
+    /// One shared server for every proptest case (built once; reclaimed
+    /// at process exit).
+    fn server() -> &'static ServerHandle {
+        static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+        SERVER.get_or_init(|| {
+            let (g, labelling) = hcl_core::testing::ba_fixture(100, 3, 4, 4);
+            let service = Arc::new(QueryService::from_parts(g, labelling, 0));
+            Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        })
+    }
+
+    /// Writes the whole stream, half-closes, and drains every response
+    /// byte until the server's own EOF.
+    fn exchange(input: &[u8]) -> Vec<u8> {
+        let mut conn = TcpStream::connect(server().local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        conn.write_all(input).unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut out = Vec::new();
+        conn.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    /// Like [`random_stream`], minus anything whose response bytes
+    /// depend on server state rather than the input alone: no
+    /// `SHUTDOWN`/`RELOAD` (side effects), no `STATS`/`METRICS`
+    /// (counter-valued bodies), and no mid-stream corrupt `BATCH`
+    /// headers (the server discards unread input on close, which can
+    /// surface as a reset instead of the final `ERR` line). A batch
+    /// body truncated by EOF stays in: by then every input byte has
+    /// been read, so the close is always graceful.
+    fn wire_stream(rng: &mut TestRng) -> Vec<u8> {
+        let mut out = Vec::new();
+        let commands = 1 + rng.below(8);
+        for c in 0..commands {
+            let a = rng.below(200);
+            let b = rng.below(200);
+            match rng.below(10) {
+                0 | 1 => out.extend_from_slice(format!("QUERY {a} {b}\n").as_bytes()),
+                2 => out.extend_from_slice(format!("QUERY {a}\n").as_bytes()),
+                3 => out.extend_from_slice(format!("QUERY {a} x{b}\n").as_bytes()),
+                4 => out.extend_from_slice(b"PING\n"),
+                5 => out.extend_from_slice(b"EPOCH\n"),
+                6 => out.extend_from_slice(b"\n"),
+                7 => out.extend_from_slice(b"\x7f\x01garbage \x02\t###\n"),
+                _ => {
+                    let k = rng.below(4) as usize;
+                    out.extend_from_slice(format!("BATCH {k}\n").as_bytes());
+                    let body = if c + 1 == commands { rng.below(k as u64 + 1) as usize } else { k };
+                    for i in 0..body {
+                        match rng.below(4) {
+                            0 => out.extend_from_slice(format!("{i} oops\n").as_bytes()),
+                            _ => out.extend_from_slice(format!("{i} {}\n", i * 3 + 1).as_bytes()),
+                        }
+                    }
+                }
+            }
+        }
+        if out.ends_with(b"\n") && rng.below(3) == 0 {
+            out.pop();
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(
+            if cfg!(debug_assertions) { 24 } else { 96 }
+        ))]
+
+        #[test]
+        fn syscall_level_fragmentation_never_changes_the_responses(case in 0u64..u64::MAX) {
+            let mut rng = TestRng::from_name(&format!("wire-frag-{case}"));
+            let input = wire_stream(&mut rng);
+            let frames = reference_frames(&input).len();
+
+            // Faults fire on the reactor thread → global script; hold the
+            // serial slot across both exchanges so the clean one is clean.
+            let _serial = exclusive();
+            let clean = exchange(&input);
+            prop_assert_eq!(
+                clean.iter().filter(|&&b| b == b'\n').count(),
+                frames,
+                "one response line per reference frame: {:?}",
+                String::from_utf8_lossy(&clean)
+            );
+
+            let guard = install_global(
+                Script::new()
+                    .on(Op::Read, Trigger::Every(5), Fault::Errno(EINTR))
+                    .on(Op::Read, Trigger::Every(3), Fault::Errno(EAGAIN))
+                    .on(Op::Read, Trigger::Always, Fault::Short(1))
+                    .on(Op::Write, Trigger::Every(4), Fault::Errno(EAGAIN))
+                    .on(Op::Write, Trigger::Always, Fault::Short(1)),
+            );
+            let faulted = exchange(&input);
+            let reads = guard.calls(Op::Read);
+            drop(guard);
+
+            prop_assert_eq!(&faulted, &clean, "faulted wire diverged from clean wire");
+            // 1-byte reads + EAGAIN/EINTR really did shred the stream.
+            prop_assert!(reads as usize > input.len(), "{reads} reads for {} bytes", input.len());
+        }
+    }
 }

@@ -198,6 +198,11 @@ pub fn pack(labelling: &HighwayCoverLabelling, sparse: &SparseView) -> Result<Ve
 /// temporary sibling first and is renamed into place, so a crash mid-write
 /// can never leave a half-written file under the final name — a serving
 /// process remapping on `RELOAD` either sees the old file or the new one.
+///
+/// Durability: the temporary file is fsynced before the rename (its bytes
+/// reach disk before the name does) and the parent directory is fsynced
+/// after it (the rename itself reaches disk), so a power cut cannot leave
+/// a renamed-but-empty `.hclx` behind. See docs/FORMAT.md.
 pub fn save_packed<P: AsRef<Path>>(
     labelling: &HighwayCoverLabelling,
     sparse: &SparseView,
@@ -211,5 +216,12 @@ pub fn save_packed<P: AsRef<Path>>(
     f.sync_all()?;
     drop(f);
     std::fs::rename(&tmp, path)?;
+    // Persist the directory entry. An empty parent means `path` is
+    // relative with no directory component — the current directory.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()?;
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! errno-checking helper, and one RAII wrapper so the rest of the crate
 //! never touches a raw pointer length pair.
 
+use hcl_core::fault;
 use std::fs::File;
 use std::io;
 use std::os::fd::AsRawFd;
@@ -53,6 +54,18 @@ impl Mmap {
         }
         let len = usize::try_from(len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        // Chaos hook: a scripted failure behaves like the kernel refusing
+        // the mapping (ENOMEM, fd limits); a short map truncates the view
+        // so downstream length/checksum validation must catch it.
+        let len = match fault::check(fault::Op::Mmap) {
+            fault::Verdict::Proceed => len,
+            fault::Verdict::Fail(e) => return Err(e),
+            fault::Verdict::Short(n) => n.min(len),
+            fault::Verdict::Eof => 0,
+        };
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "cannot map an empty file"));
+        }
         let ptr =
             unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
         // MAP_FAILED is (void*)-1, not null.

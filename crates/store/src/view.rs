@@ -91,14 +91,34 @@ fn read_u64(bytes: &[u8], at: usize) -> u64 {
 
 impl IndexView {
     /// Opens and validates a packed index by memory-mapping `path`.
+    ///
+    /// When the mapping itself fails (`ENOMEM`, mapping-count limits,
+    /// filesystems without mmap), serving degrades instead of dying: the
+    /// file is read into an owned 8-byte-aligned buffer and validated
+    /// exactly like a mapped one. Queries over the owned backing are
+    /// identical — only the zero-copy/page-sharing property is lost.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<IndexView, StoreError> {
         let file = std::fs::File::open(path.as_ref())?;
         let len = file.metadata()?.len();
         if len < HEADER_BYTES as u64 {
             return Err(StoreError::Truncated { needed: HEADER_BYTES as u64, actual: len });
         }
-        let map = Mmap::map_file(&file)?;
-        Self::from_backing(Backing::Mapped(map))
+        match Mmap::map_file(&file) {
+            Ok(map) => Self::from_backing(Backing::Mapped(map)),
+            Err(_) => {
+                let len = usize::try_from(len).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to load")
+                })?;
+                let words = len.div_ceil(8);
+                let mut buf = vec![0u64; words].into_boxed_slice();
+                // SAFETY: the buffer holds `words * 8 >= len` writable bytes.
+                let dst =
+                    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+                use std::io::Read;
+                (&file).read_exact(dst)?;
+                Self::from_backing(Backing::Owned { buf, len })
+            }
+        }
     }
 
     /// Builds and validates a view over an in-memory file image (the bytes
@@ -112,6 +132,12 @@ impl IndexView {
             std::ptr::copy_nonoverlapping(image.as_ptr(), buf.as_mut_ptr() as *mut u8, image.len());
         }
         Self::from_backing(Backing::Owned { buf, len: image.len() })
+    }
+
+    /// Whether this view serves from a live file mapping (`false`: the
+    /// owned-read fallback or [`from_bytes`](Self::from_bytes)).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
     }
 
     fn from_backing(backing: Backing) -> Result<IndexView, StoreError> {
