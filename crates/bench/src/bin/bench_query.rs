@@ -22,6 +22,10 @@
 //! * **reload latency** — deserialising reload (graph + plain index from
 //!   disk, rebuild the sparsified view) vs packed reload (map the `.hclx`
 //!   and validate), best of several runs each;
+//! * **incremental update latency** — median single-edge `UPDATE ADD` /
+//!   `DEL` through `hcl_core::update::apply_edit` (including the
+//!   `PairFilter` the server builds to retag its cache) against the full
+//!   `build_parallel` the update replaces (`update_speedup`);
 //! * sizes — labelling bytes, sparsified-view bytes/edges, graph bytes,
 //!   plus packed store bytes and the packed/plain compression ratio.
 //!
@@ -177,6 +181,45 @@ fn main() {
     let batch_qps =
         (batch_passes as f64 * pairs.len() as f64) / batch_start.elapsed().as_secs_f64();
 
+    // Incremental update latency: median wall time for one edge insert /
+    // delete through `hcl_core::update::apply_edit`, *including* the
+    // `PairFilter` construction the server pays to retag its cache —
+    // the full cost of publishing a patched generation — against the
+    // from-scratch `build_parallel` the update replaces.
+    let mut add_ms: Vec<f64> = Vec::new();
+    let mut del_ms: Vec<f64> = Vec::new();
+    for &(s, t) in sample_pairs(g.num_vertices(), 256, 13)
+        .iter()
+        .filter(|&&(s, t)| s != t && !g.has_edge(s, t))
+        .take(7)
+    {
+        use hcl_core::update::{apply_edit, EdgeEdit, PairFilter};
+        let t0 = Instant::now();
+        let added =
+            apply_edit(&g, oracle.labelling(), oracle.sparse_view(), EdgeEdit::Add(s, t)).unwrap();
+        black_box(PairFilter::for_edit(&g, &added.graph, EdgeEdit::Add(s, t)));
+        add_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let deleted =
+            apply_edit(&added.graph, &added.labelling, &added.sparse, EdgeEdit::Delete(s, t))
+                .unwrap();
+        black_box(PairFilter::for_edit(&added.graph, &deleted.graph, EdgeEdit::Delete(s, t)));
+        del_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let update_add_ms = median(&mut add_ms);
+    let update_del_ms = median(&mut del_ms);
+    // The update patches the sparse view in place, so the rebuild it is
+    // measured against must pay for re-sparsifying too — the same pair of
+    // steps a server runs on RELOAD.
+    let t0 = Instant::now();
+    black_box(hcl_core::SparseView::build(&g, oracle.labelling().highway()));
+    let rebuild_ms = build_secs * 1e3 + t0.elapsed().as_secs_f64() * 1e3;
+    let update_speedup = rebuild_ms / update_add_ms.max(update_del_ms).max(1e-9);
+
     let view = oracle.sparse_view();
     let json = format!(
         "{{\n  \"bench\": \"query\",\n  \"mode\": \"{}\",\n  \"git_rev\": \"{}\",\n  \
@@ -191,7 +234,9 @@ fn main() {
          \"graph_bytes\": {},\n  \"store_bytes\": {},\n  \"packed_index_bytes\": {},\n  \
          \"plain_index_bytes\": {},\n  \"packed_over_plain_ratio\": {:.4},\n  \
          \"reload_deserialise_ms\": {:.2},\n  \"reload_mmap_ms\": {:.3},\n  \
-         \"reload_speedup\": {:.1}\n}}",
+         \"reload_speedup\": {:.1},\n  \
+         \"update_add_ms\": {:.3},\n  \"update_del_ms\": {:.3},\n  \
+         \"rebuild_ms\": {:.1},\n  \"update_speedup\": {:.1}\n}}",
         if quick { "quick" } else { "full" },
         git_rev(),
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -219,6 +264,10 @@ fn main() {
         reload_deser_secs * 1e3,
         reload_mmap_secs * 1e3,
         reload_deser_secs / reload_mmap_secs.max(1e-9),
+        update_add_ms,
+        update_del_ms,
+        rebuild_ms,
+        update_speedup,
     );
     println!("{json}");
     if let Some(path) = out {

@@ -15,6 +15,7 @@
 //! hcl client 127.0.0.1:7777 query <s> <t> [<s> <t> ...]
 //! hcl client 127.0.0.1:7777 stats|ping|epoch|shutdown
 //! hcl client 127.0.0.1:7777 reload graph.hclg [index.hcl]
+//! hcl client 127.0.0.1:7777 update add|del <u> <v>
 //! hcl reload 127.0.0.1:7777 graph.hclg [index.hcl]
 //! ```
 //!
@@ -84,6 +85,7 @@ USAGE:
   hcl client <addr> query <s> <t> [<s> <t> ...]
   hcl client <addr> stats | metrics | ping | epoch | shutdown
   hcl client <addr> reload <graph file> [<index file>]
+  hcl client <addr> update add|del <u> <v>
   hcl reload <addr> <graph file> [<index file>]
 
 Graph files ending in .txt/.el are parsed as whitespace edge lists;
@@ -115,6 +117,14 @@ paths are read by the *server* process; in-flight queries finish on the
 old index, new queries see the new one. Without an index file the server
 rebuilds the labelling from the graph's top-degree landmarks (serve
 --landmarks sets how many).
+
+update applies one incremental edge insert (add) or delete (del) to the
+in-memory index — the server patches only the affected labels instead of
+rebuilding, publishes the result as a new epoch, and reports how many
+vertices were relabelled. Through the router the edit fans out to every
+replica of the shards owning either endpoint, confirmed all-or-nothing
+like reload. Packed (mmap-served) generations refuse updates; reload a
+plain in-memory index first.
 
 partition splits a graph into a sharded deployment directory: one graph
 file per shard (G[Vi + R], original id space), the shared global index,
@@ -599,6 +609,21 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             let epoch =
                 client.reload(graph, args.get(3).map(String::as_str)).map_err(|e| e.to_string())?;
             println!("reloaded, now at epoch {epoch}");
+        }
+        "update" => {
+            let op = args.get(2).map(String::as_str);
+            let add = match op {
+                Some("add") => true,
+                Some("del") => false,
+                _ => return Err("client update requires add|del <u> <v>".to_string()),
+            };
+            let (Some(u), Some(v), None) = (args.get(3), args.get(4), args.get(5)) else {
+                return Err("client update requires add|del <u> <v>".to_string());
+            };
+            let u: u32 = u.parse().map_err(|e| format!("vertex {u:?}: {e}"))?;
+            let v: u32 = v.parse().map_err(|e| format!("vertex {v:?}: {e}"))?;
+            let (epoch, affected) = client.update(add, u, v).map_err(|e| e.to_string())?;
+            println!("updated, now at epoch {epoch} ({affected} vertices relabelled)");
         }
         "shutdown" => {
             client.shutdown_server().map_err(|e| e.to_string())?;

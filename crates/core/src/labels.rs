@@ -134,6 +134,55 @@ impl HighwayLabels {
         self.offsets.len() - 1
     }
 
+    /// A copy of the store with the given vertices' labels replaced
+    /// wholesale. `rows` must be sorted by strictly increasing vertex id;
+    /// each replacement row must be sorted strictly by rank, as
+    /// `(rank, dist)` pairs.
+    ///
+    /// The lanes between patched vertices are copied in bulk chunks and the
+    /// offsets shifted in one linear pass, so the cost is `O(n)` memcpy
+    /// work plus the patched rows themselves — this is the label half of
+    /// what keeps a single-edge update cheap relative to a rebuild, which
+    /// would re-push every entry of every vertex.
+    pub(crate) fn patched(&self, rows: &[(VertexId, Vec<(u16, u16)>)]) -> HighwayLabels {
+        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted by vertex");
+        let mut delta = 0i64;
+        for (v, row) in rows {
+            let v = *v as usize;
+            delta += row.len() as i64 - (self.offsets[v + 1] - self.offsets[v]) as i64;
+        }
+        let new_total = (self.ranks.len() as i64 + delta) as usize;
+        let mut ranks = Vec::with_capacity(new_total);
+        let mut dists = Vec::with_capacity(new_total);
+        let mut offsets = self.offsets.clone();
+        let mut cum = 0i64;
+        let mut ri = 0usize;
+        let n = self.num_vertices();
+        for (v, slot) in offsets.iter_mut().enumerate().take(n) {
+            *slot = (self.offsets[v] as i64 + cum) as u32;
+            if ri < rows.len() && rows[ri].0 as usize == v {
+                cum += rows[ri].1.len() as i64 - (self.offsets[v + 1] - self.offsets[v]) as i64;
+                ri += 1;
+            }
+        }
+        *offsets.last_mut().unwrap() = new_total as u32;
+        let mut src = 0usize;
+        for (v, row) in rows {
+            let v = *v as usize;
+            let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+            ranks.extend_from_slice(&self.ranks[src..lo]);
+            dists.extend_from_slice(&self.dists[src..lo]);
+            for &(r, d) in row {
+                ranks.push(r);
+                dists.push(d);
+            }
+            src = hi;
+        }
+        ranks.extend_from_slice(&self.ranks[src..]);
+        dists.extend_from_slice(&self.dists[src..]);
+        HighwayLabels::from_parts(offsets, ranks, dists)
+    }
+
     /// The label of `v`, sorted by landmark rank.
     #[inline]
     pub fn label(&self, v: VertexId) -> LabelRef<'_> {
@@ -292,6 +341,26 @@ mod tests {
         let l = HighwayLabels::from_parts(vec![0, 1], vec![300], vec![300]);
         assert_eq!(l.encoded_bytes(LabelEncoding::Compact8), None);
         assert_eq!(l.encoded_bytes(LabelEncoding::Wide32), None);
+    }
+
+    #[test]
+    fn patched_replaces_rows_and_shifts_offsets() {
+        let l = sample();
+        let p = l.patched(&[(0, vec![(1, 9)]), (1, vec![(0, 4), (3, 5)])]);
+        assert_eq!(p.label(0).to_vec(), vec![LabelEntry { landmark: 1, dist: 9 }]);
+        assert_eq!(
+            p.label(1).to_vec(),
+            vec![LabelEntry { landmark: 0, dist: 4 }, LabelEntry { landmark: 3, dist: 5 }]
+        );
+        assert_eq!(p.label(2).to_vec(), l.label(2).to_vec());
+        assert_eq!(p.total_entries(), 4);
+        // Emptying a row shifts everything after it left.
+        let q = l.patched(&[(0, vec![])]);
+        assert!(q.label(0).is_empty());
+        assert_eq!(q.label(2).to_vec(), l.label(2).to_vec());
+        assert_eq!(q.total_entries(), 1);
+        // The empty patch is an exact copy.
+        assert_eq!(l.patched(&[]), l);
     }
 
     #[test]

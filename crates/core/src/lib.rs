@@ -58,6 +58,7 @@ pub mod sparse;
 pub mod storage;
 #[cfg(feature = "testing")]
 pub mod testing;
+pub mod update;
 pub mod weighted;
 
 pub use build::{BuildStats, HighwayCoverLabelling};
@@ -69,6 +70,7 @@ pub use query::{HlOracle, QueryContext};
 pub use shared::{ContextPool, PooledContext, SharedOracle};
 pub use sparse::SparseView;
 pub use storage::{LabelStorage, MemIndex, QueryPhases, SparseNeighbors};
+pub use update::{EdgeEdit, PairFilter, UpdateError, UpdateResult};
 pub use weighted::{WeightedHighwayCoverLabelling, WeightedHlOracle};
 
 /// Errors produced while constructing a highway cover labelling.

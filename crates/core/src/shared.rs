@@ -148,6 +148,21 @@ impl SharedOracle {
     pub fn new(graph: Arc<CsrGraph>, labelling: Arc<HighwayCoverLabelling>) -> Self {
         SharedOracle::with_graph(graph, labelling)
     }
+
+    /// Assembles an oracle from already-consistent parts — the incremental
+    /// update path (`hcl_core::update::apply_edit`) produces a patched
+    /// sparse view alongside the new graph and labelling, so rebuilding the
+    /// view here would throw the `O(affected)` work away. The caller
+    /// guarantees the triple belongs together (the same invariant
+    /// [`with_graph`](Self::with_graph) establishes internally).
+    pub fn from_parts(
+        graph: Arc<CsrGraph>,
+        labelling: Arc<HighwayCoverLabelling>,
+        sparse: Arc<SparseView>,
+    ) -> Self {
+        let pool = ContextPool::new(graph.num_vertices());
+        SharedOracle { graph, labelling, sparse, pool }
+    }
 }
 
 impl<G: Borrow<CsrGraph>> SharedOracle<G> {

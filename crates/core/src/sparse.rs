@@ -75,6 +75,48 @@ impl SparseView {
         SparseView { graph: relabelled, to_view, to_orig, removed_edges }
     }
 
+    /// Patches the view for a single edge edit (given in **original** ids)
+    /// without re-running the sparsification pass or the degree
+    /// relabelling. The existing degree-order permutation is kept — after
+    /// an edit it may be slightly stale as an *ordering* (a vertex whose
+    /// degree changed keeps its old slot), which costs nothing for
+    /// correctness: the bounded searches only require the view to contain
+    /// exactly the edges of `G[V∖R]`, and the next full build re-sorts.
+    ///
+    /// An edit incident to a landmark never touches the view's edges (they
+    /// are sparsified away); only the [`removed_edges`](Self::removed_edges)
+    /// bookkeeping moves. Returns `None` when the splice is impossible
+    /// (adding a present edge / removing an absent one), which callers
+    /// treat as an invariant violation since the source graph accepted the
+    /// same edit.
+    pub fn with_edit(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        add: bool,
+        highway: &Highway,
+    ) -> Option<Self> {
+        if highway.is_landmark(u) || highway.is_landmark(v) {
+            let removed_edges =
+                if add { self.removed_edges + 1 } else { self.removed_edges.checked_sub(1)? };
+            return Some(SparseView {
+                graph: self.graph.clone(),
+                to_view: self.to_view.clone(),
+                to_orig: self.to_orig.clone(),
+                removed_edges,
+            });
+        }
+        let (uv, vv) = (self.to_view[u as usize], self.to_view[v as usize]);
+        let graph =
+            if add { self.graph.with_edge(uv, vv)? } else { self.graph.without_edge(uv, vv)? };
+        Some(SparseView {
+            graph,
+            to_view: self.to_view.clone(),
+            to_orig: self.to_orig.clone(),
+            removed_edges: self.removed_edges,
+        })
+    }
+
     /// The identity-order reference view: same sparsification, **no**
     /// degree relabelling (view space == original space). The property
     /// tests drive the fast path against this to isolate the relabelling

@@ -125,6 +125,70 @@ impl CsrGraph {
             + self.offsets.len() * std::mem::size_of::<usize>()
     }
 
+    /// A copy of this graph with the undirected edge `{u, v}` spliced in.
+    /// Returns `None` when the edge cannot be added: a self-loop, an
+    /// endpoint out of range, or the edge already present. The adjacency
+    /// array is copied in three bulk chunks around the two sorted insertion
+    /// points and the offsets are shifted in one linear pass — no builder
+    /// re-sort and no per-row copy loop — which is what makes single-edge
+    /// index updates cheap relative to a rebuild.
+    pub fn with_edge(&self, u: VertexId, v: VertexId) -> Option<CsrGraph> {
+        let n = self.num_vertices();
+        if u == v || u as usize >= n || v as usize >= n || self.has_edge(u, v) {
+            return None;
+        }
+        // Rows are laid out in vertex order, so with a < b the insertion
+        // into a's row lands strictly before the one into b's row.
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos = |w: VertexId, other: VertexId| {
+            self.offsets[w as usize] + self.neighbors(w).partition_point(|&x| x < other)
+        };
+        let (p1, p2) = (pos(a, b), pos(b, a));
+        let mut adj = Vec::with_capacity(self.adj.len() + 2);
+        adj.extend_from_slice(&self.adj[..p1]);
+        adj.push(b);
+        adj.extend_from_slice(&self.adj[p1..p2]);
+        adj.push(a);
+        adj.extend_from_slice(&self.adj[p2..]);
+        let mut offsets = self.offsets.clone();
+        for o in &mut offsets[a as usize + 1..=b as usize] {
+            *o += 1;
+        }
+        for o in &mut offsets[b as usize + 1..] {
+            *o += 2;
+        }
+        Some(CsrGraph::from_parts(offsets, adj))
+    }
+
+    /// A copy of this graph with the undirected edge `{u, v}` removed.
+    /// Returns `None` when there is nothing to remove: a self-loop, an
+    /// endpoint out of range, or the edge not present. The counterpart of
+    /// [`with_edge`](Self::with_edge), with the same bulk-chunk copy.
+    pub fn without_edge(&self, u: VertexId, v: VertexId) -> Option<CsrGraph> {
+        let n = self.num_vertices();
+        if u == v || u as usize >= n || v as usize >= n || !self.has_edge(u, v) {
+            return None;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos = |w: VertexId, other: VertexId| {
+            self.offsets[w as usize]
+                + self.neighbors(w).binary_search(&other).expect("edge presence checked")
+        };
+        let (p1, p2) = (pos(a, b), pos(b, a));
+        let mut adj = Vec::with_capacity(self.adj.len() - 2);
+        adj.extend_from_slice(&self.adj[..p1]);
+        adj.extend_from_slice(&self.adj[p1 + 1..p2]);
+        adj.extend_from_slice(&self.adj[p2 + 1..]);
+        let mut offsets = self.offsets.clone();
+        for o in &mut offsets[a as usize + 1..=b as usize] {
+            *o -= 1;
+        }
+        for o in &mut offsets[b as usize + 1..] {
+            *o -= 2;
+        }
+        Some(CsrGraph::from_parts(offsets, adj))
+    }
+
     /// Internal: construct directly from parts. `offsets` must be monotone
     /// with `offsets[0] == 0` and `offsets[n] == adj.len()`, and each
     /// adjacency range must be sorted and duplicate-free.
@@ -398,6 +462,39 @@ mod tests {
         let g = b.build();
         assert_eq!(g.num_vertices(), 8);
         assert!(g.has_edge(3, 7));
+    }
+
+    #[test]
+    fn with_edge_splices_and_rejects() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g2 = g.with_edge(3, 0).expect("new edge");
+        assert_eq!(g2, CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (0, 3)]));
+        assert_eq!(g2.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.num_edges(), 4, "source untouched");
+        assert!(g.with_edge(0, 1).is_none(), "already present");
+        assert!(g.with_edge(1, 0).is_none(), "already present, reversed");
+        assert!(g.with_edge(2, 2).is_none(), "self-loop");
+        assert!(g.with_edge(0, 4).is_none(), "out of range");
+    }
+
+    #[test]
+    fn without_edge_splices_and_rejects() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g2 = g.without_edge(0, 2).expect("existing edge");
+        assert_eq!(g2, CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(g.num_edges(), 4, "source untouched");
+        assert!(g.without_edge(0, 3).is_none(), "not present");
+        assert!(g.without_edge(1, 1).is_none(), "self-loop");
+        assert!(g.without_edge(9, 0).is_none(), "out of range");
+    }
+
+    #[test]
+    fn edge_splices_round_trip() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let added = g.with_edge(1, 4).unwrap();
+        assert_eq!(added.without_edge(4, 1).unwrap(), g);
+        let removed = g.without_edge(2, 3).unwrap();
+        assert_eq!(removed.with_edge(3, 2).unwrap(), g);
     }
 
     #[test]

@@ -25,20 +25,53 @@ pub fn bfs_distances(g: &CsrGraph, src: VertexId) -> Vec<u32> {
 }
 
 /// Like [`bfs_distances`] but reuses the caller's buffer (resized and reset).
+///
+/// Level-synchronous and *direction-optimizing*: a level whose frontier
+/// carries more than a third of the graph's directed edges is expanded
+/// bottom-up (each unvisited vertex scans its neighbours until it finds a
+/// frontier parent and stops), which on the hub-dominated levels of
+/// power-law graphs examines a fraction of the edges top-down expansion
+/// would. On path-like graphs the frontier never crosses the threshold and
+/// the classic top-down sweep runs unchanged.
 pub fn bfs_distances_into(g: &CsrGraph, src: VertexId, dist: &mut Vec<u32>) {
+    let n = g.num_vertices();
     dist.clear();
-    dist.resize(g.num_vertices(), INF);
-    let mut queue = std::collections::VecDeque::new();
+    dist.resize(n, INF);
     dist[src as usize] = 0;
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        for &v in g.neighbors(u) {
-            if dist[v as usize] == INF {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
+    let mut frontier: Vec<VertexId> = vec![src];
+    let mut next: Vec<VertexId> = Vec::new();
+    let total_edges = 2 * g.num_edges() as u64;
+    let mut frontier_edges = g.degree(src) as u64;
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        next.clear();
+        if 3 * frontier_edges > total_edges {
+            // Bottom-up: frontier membership is `dist == d - 1`.
+            for v in 0..n as VertexId {
+                if dist[v as usize] != INF {
+                    continue;
+                }
+                for &y in g.neighbors(v) {
+                    if dist[y as usize] == d - 1 {
+                        dist[v as usize] = d;
+                        next.push(v);
+                        break;
+                    }
+                }
+            }
+        } else {
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == INF {
+                        dist[v as usize] = d;
+                        next.push(v);
+                    }
+                }
             }
         }
+        frontier_edges = next.iter().map(|&v| g.degree(v) as u64).sum();
+        std::mem::swap(&mut frontier, &mut next);
     }
 }
 

@@ -113,6 +113,40 @@ pub fn reload_verdict(results: &[(String, Result<u64, String>)]) -> Result<u64, 
     Err(format!("reload incomplete: {}", parts.join("; ")))
 }
 
+/// One responder's labelled outcome in an `UPDATE` fan-out: the replica
+/// label plus either its `(epoch, affected)` confirmation or its error.
+pub type UpdateOutcome = (String, Result<(u64, u64), String>);
+
+/// Renders the router's verdict on an `UPDATE` fan-out: `UPDATED <e> <a>`
+/// only when **every** replica of every owning shard confirmed the edit
+/// (all-or-nothing, like [`reload_verdict`]); any failure yields one
+/// `ERR` line naming each responder's outcome. On success the reported
+/// epoch is the fleet floor (owning shards may sit at different
+/// generations) and the affected count is the fleet's worst case.
+pub fn update_verdict(results: &[UpdateOutcome]) -> Result<(u64, u64), String> {
+    let mut confirmed: Vec<(String, (u64, u64))> = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (label, outcome) in results {
+        match outcome {
+            Ok(pair) => confirmed.push((label.clone(), *pair)),
+            Err(msg) => failures.push(format!("{label}: {msg}")),
+        }
+    }
+    if failures.is_empty() {
+        let Some(&(_, first)) = confirmed.first() else {
+            return Err("update incomplete: no shards responded".to_string());
+        };
+        let epoch = confirmed.iter().map(|&(_, (e, _))| e).min().unwrap_or(first.0);
+        let affected = confirmed.iter().map(|&(_, (_, a))| a).max().unwrap_or(first.1);
+        return Ok((epoch, affected));
+    }
+    let mut parts = failures;
+    for (label, (epoch, affected)) in confirmed {
+        parts.push(format!("{label}: UPDATED {epoch} {affected}"));
+    }
+    Err(format!("update incomplete: {}", parts.join("; ")))
+}
+
 /// How one `STATS` key combines across shards.
 ///
 /// Summing everything numeric — the old behaviour — is wrong for two
@@ -272,6 +306,24 @@ mod tests {
         // covers every replica of every shard.
         let err = reload_verdict(&[ok("shard0/r0", 2), ok("shard0/r1", 1)]).unwrap_err();
         assert!(err.contains("shard0/r1=1"), "{err}");
+    }
+
+    #[test]
+    fn update_verdict_is_all_or_nothing() {
+        let ok = |l: &str, e: u64, a: u64| (l.to_string(), Ok((e, a)));
+        let bad = |l: &str, m: &str| (l.to_string(), Err(m.to_string()));
+        // Fleet floor epoch, worst-case affected count.
+        assert_eq!(update_verdict(&[ok("shard0", 4, 12), ok("shard1", 3, 7)]), Ok((3, 12)));
+        // Replicas of one owning shard: all must confirm.
+        assert_eq!(update_verdict(&[ok("shard0/r0", 2, 5), ok("shard0/r1", 2, 5)]), Ok((2, 5)));
+        let err = update_verdict(&[
+            ok("shard0", 2, 5),
+            bad("shard1", "update rejected: edge already present"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("shard1: update rejected"), "{err}");
+        assert!(err.contains("shard0: UPDATED 2 5"), "{err}");
+        assert!(update_verdict(&[]).is_err());
     }
 
     /// One row per aggregation class: inputs across two shards and the

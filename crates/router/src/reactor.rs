@@ -3,8 +3,9 @@
 //! One thread owns the listening socket, every client connection, an
 //! eventfd (shutdown wakeup), and two pipelined connections per shard
 //! **replica** — *data* (queries, batches, stats, epoch) and *control*
-//! (`RELOAD`, so a seconds-long index rebuild never stalls query traffic
-//! behind it in the replica's per-connection response order). Client
+//! (`RELOAD` / `UPDATE`, so a seconds-long index rebuild never stalls
+//! query traffic behind it in the replica's per-connection response
+//! order). Client
 //! connections run on the shared
 //! [`ClientDriver`](hcl_server::transport::ClientDriver) — the same
 //! accept/read/settle/expiry loop as the server — with this module's
@@ -33,8 +34,8 @@
 //! landmark labelling, so its answer is a true *upper bound* on the
 //! distance (never an under-report). Degraded answers are tagged
 //! `DIST~` / `DISTS~` so clients can tell exact from approximate.
-//! `STATS`, `EPOCH`, and `RELOAD` never degrade — they report the
-//! failure.
+//! `STATS`, `EPOCH`, `RELOAD`, and `UPDATE` never degrade — they
+//! report the failure.
 
 use crate::aggregate;
 use crate::router::{RouterMetrics, Shared};
@@ -81,6 +82,9 @@ enum AggKind {
     Epoch { epochs: Vec<(String, u64)>, error: Option<String> },
     /// `RELOAD` fan-out to every replica: all-or-nothing confirmation.
     Reload { results: Vec<(String, Result<u64, String>)> },
+    /// `UPDATE` fan-out to every replica of every owning shard:
+    /// all-or-nothing confirmation carrying `(epoch, affected)`.
+    Update { results: Vec<aggregate::UpdateOutcome> },
 }
 
 /// One in-flight client request spanning one or more shard responses.
@@ -743,6 +747,68 @@ impl Core {
         }
     }
 
+    /// Fans one incremental edit out to **every replica of each shard
+    /// owning an endpoint** on the control connections. Replicas of an
+    /// owning shard serve interchangeable answers only while they hold
+    /// identical indexes, so — like `RELOAD` — the confirmation is
+    /// all-or-nothing: any replica failing to apply the edit turns the
+    /// whole fan-out into an `ERR` naming each responder's outcome.
+    /// Shards owning neither endpoint are untouched (their labels cannot
+    /// change: the edit's endpoints bound every affected vertex).
+    fn fan_out_update(
+        &mut self,
+        epoll: &Epoll,
+        conn: &mut Conn,
+        id: u64,
+        add: bool,
+        u: VertexId,
+        v: VertexId,
+    ) {
+        let metrics = &self.shared.metrics;
+        if let Err(msg) = self.check_pair(u, v) {
+            RouterMetrics::bump(&metrics.errors);
+            conn.push_ready(protocol::format_error(msg));
+            return;
+        }
+        // UPDATE shares the reload gate: both are whole-index swaps on
+        // the replicas, and interleaving two fan-outs could commit them
+        // in different orders on different replicas.
+        if self.reload_busy {
+            RouterMetrics::bump(&metrics.errors);
+            conn.push_ready(protocol::format_error("reload or update already in progress"));
+            return;
+        }
+        self.reload_busy = true;
+        let now = Instant::now();
+        let seq = conn.push_waiting();
+        let mut shards = vec![self.shared.partition.shard_of(u) as usize];
+        let shard_v = self.shared.partition.shard_of(v) as usize;
+        if !shards.contains(&shard_v) {
+            shards.push(shard_v);
+        }
+        let replicas_total: u32 = shards.iter().map(|&s| self.ctl[s].len() as u32).sum();
+        let rid =
+            self.next_request(id, seq, replicas_total, AggKind::Update { results: Vec::new() });
+        let op = if add { "ADD" } else { "DEL" };
+        let line = format!("UPDATE {op} {u} {v}\n");
+        for &shard in &shards {
+            for r in 0..self.ctl[shard].len() {
+                // Control connection, same as RELOAD: an index swap must
+                // not sit in front of pipelined query responses on the
+                // data connection.
+                self.ctl[shard][r].submit(data_request(
+                    rid,
+                    shard as u32,
+                    None,
+                    line.clone().into_bytes(),
+                ));
+                if self.ctl[shard][r].can_attempt(now) {
+                    self.start_replica_connect(epoll, true, shard, r, now);
+                }
+            }
+        }
+    }
+
     // ---- aggregation ----------------------------------------------------
 
     /// Feeds one replica response line (or synthesised `ERR`) into its
@@ -787,6 +853,13 @@ impl Core {
             },
             AggKind::Reload { results } => match protocol::parse_reload_response(&line) {
                 Ok(e) => results.push((label, Ok(e))),
+                Err(ResponseError::Server(msg)) => results.push((label, Err(msg))),
+                Err(ResponseError::Malformed(raw)) => {
+                    results.push((label, Err(format!("malformed response {raw:?}"))));
+                }
+            },
+            AggKind::Update { results } => match protocol::parse_update_response(&line) {
+                Ok(pair) => results.push((label, Ok(pair))),
                 Err(ResponseError::Server(msg)) => results.push((label, Err(msg))),
                 Err(ResponseError::Malformed(raw)) => {
                     results.push((label, Err(format!("malformed response {raw:?}"))));
@@ -860,6 +933,16 @@ impl Core {
                     Err(msg) => protocol::format_error(msg),
                 }
             }
+            AggKind::Update { results } => {
+                self.reload_busy = false;
+                match aggregate::update_verdict(&results) {
+                    Ok((epoch, affected)) => {
+                        RouterMetrics::bump(&metrics.updates);
+                        protocol::format_update_response(epoch, affected)
+                    }
+                    Err(msg) => protocol::format_error(msg),
+                }
+            }
         };
         if line.starts_with("ERR ") {
             RouterMetrics::bump(&self.shared.metrics.errors);
@@ -897,9 +980,9 @@ impl Core {
             "{{\"role\":\"router\",\"shards\":{},\"connections\":{},\
              \"active_connections\":{},\"rejected_connections\":{},\
              \"timed_out_connections\":{},\"queries\":{},\"scatter_queries\":{},\
-             \"batch_requests\":{},\"errors\":{},\"reloads\":{},\"failovers\":{},\
-             \"retries\":{},\"degraded\":{},\"probes\":{},\"probe_failures\":{},\
-             \"parked_dropped\":{},\"upstreams\":[{upstreams}]}}",
+             \"batch_requests\":{},\"errors\":{},\"reloads\":{},\"updates\":{},\
+             \"failovers\":{},\"retries\":{},\"degraded\":{},\"probes\":{},\
+             \"probe_failures\":{},\"parked_dropped\":{},\"upstreams\":[{upstreams}]}}",
             self.shared.partition.num_shards(),
             m.connections.load(Ordering::Relaxed),
             m.active_connections.load(Ordering::Relaxed),
@@ -910,6 +993,7 @@ impl Core {
             m.batch_requests.load(Ordering::Relaxed),
             m.errors.load(Ordering::Relaxed),
             m.reloads.load(Ordering::Relaxed),
+            m.updates.load(Ordering::Relaxed),
             m.failovers.load(Ordering::Relaxed),
             m.retries.load(Ordering::Relaxed),
             m.degraded.load(Ordering::Relaxed),
@@ -974,6 +1058,7 @@ impl DriverHooks for Core {
                 AggKind::Epoch { epochs: Vec::new(), error: None },
             ),
             Frame::Reload { graph, index } => self.fan_out_reload(epoll, conn, id, graph, index),
+            Frame::Update { add, u, v } => self.fan_out_update(epoll, conn, id, add, u, v),
         }
     }
 

@@ -89,6 +89,9 @@ pub struct RouterMetrics {
     pub errors: AtomicU64,
     /// `RELOAD` fan-outs confirmed by every replica.
     pub reloads: AtomicU64,
+    /// `UPDATE` fan-outs confirmed by every replica of every owning
+    /// shard (all-or-nothing, like reloads).
+    pub updates: AtomicU64,
     /// Replica connections torn down after a failure (each surrenders
     /// its in-flight requests for re-dispatch).
     pub failovers: AtomicU64,
@@ -122,7 +125,8 @@ impl RouterMetrics {
             "router_connections={} router_active_connections={} \
              router_rejected_connections={} router_queries={} router_scatter_queries={} \
              router_batch_requests={} router_errors={} router_reloads={} \
-             router_failovers={} router_degraded={} router_parked_dropped={} shards={shards}",
+             router_updates={} router_failovers={} router_degraded={} \
+             router_parked_dropped={} shards={shards}",
             self.connections.load(Ordering::Relaxed),
             self.active_connections.load(Ordering::Relaxed),
             self.rejected_connections.load(Ordering::Relaxed),
@@ -131,6 +135,7 @@ impl RouterMetrics {
             self.batch_requests.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.reloads.load(Ordering::Relaxed),
+            self.updates.load(Ordering::Relaxed),
             self.failovers.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
             self.parked_dropped.load(Ordering::Relaxed),

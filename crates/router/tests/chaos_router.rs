@@ -133,6 +133,68 @@ fn upstream_faults_fail_over_and_answers_stay_exact() {
     drop(guard);
 }
 
+/// `UPDATE` through the router is all-or-nothing across the owning
+/// shard's replica fleet. With every control connect refused, the
+/// fan-out reports one `ERR update incomplete` and **no** replica
+/// applies the edit — the fleet stays fully on the old generation and
+/// keeps answering it exactly. Once connects heal, the same edit
+/// succeeds everywhere and every answer (same-shard, cross-shard,
+/// landmark-touching) matches BFS on the edited graph — fully new, with
+/// nothing torn in between.
+#[test]
+fn update_fan_out_is_all_or_nothing_when_ctl_connects_die() {
+    let _serial = exclusive();
+    let (_shards, router, g, _labelling) = deploy(RouterConfig::default());
+    let mut pairs = mixed_pairs(240, 24);
+
+    // A same-shard, non-hub, far-apart absent edge: shard 0 owns both
+    // endpoints, so exactly its replica group must confirm.
+    let truth_probe = hcl_core::testing::truth_map(&g, pairs.iter().copied());
+    let (u, v) = pairs
+        .iter()
+        .copied()
+        .filter(|&(s, t)| (3..120).contains(&s) && (3..120).contains(&t) && !g.has_edge(s, t))
+        .max_by_key(|p| truth_probe[p].unwrap_or(u32::MAX))
+        .expect("stream contains a same-shard absent pair");
+    pairs.push((u, v));
+    let truth_old = hcl_core::testing::truth_map(&g, pairs.iter().copied());
+    let truth_new =
+        hcl_core::testing::truth_map(&g.with_edge(u, v).unwrap(), pairs.iter().copied());
+    assert_ne!(truth_old, truth_new, "the edit must move at least d({u},{v})");
+
+    // Warm the data legs first: only the lazy control connects fault.
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    for &(s, t) in pairs.iter().take(4) {
+        assert_eq!(client.query(s, t).unwrap(), truth_old[&(s, t)]);
+    }
+
+    const ECONNREFUSED: i32 = 111;
+    let guard =
+        install_global(Script::new().on(Op::Connect, Trigger::Always, Fault::Errno(ECONNREFUSED)));
+    let err = client.update(true, u, v).unwrap_err();
+    assert!(err.to_string().contains("update incomplete"), "{err}");
+    drop(guard);
+
+    // Fully old: no replica applied anything, the fleet still agrees on
+    // epoch 0, and every answer is the old graph's.
+    assert_eq!(client.epoch().unwrap(), 0);
+    for &(s, t) in &pairs {
+        assert_eq!(client.query(s, t).unwrap(), truth_old[&(s, t)], "old-generation d({s},{t})");
+    }
+
+    // Connects healed: the retried edit lands on every owning replica
+    // (all-or-nothing the other way) and the whole deployment serves the
+    // edited graph.
+    let (epoch, _affected) = client.update(true, u, v).unwrap();
+    assert_eq!(epoch, 1, "both shard-0 replicas confirm the first update epoch");
+    for &(s, t) in &pairs {
+        assert_eq!(client.query(s, t).unwrap(), truth_new[&(s, t)], "new-generation d({s},{t})");
+    }
+    let json = client.metrics().unwrap();
+    assert_eq!(metric(&json, "updates"), 1, "{json}");
+    assert!(metric(&json, "errors") >= 1, "{json}");
+}
+
 /// A replica's very first connect fails (injected refusal): the router
 /// backs it off, the sibling serves, and after the backoff the fleet is
 /// whole again — all without a single wrong or degraded answer.

@@ -281,6 +281,104 @@ fn reload_fans_out_under_live_traffic_with_all_or_nothing_confirmation() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `UPDATE` through the router: the edit fans out to **every replica of
+/// the shards owning an endpoint** (and only those), is confirmed
+/// all-or-nothing with one `UPDATED <epoch> <affected>` line, and
+/// afterwards every routed answer — same-shard, cross-shard,
+/// landmark-touching — matches BFS on the edited graph. The reverse
+/// `DEL` restores the original answers through the same path.
+#[test]
+fn update_fans_out_to_owning_shard_replicas_only() {
+    let (g, hubs) = bridged_communities(4);
+    let (labelling, _) = HighwayCoverLabelling::build(&g, &hubs).unwrap();
+    let map = PartitionMap::range(g.num_vertices(), 2, &hubs);
+    assert!(map.respects_components(&g));
+
+    // Two replicas per shard, services kept for direct inspection.
+    let mut services: Vec<Vec<Arc<QueryService>>> = Vec::new();
+    let mut handles: Vec<ServerHandle> = Vec::new();
+    let mut groups = Vec::new();
+    for shard in 0..2u32 {
+        let mut addrs = Vec::new();
+        let mut shard_services = Vec::new();
+        for _ in 0..2 {
+            let service = Arc::new(QueryService::from_parts(
+                Arc::new(map.shard_graph(&g, shard)),
+                Arc::new(labelling.clone()),
+                1 << 10,
+            ));
+            let handle =
+                Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+            addrs.push(handle.local_addr());
+            shard_services.push(service);
+            handles.push(handle);
+        }
+        services.push(shard_services);
+        groups.push(addrs);
+    }
+    let router =
+        Router::bind_replicated(map, &groups, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    // A same-shard, non-hub, far-apart absent edge owned by shard 0.
+    let mut pairs = workload(g.num_vertices() as u32, 120);
+    let probe = hcl_core::testing::truth_map(&g, pairs.iter().copied());
+    let (u, v) = pairs
+        .iter()
+        .copied()
+        .filter(|&(s, t)| (3..120).contains(&s) && (3..120).contains(&t) && !g.has_edge(s, t))
+        .max_by_key(|p| probe[p].unwrap_or(u32::MAX))
+        .expect("workload contains a same-shard absent pair");
+    pairs.push((u, v));
+    let truth_old = hcl_core::testing::truth_map(&g, pairs.iter().copied());
+    let truth_new =
+        hcl_core::testing::truth_map(&g.with_edge(u, v).unwrap(), pairs.iter().copied());
+    assert_ne!(truth_old, truth_new);
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let (epoch, affected) = client.update(true, u, v).unwrap();
+    assert_eq!(epoch, 1);
+    assert!(affected > 0, "a distance-{:?} insertion must relabel someone", truth_old[&(u, v)]);
+
+    // Precise fan-out: both replicas of the owning shard applied the
+    // edit; the shard owning neither endpoint was never touched.
+    for service in &services[0] {
+        assert_eq!(service.epoch(), 1, "owning-shard replica updated");
+        assert_eq!(service.metrics().snapshot().updates_applied, 1);
+    }
+    for service in &services[1] {
+        assert_eq!(service.epoch(), 0, "non-owning shard untouched");
+        assert_eq!(service.metrics().snapshot().updates_applied, 0);
+    }
+
+    for &(s, t) in &pairs {
+        let (got, degraded) = client.query_tagged(s, t).unwrap();
+        assert_eq!(got, truth_new[&(s, t)], "post-update d({s},{t})");
+        assert!(!degraded);
+    }
+
+    // The reverse edit rides the same fan-out and restores the answers.
+    let (epoch, _) = client.update(false, u, v).unwrap();
+    assert_eq!(epoch, 2);
+    for &(s, t) in &pairs {
+        assert_eq!(client.query(s, t).unwrap(), truth_old[&(s, t)], "post-delete d({s},{t})");
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("router_updates=2"), "{stats}");
+    // Shard-side counters aggregate through STATS as plain sums (one
+    // replica sampled per shard: 2 from shard 0, 0 from shard 1).
+    assert!(stats.contains("updates_applied=2"), "{stats}");
+
+    // Invalid edits are refused by the owning replicas, all-or-nothing.
+    let err = client.update(true, u, u).unwrap_err();
+    assert!(err.to_string().contains("self-loop"), "{err}");
+    let err = client.update(true, 0, 9999).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    drop(router);
+    drop(handles);
+}
+
 /// The packed flavour of the fan-out: shards serve `.hclx` files
 /// zero-copy, the router detects `shard0.hclx` in the target directory
 /// and reloads every shard with the single-path `RELOAD dir/shardI.hclx`

@@ -315,6 +315,41 @@ impl ShardedCache {
         }
     }
 
+    /// Precise invalidation for an incremental update: every resident entry
+    /// tagged `old_epoch` whose pair `keep(s, t, value)` certifies as
+    /// unchanged is re-tagged to `new_epoch` (surviving the generation swap
+    /// with its LRU position intact); entries the predicate rejects keep
+    /// their old tag and age out as stale misses — no slab compaction, no
+    /// lock held across shards. Returns how many entries were carried over.
+    ///
+    /// The predicate receives the normalised pair (`s <= t`) and the cached
+    /// answer (`None` = cached as unreachable). It must only certify pairs
+    /// whose distance is provably identical under both generations —
+    /// soundness lives with the caller (see `hcl_core::update::PairFilter`).
+    pub fn retag(
+        &self,
+        old_epoch: u64,
+        new_epoch: u64,
+        keep: impl Fn(u32, u32, Option<u32>) -> bool,
+    ) -> usize {
+        let mut kept = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            for entry in &mut shard.slab {
+                if entry.epoch != old_epoch {
+                    continue;
+                }
+                let (s, t) = ((entry.key >> 32) as u32, entry.key as u32);
+                let value = (entry.value != UNREACHABLE).then_some(entry.value);
+                if keep(s, t, value) {
+                    entry.epoch = new_epoch;
+                    kept += 1;
+                }
+            }
+        }
+        kept
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -447,6 +482,30 @@ mod tests {
         assert_eq!(cache.get(4, 5, 1), None, "stale re-insert must never hit epoch 1");
         cache.insert(4, 5, 1, Some(2));
         assert_eq!(cache.get(4, 5, 1), Some(Some(2)));
+    }
+
+    #[test]
+    fn retag_carries_certified_pairs_and_strands_the_rest() {
+        let cache = small(16, 2);
+        cache.insert(1, 2, 3, Some(4));
+        cache.insert(5, 6, 3, None); // unreachable, certified below
+        cache.insert(7, 8, 3, Some(9)); // rejected by the predicate
+        cache.insert(1, 9, 2, Some(1)); // older generation: untouched
+        let kept = cache.retag(3, 4, |s, t, value| {
+            assert!(s <= t, "keys are normalised");
+            !(s == 7 && t == 8) && (value != Some(9))
+        });
+        assert_eq!(kept, 2);
+        // Certified pairs hit under the new epoch with their old answers.
+        assert_eq!(cache.get(1, 2, 4), Some(Some(4)));
+        assert_eq!(cache.get(6, 5, 4), Some(None), "unreachable carries over");
+        // The rejected pair is a stale miss under the new epoch…
+        assert_eq!(cache.get(7, 8, 4), None);
+        // …and the certified ones no longer answer the old epoch.
+        assert_eq!(cache.get(1, 2, 3), None);
+        // The unrelated generation was never considered.
+        assert_eq!(cache.get(1, 9, 2), Some(Some(1)));
+        assert_eq!(cache.get(1, 9, 4), None);
     }
 
     #[test]

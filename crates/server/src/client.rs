@@ -161,6 +161,22 @@ impl Client {
         Ok(protocol::parse_reload_response(&self.receive()?)?)
     }
 
+    /// Applies one incremental edge edit (`true` = insert, `false` =
+    /// delete) to the server's in-memory index. Returns the new epoch and
+    /// the number of vertices whose landmark distances changed. Blocks
+    /// until the patched index is published (or the edit was refused);
+    /// pipelined updates on one connection are applied in order.
+    pub fn update(
+        &mut self,
+        add: bool,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(u64, u64), ClientError> {
+        let op = if add { "ADD" } else { "DEL" };
+        self.send(&format!("UPDATE {op} {u} {v}"))?;
+        Ok(protocol::parse_update_response(&self.receive()?)?)
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send("PING")?;

@@ -9,7 +9,7 @@
 //! | [`oracle_pool`] | [`QueryService`]: an epoch-tagged hot-swappable [`SharedOracle`](hcl_core::SharedOracle) + optional cache + metrics, all `&self` |
 //! | [`cache`] | [`ShardedCache`]: mutex-striped LRU over normalised `(s, t)` keys, epoch-tagged entries, hit/miss/stale/eviction counters |
 //! | [`batch`] | [`BatchExecutor`]: a persistent worker pool answering `Vec<(s, t)>` in input order, one epoch per batch, completion callbacks |
-//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `SHUTDOWN`), both codec directions, and the incremental [`Decoder`] |
+//! | [`protocol`] | the newline-delimited wire protocol (`QUERY` / `BATCH` / `STATS` / `PING` / `EPOCH` / `RELOAD` / `UPDATE` / `SHUTDOWN`), both codec directions, and the incremental [`Decoder`] |
 //! | [`server`] | std-only TCP server: single-threaded epoll reactor, nonblocking sockets, graceful eventfd-signalled shutdown |
 //! | [`transport`] | the reusable event-loop building blocks: [`transport::Conn`] state machine, [`transport::sys`] epoll/eventfd bindings |
 //! | [`client`] | a blocking client for the protocol |
@@ -62,7 +62,7 @@ pub use batch::BatchExecutor;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use oracle_pool::{IndexSizes, QueryError, QueryService, ReloadError};
+pub use oracle_pool::{IndexSizes, QueryError, QueryService, ReloadError, UpdateApplyError};
 pub use protocol::{Decoder, Frame, ProtocolError, Request, ResponseError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use serving::ServingIndex;

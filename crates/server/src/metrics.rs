@@ -31,6 +31,14 @@ pub struct ServeMetrics {
     /// Successful hot index reloads (the current epoch equals this count
     /// while every reload succeeds).
     pub reloads: AtomicU64,
+    /// Incremental `UPDATE` edits applied (each publishes a new epoch, so
+    /// the current epoch equals `reloads + updates_applied` while every
+    /// swap succeeds).
+    pub updates_applied: AtomicU64,
+    /// Cumulative vertices whose landmark distances changed across all
+    /// applied updates (the work an `O(affected)` update actually did;
+    /// divide by `updates_applied` for the mean edit footprint).
+    pub update_affected_vertices: AtomicU64,
     /// Cumulative nanoseconds single `QUERY` cache misses spent in the
     /// label merge (Equation 4 upper bound).
     pub merge_ns: AtomicU64,
@@ -73,6 +81,8 @@ impl ServeMetrics {
             shed_requests: self.shed_requests.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            update_affected_vertices: self.update_affected_vertices.load(Ordering::Relaxed),
             merge_ns: self.merge_ns.load(Ordering::Relaxed),
             search_ns: self.search_ns.load(Ordering::Relaxed),
             searched_queries: self.searched_queries.load(Ordering::Relaxed),
@@ -105,6 +115,10 @@ pub struct MetricsSnapshot {
     pub deadline_expired: u64,
     /// Successful hot index reloads.
     pub reloads: u64,
+    /// Incremental `UPDATE` edits applied.
+    pub updates_applied: u64,
+    /// Cumulative affected vertices across all applied updates.
+    pub update_affected_vertices: u64,
     /// Cumulative label-merge nanoseconds across single-`QUERY` misses.
     pub merge_ns: u64,
     /// Cumulative bounded-search nanoseconds across single-`QUERY` misses.

@@ -23,6 +23,7 @@ use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::serving::ServingIndex;
 use hcl_core::landmarks::LandmarkStrategy;
+use hcl_core::update::{apply_edit, EdgeEdit, PairFilter, UpdateError};
 use hcl_core::{EpochCell, HighwayCoverLabelling, OracleEpoch, QueryContext, SharedOracle};
 use hcl_graph::{CsrGraph, VertexId};
 use hcl_store::PackedOracle;
@@ -95,6 +96,32 @@ impl std::fmt::Display for ReloadError {
 }
 
 impl std::error::Error for ReloadError {}
+
+/// An `UPDATE` the service cannot apply. The serving index is untouched
+/// whenever an update fails — failure happens strictly before the swap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateApplyError {
+    /// The current generation serves from a packed (memory-mapped) file,
+    /// which is immutable by construction; `RELOAD` an in-memory index
+    /// first.
+    Packed,
+    /// The edit itself was rejected (out of range, self-loop, duplicate
+    /// insert, missing delete, or a label-distance overflow).
+    Apply(UpdateError),
+}
+
+impl std::fmt::Display for UpdateApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateApplyError::Packed => {
+                write!(f, "update rejected: serving a packed index; reload in-memory first")
+            }
+            UpdateApplyError::Apply(e) => write!(f, "update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateApplyError {}
 
 /// Byte sizes of one index generation, as reported by `STATS`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -342,6 +369,44 @@ impl QueryService {
         swapped.epoch()
     }
 
+    /// Applies one incremental edge edit to the current in-memory
+    /// generation and publishes the patched index as a new epoch, without
+    /// rebuilding labels or clearing the cache wholesale.
+    ///
+    /// Returns `(new_epoch, affected_vertices)`. The whole operation is
+    /// copy-on-write: queries pin either the old generation or the new one,
+    /// never a half-patched index. Cached answers are *retagged*, not
+    /// dropped — a [`PairFilter`] (two BFS rows from the edit endpoints)
+    /// certifies exactly which pairs provably kept their distance, and only
+    /// those carry over to the new epoch; the rest age out as stale misses.
+    ///
+    /// Concurrent updates/reloads are serialised by the caller (the reactor
+    /// runs updates under the same busy gate as `RELOAD`); racing this
+    /// method unserialised is safe for queries but may strand retagged
+    /// cache entries, costing warm-up only.
+    pub fn apply_update(&self, edit: EdgeEdit) -> Result<(u64, u64), UpdateApplyError> {
+        let snap = self.snapshot();
+        let oracle = snap.index().as_memory().ok_or(UpdateApplyError::Packed)?;
+        let result = apply_edit(oracle.graph(), oracle.labelling(), oracle.sparse_view(), edit)
+            .map_err(UpdateApplyError::Apply)?;
+        let affected = result.affected_vertices as u64;
+        let filter = PairFilter::for_edit(oracle.graph(), &result.graph, edit);
+        let next = SharedOracle::from_parts(
+            Arc::new(result.graph),
+            Arc::new(result.labelling),
+            Arc::new(result.sparse),
+        );
+        let old_epoch = snap.epoch();
+        let swapped = self.index.swap(ServingIndex::Memory(next));
+        let new_epoch = swapped.epoch();
+        if let Some(cache) = &self.cache {
+            cache.retag(old_epoch, new_epoch, |s, t, d| filter.keeps(s, t, d));
+        }
+        ServeMetrics::bump(&self.metrics.updates_applied);
+        ServeMetrics::add(&self.metrics.update_affected_vertices, affected);
+        Ok((new_epoch, affected))
+    }
+
     /// Loads the next index generation from disk and swaps it in via
     /// [`reload_index`](Self::reload_index). On any error the current
     /// index keeps serving.
@@ -517,6 +582,77 @@ mod tests {
         // New queries see the new, smaller index.
         assert_eq!(service.num_vertices(), 100);
         assert!(service.distance(0, 199).is_err(), "199 is out of range after the swap");
+    }
+
+    #[test]
+    fn apply_update_publishes_patched_answers_under_a_new_epoch() {
+        let (g, labelling) = hcl_core::testing::ba_fixture(300, 4, 5, 8);
+        let service = QueryService::from_parts(Arc::clone(&g), labelling, 1 << 10);
+
+        // A pair far from the edit endpoints, warmed into the cache.
+        let far = service.distance(250, 260).unwrap();
+        assert_eq!(service.distance(250, 260).unwrap(), far, "warm hit");
+
+        // Find an absent edge to insert.
+        let (u, v) = (0..300u32)
+            .flat_map(|a| ((a + 1)..300).map(move |b| (a, b)))
+            .find(|&(a, b)| !g.has_edge(a, b))
+            .expect("BA graph is not complete");
+        let (epoch, _) = service.apply_update(EdgeEdit::Add(u, v)).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(service.metrics_snapshot().updates_applied, 1);
+
+        // Answers now come from the patched graph.
+        let patched = g.with_edge(u, v).unwrap();
+        let truth = hcl_graph::traversal::bfs_distances(&patched, u);
+        for t in (0..300).step_by(17) {
+            let expect = (truth[t as usize] != hcl_graph::INF).then_some(truth[t as usize]);
+            assert_eq!(service.distance(u, t).unwrap(), expect, "d({u}, {t}) after ADD");
+        }
+
+        // Deleting the same edge restores the original metric.
+        let (epoch, _) = service.apply_update(EdgeEdit::Delete(u, v)).unwrap();
+        assert_eq!(epoch, 2);
+        let truth = hcl_graph::traversal::bfs_distances(&g, u);
+        for t in (0..300).step_by(17) {
+            let expect = (truth[t as usize] != hcl_graph::INF).then_some(truth[t as usize]);
+            assert_eq!(service.distance(u, t).unwrap(), expect, "d({u}, {t}) after DEL");
+        }
+    }
+
+    #[test]
+    fn apply_update_retags_unaffected_cache_entries() {
+        // A path graph makes "far from the edit" easy to reason about.
+        let g = Arc::new(hcl_graph::generate::path(50));
+        let landmarks = hcl_graph::order::top_degree(&g, 2);
+        let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
+        let service = QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 1 << 10);
+
+        // Warm a pair whose distance an edit at the far end cannot change.
+        assert_eq!(service.distance(0, 3).unwrap(), Some(3));
+        let hits_before = service.cache_stats().hits;
+
+        // Edit at the other end of the path.
+        service.apply_update(EdgeEdit::Add(47, 49)).unwrap();
+
+        // The warmed pair must hit under the new epoch — retagged, not
+        // recomputed, and certainly not cleared.
+        assert_eq!(service.distance(0, 3).unwrap(), Some(3));
+        assert_eq!(service.cache_stats().hits, hits_before + 1, "retagged entry must hit");
+        assert_eq!(service.cache_stats().stale, 0);
+    }
+
+    #[test]
+    fn rejected_update_leaves_the_index_untouched() {
+        let service = test_service(16);
+        let before = service.distance(0, 399).unwrap();
+        // Edge (0, 1) exists in every BA fixture: a duplicate insert fails.
+        let err = service.apply_update(EdgeEdit::Add(0, 1)).unwrap_err();
+        assert!(matches!(err, UpdateApplyError::Apply(_)), "{err:?}");
+        assert_eq!(service.epoch(), 0, "failed update must not bump the epoch");
+        assert_eq!(service.metrics_snapshot().updates_applied, 0);
+        assert_eq!(service.distance(0, 399).unwrap(), before);
     }
 
     #[test]

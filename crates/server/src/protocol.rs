@@ -11,6 +11,8 @@
 //! -> EPOCH                  <- EPOCH <e>  (current index generation)
 //! -> RELOAD <graph> [<idx>] <- RELOADED <e>  (hot index swap; paths are
 //!                              server-side and must not contain spaces)
+//! -> UPDATE ADD <u> <v>     <- UPDATED <e> <a>  (incremental edge insert;
+//! -> UPDATE DEL <u> <v>        e = new epoch, a = affected vertices)
 //! -> SHUTDOWN               <- BYE       (server then drains and stops)
 //! ```
 //!
@@ -67,6 +69,16 @@ pub enum Request {
         /// Path to a prebuilt index file; when absent the server rebuilds
         /// the labelling from the graph.
         index: Option<String>,
+    },
+    /// `UPDATE ADD|DEL u v` — incrementally patch the serving index for
+    /// one edge edit (no rebuild; publishes a new epoch).
+    Update {
+        /// `true` for `ADD`, `false` for `DEL`.
+        add: bool,
+        /// One edge endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
     },
     /// `SHUTDOWN` — begin graceful shutdown.
     Shutdown,
@@ -156,6 +168,27 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             };
             Request::Reload { graph: graph.to_string(), index: index.map(str::to_string) }
         }
+        "UPDATE" => {
+            let (Some(op), Some(u), Some(v), None) =
+                (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+            else {
+                return Err(ProtocolError::BadArity {
+                    command: "UPDATE",
+                    expected: "ADD|DEL <u> <v>",
+                });
+            };
+            let add = match op {
+                "ADD" => true,
+                "DEL" => false,
+                _ => {
+                    return Err(ProtocolError::BadArity {
+                        command: "UPDATE",
+                        expected: "ADD|DEL <u> <v>",
+                    })
+                }
+            };
+            Request::Update { add, u: parse_num(u)?, v: parse_num(v)? }
+        }
         "STATS" | "METRICS" | "PING" | "EPOCH" | "SHUTDOWN" => {
             if tokens.next().is_some() {
                 return Err(ProtocolError::BadArity {
@@ -216,6 +249,15 @@ pub enum Frame {
         graph: String,
         /// Optional path to a prebuilt index file.
         index: Option<String>,
+    },
+    /// Incremental edge-edit request.
+    Update {
+        /// `true` for `ADD`, `false` for `DEL`.
+        add: bool,
+        /// One edge endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
     },
     /// Graceful-shutdown request.
     Shutdown,
@@ -469,6 +511,7 @@ impl Decoder {
             Ok(Request::Ping) => Some(Frame::Ping),
             Ok(Request::Epoch) => Some(Frame::Epoch),
             Ok(Request::Reload { graph, index }) => Some(Frame::Reload { graph, index }),
+            Ok(Request::Update { add, u, v }) => Some(Frame::Update { add, u, v }),
             Ok(Request::Shutdown) => Some(Frame::Shutdown),
             Err(e) => {
                 // A rejected BATCH header (oversized or unparseable k) may
@@ -559,7 +602,8 @@ pub fn format_stats_response(
         "STATS queries={} batch_requests={} batch_queries={} connections={} \
          active_connections={} rejected_connections={} timed_out_connections={} errors={} \
          shed_requests={} deadline_expired={} \
-         epoch={} reloads={} index_bytes={} sparse_bytes={} sparse_edges={} \
+         epoch={} reloads={} updates_applied={} update_affected_vertices={} \
+         index_bytes={} sparse_bytes={} sparse_edges={} \
          sparse_relabelled=1 rank_lane_bytes={} dist_lane_bytes={} store_bytes={} \
          plain_index_bytes={} load_us={} max_connections={} idle_timeout_ms={} cache_hits={} \
          cache_misses={} cache_stale={} cache_evictions={} cache_entries={} cache_capacity={}",
@@ -575,6 +619,8 @@ pub fn format_stats_response(
         metrics.deadline_expired,
         epoch,
         metrics.reloads,
+        metrics.updates_applied,
+        metrics.update_affected_vertices,
         sizes.index_bytes,
         sizes.sparse_bytes,
         sizes.sparse_edges,
@@ -597,6 +643,14 @@ pub fn format_stats_response(
 /// Renders a successful `RELOAD` response: `RELOADED <epoch>`.
 pub fn format_reload_response(epoch: u64) -> String {
     format!("RELOADED {epoch}")
+}
+
+/// Renders a successful `UPDATE` response: `UPDATED <epoch> <affected>`
+/// (the epoch the patched index was published as, and how many vertices
+/// had a landmark distance change — 0 for a no-op edit such as inserting
+/// an edge between equidistant vertices).
+pub fn format_update_response(epoch: u64, affected: u64) -> String {
+    format!("UPDATED {epoch} {affected}")
 }
 
 /// Renders an `EPOCH` response: `EPOCH <epoch>`.
@@ -677,6 +731,24 @@ pub fn parse_reload_response(line: &str) -> Result<u64, ResponseError> {
     parse_tagged_number(line, "RELOADED ")
 }
 
+/// Client side: interprets an `UPDATE` response line, returning
+/// `(epoch, affected_vertices)`.
+pub fn parse_update_response(line: &str) -> Result<(u64, u64), ResponseError> {
+    let line = split_err(line)?;
+    let rest =
+        line.strip_prefix("UPDATED ").ok_or_else(|| ResponseError::Malformed(line.to_string()))?;
+    let mut tokens = rest.split_ascii_whitespace();
+    match (tokens.next(), tokens.next(), tokens.next()) {
+        (Some(epoch), Some(affected), None) => {
+            let parse = |tok: &str| {
+                tok.parse::<u64>().map_err(|_| ResponseError::Malformed(line.to_string()))
+            };
+            Ok((parse(epoch)?, parse(affected)?))
+        }
+        _ => Err(ResponseError::Malformed(line.to_string())),
+    }
+}
+
 /// Client side: interprets an `EPOCH` response line.
 pub fn parse_epoch_response(line: &str) -> Result<u64, ResponseError> {
     parse_tagged_number(line, "EPOCH ")
@@ -746,6 +818,8 @@ mod tests {
             parse_request("RELOAD g.hclg g.hcl"),
             Ok(Request::Reload { graph: "g.hclg".to_string(), index: Some("g.hcl".to_string()) })
         );
+        assert_eq!(parse_request("UPDATE ADD 3 9"), Ok(Request::Update { add: true, u: 3, v: 9 }));
+        assert_eq!(parse_request("UPDATE DEL 9 3"), Ok(Request::Update { add: false, u: 9, v: 3 }));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
     }
 
@@ -764,6 +838,11 @@ mod tests {
         assert!(matches!(parse_request("EPOCH 3"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("RELOAD"), Err(ProtocolError::BadArity { .. })));
         assert!(matches!(parse_request("RELOAD a b c"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("UPDATE"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("UPDATE ADD 1"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("UPDATE ADD 1 2 3"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("UPDATE SET 1 2"), Err(ProtocolError::BadArity { .. })));
+        assert!(matches!(parse_request("UPDATE ADD x 2"), Err(ProtocolError::BadNumber(_))));
         assert_eq!(
             parse_request(&format!("BATCH {}", MAX_BATCH + 1)),
             Err(ProtocolError::BatchTooLarge { requested: MAX_BATCH + 1 })
@@ -788,6 +867,14 @@ mod tests {
         assert_eq!(parse_batch_response(&format_batch_response(&[]), 0), Ok(vec![]));
         assert_eq!(parse_reload_response(&format_reload_response(3)), Ok(3));
         assert_eq!(parse_epoch_response(&format_epoch_response(0)), Ok(0));
+        assert_eq!(parse_update_response(&format_update_response(5, 137)), Ok((5, 137)));
+        assert!(parse_update_response("UPDATED 5").is_err());
+        assert!(parse_update_response("UPDATED 5 x").is_err());
+        assert!(parse_update_response(&format_reload_response(5)).is_err());
+        assert!(matches!(
+            parse_update_response("ERR edge 1-2 already present"),
+            Err(ResponseError::Server(_))
+        ));
         assert!(parse_reload_response("RELOADED x").is_err());
         assert!(parse_epoch_response(&format_reload_response(1)).is_err());
         assert_eq!(
@@ -979,6 +1066,8 @@ mod tests {
         }
         assert!(body.contains("epoch=4"));
         assert!(body.contains("reloads=0"));
+        assert!(body.contains("updates_applied=0"));
+        assert!(body.contains("update_affected_vertices=0"));
         assert!(body.contains("index_bytes=1024"));
         assert!(body.contains("sparse_bytes=2048"));
         assert!(body.contains("sparse_edges=96"));

@@ -21,12 +21,13 @@
 
 use crate::metrics::ServeMetrics;
 use crate::protocol::{self, Frame};
-use crate::server::Shared;
+use crate::server::{Shared, UpdateJob};
 use crate::transport::conn::Conn;
 use crate::transport::driver::{
     deadline_to_timeout_ms, ClientDriver, DriverConfig, DriverHooks, TOKEN_LISTENER, TOKEN_WAKE,
 };
 use crate::transport::sys::{Epoll, EpollEvent, EventFd};
+use hcl_core::update::EdgeEdit;
 use std::io;
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
@@ -34,6 +35,64 @@ use std::time::Instant;
 
 /// First connection id, above the listener and wake tokens.
 const FIRST_CONN_ID: u64 = 2;
+
+/// Most `UPDATE`s allowed to park on the busy gate at once; past this the
+/// request is shed with `ERR busy` (overload protection, same contract as
+/// the worker queue cap).
+const MAX_PENDING_UPDATES: usize = 1024;
+
+/// Drains the pending-update queue, applying edits one at a time in
+/// arrival order. The caller must have just acquired the busy gate
+/// (`reload_busy` swapped `false` → `true`); the gate is released when the
+/// queue is empty, with a lost-wakeup re-check — a producer that saw the
+/// gate busy after our last pop parks its job and spawns nobody, so the
+/// releasing thread must re-acquire and keep draining if anything is left.
+fn drain_updates_holding_gate(shared: Arc<Shared>) {
+    loop {
+        // Clears the gate when this scope exits, even on a panic inside
+        // apply_update.
+        struct Gate(Arc<Shared>);
+        impl Drop for Gate {
+            fn drop(&mut self) {
+                self.0.reload_busy.store(false, std::sync::atomic::Ordering::Release);
+            }
+        }
+        let gate = Gate(Arc::clone(&shared));
+        loop {
+            // Pop under a short lock; the apply itself runs unlocked so
+            // the reactor can keep parking new jobs meanwhile.
+            let job = shared.pending_updates.lock().expect("update queue poisoned").pop_front();
+            let Some(job) = job else { break };
+            let line = match shared.service.apply_update(job.edit) {
+                Ok((epoch, affected)) => protocol::format_update_response(epoch, affected),
+                Err(e) => {
+                    ServeMetrics::bump(&shared.service.metrics().errors);
+                    protocol::format_error(e)
+                }
+            };
+            shared.queue.push(Completion { conn: job.conn, seq: job.seq, line });
+        }
+        drop(gate);
+        if shared.pending_updates.lock().expect("update queue poisoned").is_empty()
+            || shared.reload_busy.swap(true, std::sync::atomic::Ordering::AcqRel)
+        {
+            return;
+        }
+    }
+}
+
+/// Gate-release hook shared by everything that holds the busy gate for
+/// non-update work (a `RELOAD` thread): after releasing, pick up any
+/// `UPDATE`s that parked while the gate was held.
+fn drain_parked_updates(shared: &Arc<Shared>) {
+    if shared.pending_updates.lock().expect("update queue poisoned").is_empty() {
+        return;
+    }
+    if shared.reload_busy.swap(true, std::sync::atomic::Ordering::AcqRel) {
+        return;
+    }
+    drain_updates_holding_gate(Arc::clone(shared));
+}
 
 /// One finished unit of asynchronous work, addressed to a response slot.
 pub(crate) struct Completion {
@@ -96,7 +155,8 @@ impl ServerHooks {
              \"batch_queries\":{},\"connections\":{},\"active_connections\":{},\
              \"rejected_connections\":{},\"timed_out_connections\":{},\"errors\":{},\
              \"shed_requests\":{},\"deadline_expired\":{},\
-             \"reloads\":{},\"merge_ns\":{},\"search_ns\":{},\"searched_queries\":{},\
+             \"reloads\":{},\"updates_applied\":{},\"update_affected_vertices\":{},\
+             \"merge_ns\":{},\"search_ns\":{},\"searched_queries\":{},\
              \"load_us\":{},\"index_bytes\":{},\"sparse_bytes\":{},\
              \"store_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
              \"max_connections\":{},\"idle_timeout_ms\":{},\"drain_grace_ms\":{}}}",
@@ -112,6 +172,8 @@ impl ServerHooks {
             m.shed_requests,
             m.deadline_expired,
             m.reloads,
+            m.updates_applied,
+            m.update_affected_vertices,
             m.merge_ns,
             m.search_ns,
             m.searched_queries,
@@ -247,7 +309,34 @@ impl DriverHooks for ServerHooks {
                         // after reading this line must not race the drop.
                         drop(gate);
                         queue.push(Completion { conn: id, seq, line });
+                        // UPDATEs that arrived during the reload parked
+                        // themselves; apply them now the gate is free.
+                        drain_parked_updates(&shared);
                     });
+                }
+            }
+            Frame::Update { add, u, v } => {
+                // An incremental edit is orders of magnitude cheaper than
+                // a rebuild but still index-sized work, so it runs
+                // off-reactor, serialised with RELOAD through the same
+                // busy gate. Unlike RELOAD, concurrent and pipelined
+                // UPDATEs queue instead of being refused: each is applied
+                // in arrival order and publishes its own epoch.
+                let seq = conn.push_waiting();
+                let edit = if add { EdgeEdit::Add(u, v) } else { EdgeEdit::Delete(u, v) };
+                {
+                    let mut pending = shared.pending_updates.lock().expect("update queue poisoned");
+                    if pending.len() >= MAX_PENDING_UPDATES {
+                        drop(pending);
+                        ServeMetrics::bump(&metrics.shed_requests);
+                        conn.complete(seq, protocol::format_error("busy"));
+                        return;
+                    }
+                    pending.push_back(UpdateJob { edit, conn: id, seq });
+                }
+                if !shared.reload_busy.swap(true, std::sync::atomic::Ordering::AcqRel) {
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || drain_updates_holding_gate(shared));
                 }
             }
             Frame::Shutdown => {

@@ -15,6 +15,8 @@
 use crate::batch::BatchExecutor;
 use crate::oracle_pool::QueryService;
 use crate::reactor::{self, CompletionQueue};
+use hcl_core::update::EdgeEdit;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,11 +76,29 @@ pub(crate) struct Shared {
     /// Worker → reactor completions; its eventfd is also the shutdown
     /// wakeup.
     pub queue: Arc<CompletionQueue>,
-    /// Gate serialising `RELOAD`s: loads/rebuilds are whole-graph work, so
-    /// at most one runs at a time and the rest are refused with an `ERR`
-    /// (a pipelined flood of RELOAD lines must not fan out into unbounded
-    /// concurrent index builds).
+    /// Gate serialising `RELOAD`s and `UPDATE`s: index swaps are
+    /// whole-graph work, so at most one runs at a time. Extra RELOADs are
+    /// refused with an `ERR` (a pipelined flood must not fan out into
+    /// concurrent full-index builds); extra UPDATEs park on
+    /// [`pending_updates`](Self::pending_updates) instead and are applied
+    /// one at a time, in arrival order, once the gate frees up.
     pub reload_busy: AtomicBool,
+    /// Incremental edits waiting for the busy gate, in arrival order. The
+    /// gate holder drains this before (and re-checks it after) releasing,
+    /// so pipelined `UPDATE` lines all get applied without ever running
+    /// two swaps concurrently.
+    pub pending_updates: Mutex<VecDeque<UpdateJob>>,
+}
+
+/// One queued `UPDATE`, waiting for the busy gate: the edit plus the
+/// response slot it must complete.
+pub(crate) struct UpdateJob {
+    /// The edge edit to apply.
+    pub edit: EdgeEdit,
+    /// Connection the response belongs to.
+    pub conn: u64,
+    /// Response slot within that connection.
+    pub seq: u64,
 }
 
 impl Shared {
@@ -124,6 +144,7 @@ impl Server {
             config,
             queue,
             reload_busy: AtomicBool::new(false),
+            pending_updates: Mutex::new(VecDeque::new()),
         });
         let reactor_thread = reactor::spawn(Arc::clone(&shared), listener)?;
         Ok(ServerHandle { shared, reactor_thread: Mutex::new(Some(reactor_thread)) })

@@ -10,7 +10,9 @@
 #![cfg(feature = "fault-injection")]
 
 use hcl_core::fault::{exclusive, install_global, Fault, Op, Script, Trigger, ECONNRESET, EINTR};
+use hcl_core::testing::truth_map;
 use hcl_core::HighwayCoverLabelling;
+use hcl_graph::CsrGraph;
 use hcl_server::{Client, ClientError, QueryService, Server, ServerConfig, ServerHandle};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,13 +20,34 @@ use std::time::Duration;
 
 const N: usize = 600;
 
-fn serve(config: ServerConfig) -> (ServerHandle, Arc<QueryService>) {
+fn serve_with_graph(config: ServerConfig) -> (ServerHandle, Arc<QueryService>, Arc<CsrGraph>) {
     let g = Arc::new(hcl_graph::generate::barabasi_albert(N, 4, 51));
     let landmarks = hcl_graph::order::top_degree(&g, 12);
     let (labelling, _) = HighwayCoverLabelling::build(&g, &landmarks).unwrap();
-    let service = Arc::new(QueryService::from_parts(g, Arc::new(labelling), 1 << 10));
+    let service = Arc::new(QueryService::from_parts(Arc::clone(&g), Arc::new(labelling), 1 << 10));
     let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+    (handle, service, g)
+}
+
+fn serve(config: ServerConfig) -> (ServerHandle, Arc<QueryService>) {
+    let (handle, service, _) = serve_with_graph(config);
     (handle, service)
+}
+
+/// The farthest non-adjacent workload pair — inserting this edge changes
+/// the workload's own answers, so the assertions below can tell the two
+/// generations apart.
+fn absent_far_pair(
+    g: &CsrGraph,
+    truth: &HashMap<(u32, u32), Option<u32>>,
+    pairs: &[(u32, u32)],
+) -> (u32, u32) {
+    pairs
+        .iter()
+        .copied()
+        .filter(|&(s, t)| s != t && !g.has_edge(s, t))
+        .max_by_key(|p| truth[p].unwrap_or(u32::MAX))
+        .expect("workload contains a non-adjacent pair")
 }
 
 fn workload(count: usize) -> Vec<(u32, u32)> {
@@ -138,6 +161,87 @@ fn accept_epoll_and_eventfd_eintr_are_retried() {
     assert!(guard.calls(Op::Accept) >= 2, "accept was interrupted and retried");
     assert!(guard.calls(Op::EventFdWrite) >= 1, "completions signalled through the storm");
     drop(guard);
+}
+
+/// An `UPDATE` riding the same faulted wire as the chaos query storm:
+/// the request line arrives one byte at a time through an EINTR storm,
+/// the ack goes back in 1-byte writes — and the patched index is still
+/// exact: every post-ack answer matches BFS on the edited graph.
+#[test]
+fn update_under_eintr_and_short_io_applies_exactly() {
+    let _serial = exclusive();
+    let (handle, _service, g) = serve_with_graph(ServerConfig::default());
+    let pairs = workload(24);
+    let truth_old = truth_map(&g, pairs.iter().copied());
+    let (u, v) = absent_far_pair(&g, &truth_old, &pairs);
+    let truth_new = truth_map(&g.with_edge(u, v).unwrap(), pairs.iter().copied());
+    assert_ne!(truth_old, truth_new, "the edit must move the workload's answers");
+
+    let guard = install_global(
+        Script::new()
+            .on(Op::Read, Trigger::Every(2), Fault::Errno(EINTR))
+            .on(Op::Read, Trigger::Always, Fault::Short(1))
+            .on(Op::Write, Trigger::Every(3), Fault::Errno(EINTR))
+            .on(Op::Write, Trigger::Always, Fault::Short(1)),
+    );
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let (epoch, affected) = client.update(true, u, v).unwrap();
+    assert_eq!(epoch, 1);
+    assert!(affected > 0);
+    for &(s, t) in &pairs {
+        assert_eq!(client.query(s, t).unwrap(), truth_new[&(s, t)], "d({s},{t}) under faults");
+    }
+    drop(guard);
+}
+
+/// A connection reset racing an `UPDATE` — before the request line is
+/// fully read, or after the edit applied but before the ack flushed —
+/// must leave the index a *whole* generation: a fresh connection sees
+/// either the fully-old or the fully-new answers (matching the epoch it
+/// reports), never a mixture.
+#[test]
+fn mid_update_reset_leaves_a_whole_generation() {
+    let _serial = exclusive();
+    for reset_at in [0u64, 1, 2] {
+        let (handle, service, g) = serve_with_graph(ServerConfig::default());
+        let pairs = workload(16);
+        let truth_old = truth_map(&g, pairs.iter().copied());
+        let (u, v) = absent_far_pair(&g, &truth_old, &pairs);
+        let truth_new = truth_map(&g.with_edge(u, v).unwrap(), pairs.iter().copied());
+
+        let guard = install_global(Script::new().on(
+            Op::Read,
+            Trigger::At(reset_at),
+            Fault::Errno(ECONNRESET),
+        ));
+        // The victim's UPDATE may be answered, die on the wire, or be
+        // killed before it was even parsed — all three are legal; only a
+        // torn index is not.
+        let mut victim = Client::connect(handle.local_addr()).unwrap();
+        let _ = victim.update(true, u, v);
+        drop(guard);
+
+        let mut fresh = Client::connect(handle.local_addr()).unwrap();
+        let epoch = fresh.epoch().unwrap();
+        let truth = match epoch {
+            0 => &truth_old,
+            1 => &truth_new,
+            e => panic!("reset_at={reset_at}: impossible epoch {e}"),
+        };
+        for &(s, t) in &pairs {
+            assert_eq!(
+                fresh.query(s, t).unwrap(),
+                truth[&(s, t)],
+                "reset_at={reset_at}, epoch {epoch}: d({s},{t}) not from a whole generation"
+            );
+        }
+        assert_eq!(
+            service.metrics().snapshot().updates_applied,
+            epoch,
+            "counter agrees with the surviving generation"
+        );
+        handle.shutdown();
+    }
 }
 
 /// Overload shedding over the wire: with a 4-query executor cap, a batch

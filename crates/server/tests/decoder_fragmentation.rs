@@ -85,6 +85,9 @@ fn reference_frames(input: &[u8]) -> Vec<Frame> {
             Ok(protocol::Request::Reload { graph, index }) => {
                 frames.push(Frame::Reload { graph, index });
             }
+            Ok(protocol::Request::Update { add, u, v }) => {
+                frames.push(Frame::Update { add, u, v });
+            }
             Ok(protocol::Request::Shutdown) => frames.push(Frame::Shutdown),
             Err(e) => {
                 if line.trim_start().starts_with("BATCH") {
